@@ -1,0 +1,25 @@
+"""Ablation E-A4 bench: β-tying across corpus regimes (§3.1's claim)."""
+
+from repro.experiments import tying_study
+
+
+def test_tying_study(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: tying_study.run(profile=profile, seed=0), rounds=1, iterations=1
+    )
+    emit_report(report)
+    walk = report.data["walk-like"]
+    text = report.data["text-like"]
+    # tying works on the walk-like corpus (the paper's use case)
+    assert walk["tied"] >= walk["untied"] - 0.02
+    # §3.1's pathology, measured as calibration: on text-like data an
+    # *untied* model learns to score the center below its true positives
+    # (self never co-occurs)...
+    assert text["untied_inflation"] < 0.05
+    # ...while the tied model structurally cannot (H = µ·β[center] keeps the
+    # self-score high), leaving a calibration gap that is absent (or
+    # reversed) on walk-like data where self genuinely recurs.
+    text_gap = text["tied_inflation"] - text["untied_inflation"]
+    walk_gap = walk["tied_inflation"] - walk["untied_inflation"]
+    assert text_gap > 0.1
+    assert text_gap > walk_gap + 0.05

@@ -1,0 +1,18 @@
+"""Figure 5 bench: dataflow optimization (Algorithm 2 + fixed point) vs
+Algorithm 1 accuracy."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: fig5.run(profile=profile, seed=0), rounds=1, iterations=1
+    )
+    emit_report(report)
+    for short, cell in report.data.items():
+        # both implementations must actually learn (far above the ~1/8
+        # majority-class floor of the 7-10 class tasks)
+        assert cell["cpu"]["micro_f1"] > 0.5
+        assert cell["fpga"]["micro_f1"] > 0.5
+        # paper shape: the FPGA semantics cost at most a few percent
+        assert cell["drop"] < 0.08, f"{short}: drop {cell['drop']:.3f}"

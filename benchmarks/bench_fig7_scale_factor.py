@@ -1,0 +1,21 @@
+"""Figure 7 bench: scale factor µ sweep + the fixed-alpha baseline."""
+
+from repro.experiments import fig7
+from repro.experiments.fig7 import MU_SWEEP
+
+
+def test_fig7_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: fig7.run(profile=profile, seed=0), rounds=1, iterations=1
+    )
+    emit_report(report)
+    curve = {mu: report.data[mu] for mu in MU_SWEEP}
+    plateau = max(curve[mu] for mu in (0.005, 0.01, 0.05, 0.1))
+    # paper shape 1: mu = 0.001 collapses relative to the plateau
+    assert curve[0.001] < plateau - 0.15
+    # paper shape 2: the plateau is a usable embedding
+    assert plateau > 0.6
+    # paper shape 3: large mu declines from the plateau
+    assert curve[1.0] <= plateau + 0.02
+    # paper shape 4: the fixed-alpha baseline does not beat the plateau
+    assert report.data["alpha"] < plateau + 0.02

@@ -1,0 +1,23 @@
+"""Table 1 bench: dataset surrogate generation + fidelity report."""
+
+from repro.experiments import table1
+from repro.graph.datasets import PAPER_DATASETS
+
+
+def test_table1_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: table1.run(profile=profile), rounds=1, iterations=1
+    )
+    emit_report(report)
+    # every surrogate within 1% of Table 1's edge counts
+    for name, spec in PAPER_DATASETS.items():
+        got = report.data[name]
+        assert got["n_nodes"] == spec.n_nodes
+        assert abs(got["n_edges"] - spec.n_edges) <= 0.01 * spec.n_edges
+        assert got["n_classes"] == spec.n_classes
+
+
+def test_bench_cora_generation(benchmark):
+    spec = PAPER_DATASETS["cora"]
+    graph = benchmark(lambda: spec.generate(seed=0))
+    assert graph.n_nodes == 2708

@@ -1,0 +1,58 @@
+"""Table 3 bench: per-walk training time vs the Cortex-A53.
+
+Two parts:
+
+* the regenerated Table 3 (calibrated timing models) with shape assertions
+  on the speedup columns;
+* pytest-benchmark timings of the actual Python training kernels (one walk,
+  paper dimensions) — our substrate's own cost, for the record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.embedding import make_model
+from repro.experiments import table3
+from repro.fpga import FPGAAccelerator, paper_spec
+from repro.sampling.corpus import contexts_from_walk
+
+
+def test_table3_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: table3.run(profile=profile), rounds=1, iterations=1
+    )
+    emit_report(report)
+    data = report.data
+    # Shape: FPGA beats the A53 by 24-74x against the proposed model and
+    # 45-205x against the original model, growing with dim (paper's headline)
+    for d, lo, hi in ((32, 40, 55), (64, 100, 130), (96, 180, 230)):
+        assert lo < data["speedup_vs_original"][d] < hi
+    for d, lo, hi in ((32, 20, 30), (64, 35, 48), (96, 65, 85)):
+        assert lo < data["speedup_vs_proposed"][d] < hi
+    # monotone: speedup grows with embedding width
+    s = data["speedup_vs_original"]
+    assert s[32] < s[64] < s[96]
+
+
+def _one_walk_inputs(n_nodes=2708, dim=32, seed=0):
+    rng = np.random.default_rng(seed)
+    walk = rng.integers(0, n_nodes, size=80)
+    ctx = contexts_from_walk(walk, 8)
+    negs = rng.integers(0, n_nodes, size=(ctx.n, 10))
+    return ctx, negs
+
+
+@pytest.mark.parametrize("model_name", ["original", "proposed", "dataflow"])
+def test_bench_one_walk_kernel(benchmark, model_name):
+    """Python-kernel cost of training one paper-sized walk (73 contexts)."""
+    ctx, negs = _one_walk_inputs()
+    model = make_model(model_name, 2708, 32, seed=0)
+    benchmark(lambda: model.train_walk(ctx, negs))
+
+
+def test_bench_fpga_simulated_walk(benchmark):
+    """Simulator cost (host side) of one accelerator walk."""
+    ctx, negs = _one_walk_inputs()
+    acc = FPGAAccelerator(2708, paper_spec(32), seed=0)
+    benchmark(lambda: acc.train_walk(ctx, negs))
+    assert acc.total_cycles > 0

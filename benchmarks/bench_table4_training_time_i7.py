@@ -1,0 +1,20 @@
+"""Table 4 bench: per-walk training time vs the Core i7-11700."""
+
+from repro.experiments import table4
+
+
+def test_table4_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: table4.run(profile=profile), rounds=1, iterations=1
+    )
+    emit_report(report)
+    data = report.data
+    # Shape: the little 200 MHz FPGA stays ahead of a desktop i7 — barely at
+    # d=32 (~1x vs the proposed model), clearly at d=96 (~2.4x / ~3.3x)
+    assert 0.9 < data["speedup_vs_proposed"][32] < 1.2
+    assert 2.0 < data["speedup_vs_proposed"][96] < 3.0
+    assert 1.4 < data["speedup_vs_original"][32] < 2.0
+    assert 2.8 < data["speedup_vs_original"][96] < 3.9
+    # crossover trend: FPGA advantage grows with dim
+    s = data["speedup_vs_original"]
+    assert s[32] < s[64] < s[96]

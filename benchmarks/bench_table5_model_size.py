@@ -1,0 +1,20 @@
+"""Table 5 bench: model sizes (MB) and the size-reduction headline."""
+
+from repro.experiments import table5
+from repro.hw.modelsize import PAPER_MODEL_SIZES_MB
+
+
+def test_table5_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: table5.run(profile=profile), rounds=1, iterations=1
+    )
+    emit_report(report)
+    sizes = report.data["sizes"]
+    # every entry within 11% of the paper
+    for d, models in PAPER_MODEL_SIZES_MB.items():
+        for model, cols in models.items():
+            for short, paper_mb in cols.items():
+                ours = sizes[d][model][short]
+                assert abs(ours - paper_mb) / paper_mb < 0.11
+    # headline: proposed model up to ~3.8-4x smaller
+    assert 3.5 < report.data["max_ratio"] < 4.2

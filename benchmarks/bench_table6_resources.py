@@ -1,0 +1,22 @@
+"""Table 6 bench: FPGA resource utilization on XCZU7EV."""
+
+from repro.experiments import table6
+from repro.fpga import ResourceEstimator, paper_spec
+
+
+def test_table6_report(benchmark, emit_report, profile):
+    report = benchmark.pedantic(
+        lambda: table6.run(profile=profile), rounds=1, iterations=1
+    )
+    emit_report(report)
+    for d in (32, 64, 96):
+        pct = report.data[d]["percent"]
+        # the design always fits, DSP always dominates (paper: 79.8-91.0%)
+        assert all(v <= 100 for v in pct.values())
+        assert pct["dsp"] == max(pct.values())
+        assert 75 < pct["dsp"] < 95
+
+
+def test_bench_resource_estimation(benchmark):
+    est = benchmark(lambda: ResourceEstimator(paper_spec(64)).estimate())
+    assert est.fits()

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper table/figure has one module here; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates all of them (reports are printed and written to
+``benchmarks/reports/``).  Accuracy experiments run the "quick" profile —
+scaled-down Table 1 surrogates — so the suite finishes in minutes; pass
+``--repro-profile paper`` for the full (hours-long) workload.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-profile",
+        default="quick",
+        choices=["quick", "paper"],
+        help="experiment workload scale for accuracy benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile(request) -> str:
+    return request.config.getoption("--repro-profile")
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> str:
+    path = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture()
+def emit_report(report_dir, capsys):
+    """Print an ExperimentReport and persist it under benchmarks/reports/."""
+
+    def _emit(report):
+        text = report.render()
+        with capsys.disabled():
+            print("\n" + text)
+        fname = report.name.lower().replace(" ", "") + ".txt"
+        with open(os.path.join(report_dir, fname), "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        return report
+
+    return _emit

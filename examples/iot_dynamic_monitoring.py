@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""IoT scenario: a growing device-communication graph, embedded on-line.
+
+The paper's motivating deployment (§1): an edge device observes a graph that
+*changes after deployment*.  Here an IoT network of sensor clusters gains
+links over time; we maintain a node embedding with the proposed sequential
+model and with the SGD baseline, re-evaluating cluster recoverability as the
+graph grows — the "seq" protocol of §4.3.2 with periodic checkpoints.
+
+Run:  python examples/iot_dynamic_monitoring.py
+"""
+
+import numpy as np
+
+from repro.embedding import make_model, WalkTrainer
+from repro.evaluation import evaluate_embedding
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import DynamicGraph, edge_stream, forest_split, planted_partition
+from repro.sampling import NegativeSampler, Node2VecWalker, walk_frequencies
+
+
+def main() -> None:
+    # 12 sensor clusters; edges = observed device-to-device communication.
+    full = planted_partition(480, 12, avg_degree=14, homophily=0.85, seed=7)
+    print(f"deployment graph: {full} ({full.node_labels.max() + 1} clusters)")
+
+    hyper = Node2VecParams(r=2, l=30, w=6, ns=5)
+    split = forest_split(full, seed=1)
+    print(
+        f"initial (forest): {split.initial.n_edges} edges; "
+        f"{split.removed_edges.shape[0]} arrive after deployment"
+    )
+
+    models = {
+        "proposed": make_model("proposed", full.n_nodes, 32, seed=0, mu=0.05),
+        "original": make_model("original", full.n_nodes, 32, seed=0),
+    }
+    trainers = {k: WalkTrainer(m, window=hyper.w, ns=hyper.ns) for k, m in models.items()}
+
+    dyn = DynamicGraph(full.n_nodes, initial=split.initial)
+    freqs = np.ones(full.n_nodes)
+    sampler = NegativeSampler(freqs, seed=3)
+
+    events = list(edge_stream(split.removed_edges, edges_per_event=40))
+    checkpoints = {len(events) // 4, len(events) // 2, len(events) - 1}
+    for event in events:
+        dyn.add_edges(event.edges)
+        snapshot = dyn.snapshot()
+        walker = Node2VecWalker(snapshot, hyper.walk_params(), seed=100 + event.step)
+        walks = walker.walks_from(np.tile(event.touched_nodes, hyper.r))
+        freqs += walk_frequencies(walks, full.n_nodes)
+        sampler = NegativeSampler(freqs, seed=200 + event.step)
+        for name, trainer in trainers.items():
+            for walk in walks:
+                trainer.train_walk(walk, sampler)
+
+        if event.step in checkpoints:
+            frac = dyn.n_edges / full.n_edges
+            line = [f"[{100 * frac:5.1f}% of edges]"]
+            for name, model in models.items():
+                f1 = evaluate_embedding(
+                    model.embedding, full.node_labels, seed=0
+                ).micro_f1
+                line.append(f"{name}: micro-F1 {f1:.3f}")
+            print("  ".join(line))
+
+    print(
+        "\nThe sequential model tracks the growing graph without retraining "
+        "from scratch — the paper's case for on-device OS-ELM training."
+    )
+
+
+if __name__ == "__main__":
+    main()

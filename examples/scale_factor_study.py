@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Figure 7 in miniature: how the scale factor µ shapes the embedding.
+
+The proposed model reuses the trainable output weights β as its input-side
+weights, scaled by µ (§3.1).  Too small and the hidden activations vanish
+(nothing to learn from); too large and the RLS updates overshoot.  This
+example sweeps µ on a small Cora surrogate and prints the resulting
+accuracy curve next to the fixed-random-α baseline.
+
+Run:  python examples/scale_factor_study.py
+"""
+
+from repro.dynamic import run_all_scenario
+from repro.evaluation import evaluate_embedding
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import cora_like
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    graph = cora_like(scale=0.12, seed=0)
+    hyper = Node2VecParams(r=3, l=40, w=8, ns=5)
+
+    def f1_for(**model_kwargs) -> float:
+        res = run_all_scenario(
+            graph, model="proposed", dim=32, hyper=hyper, seed=1,
+            model_kwargs=model_kwargs,
+        )
+        return evaluate_embedding(res.embedding, graph.node_labels, seed=0).micro_f1
+
+    table = TextTable(["mu", "micro F1"], title="Scale factor sweep (d=32)")
+    for mu in (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0):
+        table.add_row([mu, f1_for(mu=mu)])
+    table.add_row(["alpha (random)", f1_for(weight_tying="alpha")])
+    print(table.render())
+    print(
+        "Expected shape (paper Fig. 7): collapse at 0.001, plateau on "
+        "[0.005, 0.1], decline beyond; the fixed-alpha baseline sits below "
+        "the plateau."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The execution environment has setuptools but no `wheel` package and no
+network, so PEP 660 editable installs (`pip install -e .`) cannot build a
+wheel.  This shim lets the legacy `setup.py develop` editable path work:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Top-level convenience API.
+
+Most users want exactly one thing: *graph in, embedding out*.  These wrappers
+bundle the walk corpus, model construction and training loop behind one call;
+everything they do can also be done piecewise via ``repro.sampling`` and
+``repro.embedding`` (see examples/quickstart.py).
+
+Imports of the heavier subpackages happen lazily so that ``import repro``
+stays cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_embedding", "quick_embedding"]
+
+
+def train_embedding(
+    graph,
+    *,
+    dim: int = 32,
+    model: str = "proposed",
+    hyper=None,
+    epochs: int = 1,
+    seed=None,
+):
+    """Train a node embedding on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        a :class:`repro.graph.CSRGraph`.
+    dim:
+        embedding dimensionality (the paper evaluates 32/64/96).
+    model:
+        ``"proposed"`` — OS-ELM skip-gram, Algorithm 1 (the paper's model);
+        ``"dataflow"`` — Algorithm 2 semantics (per-walk deferred updates,
+        what the FPGA executes);
+        ``"block"`` — exact per-walk block RLS (our stable deferred variant);
+        ``"original"`` — the SGD skip-gram baseline.
+    hyper:
+        a :class:`repro.experiments.hyper.Node2VecParams`; defaults to the
+        paper's Table 2 values (p=0.5, q=1.0, r=10, l=80, w=8, ns=10).
+    epochs:
+        number of passes over the walk corpus.
+    seed:
+        deterministic seed for walks, sampling and initialization.
+
+    Returns
+    -------
+    :class:`repro.embedding.trainer.TrainingResult` with ``.embedding``
+    (n_nodes × dim), the trained model, and op-count telemetry.
+    """
+    from repro.embedding.trainer import train_on_graph
+
+    return train_on_graph(
+        graph, dim=dim, model=model, hyper=hyper, epochs=epochs, seed=seed
+    )
+
+
+def quick_embedding(graph, *, dim: int = 32, seed=None) -> np.ndarray:
+    """One-liner: train the proposed model with Table 2 defaults and return
+    the (n_nodes, dim) embedding matrix."""
+    return train_embedding(graph, dim=dim, model="proposed", seed=seed).embedding

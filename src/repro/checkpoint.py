@@ -1,0 +1,117 @@
+"""Model checkpointing — persistence for the IoT deployment story.
+
+An edge device training continuously (the paper's setting) must survive
+restarts: the trainable state of the proposed model is exactly (β, P) plus
+its scalar hyper-parameters, all of which round-trip through one ``.npz``
+file.  The SGD baseline checkpoints (W_in, W_out) the same way.
+
+The format is intentionally plain NumPy so a host tool-chain (or the PS-side
+firmware) can read it without this library.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.embedding.block import BlockOSELMSkipGram
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.sequential import OSELMSkipGram
+from repro.embedding.skipgram import SkipGramSGD
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_of(model: EmbeddingModel) -> dict:
+    if isinstance(model, OSELMSkipGram):  # covers the deferred subclasses
+        if isinstance(model, BlockOSELMSkipGram):
+            kind = "block"
+        elif isinstance(model, DataflowOSELMSkipGram):
+            kind = "dataflow"
+        else:
+            kind = "proposed"
+        return {
+            "kind": kind,
+            "n_nodes": model.n_nodes,
+            "dim": model.dim,
+            "mu": model.mu,
+            "p0": model.p0,
+            "weight_tying": model.weight_tying,
+            "denominator": model.denominator,
+            "duplicate_policy": model.duplicate_policy,
+            "forgetting_factor": model.forgetting_factor,
+            "n_walks_trained": model.n_walks_trained,
+        }
+    if isinstance(model, SkipGramSGD):
+        return {
+            "kind": "original",
+            "n_nodes": model.n_nodes,
+            "dim": model.dim,
+            "lr": model.lr,
+        }
+    raise TypeError(f"don't know how to checkpoint {type(model).__name__}")
+
+
+def save_model(model: EmbeddingModel, path: str) -> None:
+    """Write a model checkpoint (.npz)."""
+    config = _config_of(model)
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(model, OSELMSkipGram):
+        arrays["B"] = model.B
+        arrays["P"] = model.P
+        if model._alpha is not None:
+            arrays["alpha"] = model._alpha
+    else:
+        arrays["w_in"] = model.w_in
+        arrays["w_out"] = model.w_out
+    np.savez(
+        path,
+        __meta__=np.frombuffer(
+            json.dumps({"version": _FORMAT_VERSION, "config": config}).encode(),
+            dtype=np.uint8,
+        ),
+        **arrays,
+    )
+
+
+def load_model(path: str) -> EmbeddingModel:
+    """Reconstruct a model from :func:`save_model` output."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["__meta__"].tobytes()).decode())
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {meta.get('version')}")
+        cfg = meta["config"]
+        kind = cfg["kind"]
+        if kind in ("proposed", "dataflow", "block"):
+            cls = {
+                "proposed": OSELMSkipGram,
+                "dataflow": DataflowOSELMSkipGram,
+                "block": BlockOSELMSkipGram,
+            }[kind]
+            model = cls(
+                cfg["n_nodes"],
+                cfg["dim"],
+                mu=cfg["mu"],
+                p0=cfg["p0"],
+                weight_tying=cfg["weight_tying"],
+                denominator=cfg["denominator"],
+                duplicate_policy=cfg["duplicate_policy"],
+                forgetting_factor=cfg["forgetting_factor"],
+                seed=0,
+            )
+            model.B = data["B"].copy()
+            model.P = data["P"].copy()
+            if "alpha" in data:
+                model._alpha = data["alpha"].copy()
+            model.n_walks_trained = int(cfg["n_walks_trained"])
+            return model
+        if kind == "original":
+            model = SkipGramSGD(cfg["n_nodes"], cfg["dim"], lr=cfg["lr"], seed=0)
+            model.w_in = data["w_in"].copy()
+            model.w_out = data["w_out"].copy()
+            return model
+        raise ValueError(f"unknown checkpoint kind {kind!r}")

@@ -1,0 +1,20 @@
+"""Dynamic-graph training scenarios: the paper's "all" and "seq" protocols
+(§4.3.2, Figure 6)."""
+
+from repro.dynamic.baselines import run_dynnode2vec_scenario
+from repro.dynamic.drift import DriftResult, rewire_communities, run_drift_scenario
+from repro.dynamic.scenarios import (
+    ScenarioResult,
+    run_all_scenario,
+    run_seq_scenario,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "run_all_scenario",
+    "run_seq_scenario",
+    "run_dynnode2vec_scenario",
+    "DriftResult",
+    "rewire_communities",
+    "run_drift_scenario",
+]

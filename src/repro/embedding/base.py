@@ -1,0 +1,82 @@
+"""Common interface for the paper's embedding models.
+
+All three trainable models (the SGD skip-gram baseline, the proposed OS-ELM
+skip-gram of Algorithm 1, and its dataflow variant of Algorithm 2) consume
+the same unit of work: *one random walk*, already partitioned into contexts
+(:class:`repro.sampling.corpus.WalkContexts`) with pre-drawn negatives — the
+same division of labor as the paper's board: the PS (host CPU) samples walks
+and negatives, the PL (accelerator) trains on them.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.hw.opcount import OpCount
+from repro.sampling.corpus import WalkContexts
+
+__all__ = ["EmbeddingModel"]
+
+
+class EmbeddingModel(abc.ABC):
+    """A trainable node-embedding model.
+
+    Subclasses must maintain:
+
+    * ``n_nodes`` / ``dim`` — the embedding geometry;
+    * :attr:`embedding` — an (n_nodes, dim) float array, read at any time;
+    * :meth:`train_walk` — consume one walk's contexts + negatives.
+    """
+
+    n_nodes: int
+    dim: int
+
+    @property
+    @abc.abstractmethod
+    def embedding(self) -> np.ndarray:
+        """Current (n_nodes, dim) embedding matrix (a copy or read-only)."""
+
+    @abc.abstractmethod
+    def train_walk(self, contexts: WalkContexts, negatives: np.ndarray) -> None:
+        """Train on one random walk.
+
+        Parameters
+        ----------
+        contexts:
+            the walk's sliding-window contexts.
+        negatives:
+            (n_contexts, ns) pre-drawn negative nodes, one row per context
+            (rows may be identical under the FPGA's per-walk reuse policy).
+        """
+
+    @classmethod
+    @abc.abstractmethod
+    def op_profile(
+        cls, dim: int, n_contexts: int, n_positives: int, n_negatives: int
+    ) -> OpCount:
+        """Analytic per-walk operation counts (see :mod:`repro.hw.opcount`).
+
+        ``n_positives`` is the positives per context (w − 1); ``n_negatives``
+        is ns per window.  Used by the CPU timing models for Tables 3/4.
+        """
+
+    @abc.abstractmethod
+    def state_bytes(self, *, weight_bytes: int | None = None) -> int:
+        """Model size in bytes (Table 5 accounting)."""
+
+    # ------------------------------------------------------------------ #
+
+    def _check_walk_inputs(self, contexts: WalkContexts, negatives: np.ndarray):
+        negatives = np.asarray(negatives, dtype=np.int64)
+        if negatives.ndim != 2 or negatives.shape[0] != contexts.n:
+            raise ValueError(
+                f"negatives must be (n_contexts={contexts.n}, ns), got {negatives.shape}"
+            )
+        for name, arr in (("centers", contexts.centers),
+                          ("positives", contexts.positives),
+                          ("negatives", negatives)):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.n_nodes):
+                raise ValueError(f"{name} contain out-of-range node ids")
+        return negatives

@@ -1,0 +1,102 @@
+"""Exact per-walk block RLS — the stable alternative to Algorithm 2.
+
+Algorithm 2 accumulates per-context rank-1 updates computed independently
+against the walk-start (P, β) and sums them.  That sum overshoots when many
+contexts share directions (deflations compound linearly instead of
+geometrically), which is what destabilizes tiny dense graphs (see
+tests/embedding/test_block.py::test_stable_where_dataflow_diverges).
+
+The mathematically exact way to defer updates to walk boundaries is the
+*block* (rank-C) RLS step over the walk's stacked activations
+H ∈ R^{C×d} [6]:
+
+    S = I_C + H P Hᵀ           (C×C)
+    K = P Hᵀ S⁻¹               (d×C)
+    P ← P − K H P
+
+and, per trained sample s with per-context errors e_c,
+
+    β[s] ← β[s] + Σ_c K[:, c] · e_c     (errors against walk-start β).
+
+Cost: one C×C solve per walk (C = 73) — fine in software, but a dense
+matrix inversion the FPGA's 4-stage pipeline cannot stream, which is *why*
+the paper chose the independent-rank-1 approximation.  This model completes
+the design-space picture: Algorithm 1 (sequential, exact, unpipelineable) —
+block RLS (deferred, exact, unpipelineable) — Algorithm 2 (deferred,
+approximate, pipelineable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.sequential import OSELMSkipGram
+from repro.hw.opcount import OpCount
+from repro.sampling.corpus import WalkContexts
+
+__all__ = ["BlockOSELMSkipGram"]
+
+
+class BlockOSELMSkipGram(OSELMSkipGram):
+    """Per-walk exact block RLS (see module docstring).
+
+    Same constructor as :class:`OSELMSkipGram`; ``denominator`` is ignored
+    (the block step has no scalar denominator) and ``forgetting_factor``
+    applies per walk.
+    """
+
+    def train_context(self, center, positives, negatives):  # pragma: no cover
+        raise NotImplementedError(
+            "BlockOSELMSkipGram updates once per walk; use train_walk()"
+        )
+
+    def train_walk(self, contexts: WalkContexts, negatives: np.ndarray) -> None:
+        negatives = self._check_walk_inputs(contexts, negatives)
+        if contexts.n == 0:
+            return
+        centers = contexts.centers
+        positives = contexts.positives
+        C, J = positives.shape
+        lam = self.forgetting_factor
+
+        if self.weight_tying == "beta":
+            H = self.mu * self.B[centers]  # (C, d)
+        else:
+            H = self._alpha[centers]
+
+        PHt = self.P @ H.T  # (d, C)
+        S = lam * np.eye(C) + H @ PHt  # (C, C)
+        K = np.linalg.solve(S.T, PHt.T).T  # P Hᵀ S⁻¹, via one solve
+        self.P -= K @ PHt.T
+        if lam != 1.0:
+            self.P /= lam
+
+        # errors against walk-start B (deferred semantics, like Algorithm 2)
+        pos_err = 1.0 - np.einsum("cjd,cd->cj", self.B[positives], H)  # (C, J)
+        neg_err = -np.einsum("cjd,cd->cj", self.B[negatives], H)  # (C, ns)
+
+        dB = np.zeros_like(self.B)
+        contrib_pos = pos_err[:, :, None] * K.T[:, None, :]  # (C, J, d)
+        contrib_neg = float(J) * neg_err[:, :, None] * K.T[:, None, :]
+        np.add.at(dB, positives.ravel(), contrib_pos.reshape(-1, self.dim))
+        np.add.at(dB, negatives.ravel(), contrib_neg.reshape(-1, self.dim))
+        self.B += dB
+        self.n_walks_trained += 1
+
+    @classmethod
+    def op_profile(
+        cls, dim: int, n_contexts: int, n_positives: int, n_negatives: int
+    ) -> OpCount:
+        """Algorithm 2's ops plus the C×C solve (≈ C³/3 MACs) — the cost
+        that rules this variant out for the streaming accelerator."""
+        base = OSELMSkipGram.op_profile(dim, n_contexts, n_positives, n_negatives)
+        solve = n_contexts**3 / 3.0 + dim * n_contexts**2
+        return OpCount(
+            mac=base.mac + solve,
+            div=float(n_contexts),
+            rng=float(n_negatives),
+            mem=base.mem + 2.0 * n_contexts * n_contexts,
+            ctx=base.ctx,
+            win=base.win,
+            walk=1.0,
+        )

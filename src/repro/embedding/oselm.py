@@ -1,0 +1,158 @@
+"""OS-ELM — Online Sequential Extreme Learning Machine (Liang et al. [6]).
+
+The substrate the paper's proposed model is built on (§2.3, Figure 3): a
+single-hidden-layer network whose input-side weights ``α`` are fixed random
+and whose output-side weights ``β`` are the *recursive least squares* (RLS)
+solution, updated one sample (or mini-batch) at a time:
+
+    H_i = G(x_i α + b)
+    P_i = P_{i-1} − P_{i-1} H_iᵀ (I + H_i P_{i-1} H_iᵀ)^{-1} H_i P_{i-1}
+    β_i = β_{i-1} + P_i H_iᵀ (t_i − H_i β_{i-1})
+
+The sequential solution equals the batch ridge-regression solution
+``β = (Hᵀ H + λI)^{-1} Hᵀ T`` when ``P_0 = λ^{-1} I`` — the key invariant the
+test suite verifies (this is why OS-ELM avoids catastrophic forgetting: every
+update is exact w.r.t. *all* data seen so far, not a gradient step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_set, check_positive
+
+__all__ = ["OSELM"]
+
+_ACTIVATIONS = {
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60))),
+    "tanh": np.tanh,
+    "relu": lambda x: np.maximum(x, 0.0),
+    "linear": lambda x: x,
+}
+
+
+class OSELM:
+    """Generic OS-ELM regressor/classifier.
+
+    Parameters
+    ----------
+    n_inputs, n_hidden, n_outputs:
+        layer dimensions (n, N, m in Figure 3).
+    activation:
+        hidden activation G: 'sigmoid' | 'tanh' | 'relu' | 'linear'.
+    reg:
+        ridge parameter λ > 0; ``P_0 = λ^{-1} I``.
+    seed:
+        stream for the random input weights and biases.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_hidden: int,
+        n_outputs: int,
+        *,
+        activation: str = "sigmoid",
+        reg: float = 1e-3,
+        seed=None,
+    ):
+        check_positive("n_inputs", n_inputs, integer=True)
+        check_positive("n_hidden", n_hidden, integer=True)
+        check_positive("n_outputs", n_outputs, integer=True)
+        check_positive("reg", reg)
+        check_in_set("activation", activation, tuple(_ACTIVATIONS))
+        self.n_inputs = int(n_inputs)
+        self.n_hidden = int(n_hidden)
+        self.n_outputs = int(n_outputs)
+        self.activation = activation
+        self.reg = float(reg)
+
+        rng = as_generator(seed)
+        self.alpha = rng.uniform(-1.0, 1.0, size=(n_inputs, n_hidden))
+        self.bias = rng.uniform(-1.0, 1.0, size=n_hidden)
+        self.beta = np.zeros((n_hidden, n_outputs))
+        self.P = np.eye(n_hidden) / self.reg
+        self.n_seen = 0
+
+    # ------------------------------------------------------------------ #
+
+    def hidden(self, X: np.ndarray) -> np.ndarray:
+        """Hidden-layer activations H = G(Xα + b) for a (k, n_inputs) batch."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} input features, got {X.shape[1]}")
+        return _ACTIVATIONS[self.activation](X @ self.alpha + self.bias)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Network outputs y = H β (linear output layer, as in [6])."""
+        return self.hidden(X) @ self.beta
+
+    # ------------------------------------------------------------------ #
+
+    def init_train(self, X0: np.ndarray, T0: np.ndarray) -> None:
+        """Initialization phase of [6] on a batch (must come first if used).
+
+        Computes ``P_0 = (H_0ᵀ H_0 + λI)^{-1}`` and ``β_0 = P_0 H_0ᵀ T_0``.
+        Optional: constructing the model already initializes ``P = λ^{-1} I``,
+        so purely sequential training works from the first sample.
+        """
+        if self.n_seen:
+            raise RuntimeError("init_train must precede any sequential updates")
+        H0 = self.hidden(X0)
+        T0 = np.atleast_2d(np.asarray(T0, dtype=np.float64))
+        if T0.shape != (H0.shape[0], self.n_outputs):
+            raise ValueError(
+                f"targets must be ({H0.shape[0]}, {self.n_outputs}), got {T0.shape}"
+            )
+        A = H0.T @ H0 + self.reg * np.eye(self.n_hidden)
+        self.P = np.linalg.inv(A)
+        self.beta = self.P @ (H0.T @ T0)
+        self.n_seen = H0.shape[0]
+
+    def partial_fit(self, X: np.ndarray, T: np.ndarray) -> None:
+        """Sequential phase: one RLS update on a (k, ·) batch (k ≥ 1)."""
+        H = self.hidden(X)
+        T = np.atleast_2d(np.asarray(T, dtype=np.float64))
+        if T.shape != (H.shape[0], self.n_outputs):
+            raise ValueError(
+                f"targets must be ({H.shape[0]}, {self.n_outputs}), got {T.shape}"
+            )
+        k = H.shape[0]
+        if k == 1:
+            # rank-1 fast path — the form the paper's accelerator implements
+            h = H[0]
+            Ph = self.P @ h
+            denom = 1.0 + h @ Ph
+            kgain = Ph / denom
+            self.P -= np.outer(kgain, Ph)
+            self.beta += np.outer(kgain, T[0] - h @ self.beta)
+        else:
+            PHt = self.P @ H.T
+            S = np.eye(k) + H @ PHt
+            K = PHt @ np.linalg.inv(S)
+            self.P -= K @ PHt.T
+            self.beta += K @ (T - H @ self.beta)
+        self.n_seen += k
+
+    def fit_sequential(self, X: np.ndarray, T: np.ndarray, *, chunk: int = 1) -> None:
+        """Stream a dataset through :meth:`partial_fit` in ``chunk``-sized
+        batches (convenience for tests/examples)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        T = np.atleast_2d(np.asarray(T, dtype=np.float64))
+        for lo in range(0, X.shape[0], chunk):
+            self.partial_fit(X[lo : lo + chunk], T[lo : lo + chunk])
+
+    def batch_solution(self, X: np.ndarray, T: np.ndarray) -> np.ndarray:
+        """The closed-form ridge solution on (X, T) — the invariant that
+        sequential training must reproduce (used by tests)."""
+        H = self.hidden(X)
+        T = np.atleast_2d(np.asarray(T, dtype=np.float64))
+        A = H.T @ H + self.reg * np.eye(self.n_hidden)
+        return np.linalg.solve(A, H.T @ T)
+
+    def __repr__(self) -> str:
+        return (
+            f"OSELM(n_inputs={self.n_inputs}, n_hidden={self.n_hidden}, "
+            f"n_outputs={self.n_outputs}, activation={self.activation!r})"
+        )

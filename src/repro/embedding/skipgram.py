@@ -1,0 +1,137 @@
+"""The paper's "Original model": skip-gram with SGD + negative sampling.
+
+This is the word2vec-style baseline [2, 16] that the proposed OS-ELM model is
+compared against in Tables 3/4 and Figures 5–7: two weight matrices
+(input-side ``W_in``, output-side ``W_out``), trained by stochastic gradient
+descent on (center, positive) pairs with ``ns`` negative samples each, using
+the sigmoid/negative-sampling objective
+
+    L = −log σ(v'_pos · v_center) − Σ_neg log σ(−v'_neg · v_center).
+
+The embedding is the input-side matrix (§3.1: "the input-side weights are
+typically used for graph embedding").  Learning rate follows §4.3 (0.01).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.hw.opcount import OpCount
+from repro.sampling.corpus import WalkContexts
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["SkipGramSGD"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # numerically stable two-sided formulation
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    e = np.exp(x[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out
+
+
+class SkipGramSGD(EmbeddingModel):
+    """SGD-trained skip-gram with negative sampling.
+
+    Parameters
+    ----------
+    n_nodes, dim:
+        embedding geometry (paper: dim ∈ {32, 64, 96}).
+    lr:
+        SGD learning rate (paper §4.3: 0.01).
+    seed:
+        initialization stream; ``W_in ~ U(−0.5/dim, 0.5/dim)``, ``W_out = 0``
+        (the word2vec convention).
+    """
+
+    def __init__(self, n_nodes: int, dim: int, *, lr: float = 0.01, seed=None):
+        check_positive("n_nodes", n_nodes, integer=True)
+        check_positive("dim", dim, integer=True)
+        check_positive("lr", lr)
+        self.n_nodes = int(n_nodes)
+        self.dim = int(dim)
+        self.lr = float(lr)
+        rng = as_generator(seed)
+        self.w_in = rng.uniform(-0.5 / dim, 0.5 / dim, size=(n_nodes, dim))
+        self.w_out = np.zeros((n_nodes, dim))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def embedding(self) -> np.ndarray:
+        return self.w_in.copy()
+
+    def train_pair(self, center: int, samples: np.ndarray, targets: np.ndarray):
+        """One window iteration: the positive + its negatives, one SGD step.
+
+        ``samples`` may contain duplicates (a node drawn as negative twice);
+        the scatter update accumulates all their gradients, matching the
+        sequential reference within O(lr²).
+        """
+        h = self.w_in[center]
+        rows = self.w_out[samples]  # (k, dim) gather
+        scores = rows @ h
+        g = self.lr * (targets - _sigmoid(scores))  # (k,)
+        grad_h = g @ rows  # accumulate before rows change
+        np.add.at(self.w_out, samples, np.outer(g, h))
+        self.w_in[center] += grad_h
+
+    def train_context(
+        self, center: int, positives: np.ndarray, negatives: np.ndarray
+    ) -> None:
+        """All windows of one context (Algorithm 1 lines 8–13 structure):
+        each positive is one window trained with the shared/fresh negatives."""
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        k = negatives.shape[0]
+        targets = np.concatenate([[1.0], np.zeros(k)])
+        buf = np.empty(1 + k, dtype=np.int64)
+        buf[1:] = negatives
+        for pos in positives:
+            buf[0] = pos
+            self.train_pair(int(center), buf, targets)
+
+    def train_walk(self, contexts: WalkContexts, negatives: np.ndarray) -> None:
+        negatives = self._check_walk_inputs(contexts, negatives)
+        for i in range(contexts.n):
+            self.train_context(
+                int(contexts.centers[i]), contexts.positives[i], negatives[i]
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def op_profile(
+        cls, dim: int, n_contexts: int, n_positives: int, n_negatives: int
+    ) -> OpCount:
+        """Per-walk op counts.
+
+        Per (window, sample): forward dot (d MACs) + W_out row update
+        (d MACs) + hidden-gradient accumulation (d MACs) + one sigmoid.
+        Per window: one W_in row update (d MACs).  Row gathers/scatters move
+        2d words per sample.
+        """
+        pairs = n_contexts * n_positives * (1 + n_negatives)
+        windows = n_contexts * n_positives
+        return OpCount(
+            mac=3.0 * dim * pairs + dim * windows,
+            exp=float(pairs),
+            rng=float(windows * n_negatives),
+            mem=2.0 * dim * pairs + 2.0 * dim * windows,
+            ctx=float(n_contexts),
+            win=float(windows),
+            walk=1.0,
+        )
+
+    def state_bytes(self, *, weight_bytes: int | None = None) -> int:
+        """Two dense (n, d) float matrices (Table 5's 'Original model')."""
+        wb = 8 if weight_bytes is None else weight_bytes
+        return 2 * self.n_nodes * self.dim * wb
+
+    def __repr__(self) -> str:
+        return f"SkipGramSGD(n_nodes={self.n_nodes}, dim={self.dim}, lr={self.lr})"

@@ -1,0 +1,177 @@
+"""Training loops: walk corpus → trained embedding.
+
+Mirrors the paper's board-level division of labor (§3.2): the host samples
+random walks and negatives (PS side), the model consumes one walk at a time
+(PL side).  The trainer also accumulates the op-count telemetry used by the
+CPU timing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.embedding.block import BlockOSELMSkipGram
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.sequential import OSELMSkipGram
+from repro.embedding.skipgram import SkipGramSGD
+from repro.graph.csr import CSRGraph
+from repro.hw.opcount import OpCount
+from repro.sampling.corpus import contexts_from_walk
+from repro.sampling.negative import NegativeSampler
+from repro.sampling.walks import Node2VecWalker, WalkParams
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_set, check_positive
+
+__all__ = ["TrainingResult", "WalkTrainer", "make_model", "train_on_graph"]
+
+MODEL_REGISTRY = {
+    "original": SkipGramSGD,
+    "proposed": OSELMSkipGram,
+    "dataflow": DataflowOSELMSkipGram,
+    "block": BlockOSELMSkipGram,
+}
+
+
+def make_model(
+    name: str, n_nodes: int, dim: int, *, seed=None, **kwargs
+) -> EmbeddingModel:
+    """Instantiate a model by registry name ('original' | 'proposed' |
+    'dataflow'), forwarding extra keyword arguments."""
+    check_in_set("model", name, tuple(MODEL_REGISTRY))
+    return MODEL_REGISTRY[name](n_nodes, dim, seed=seed, **kwargs)
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    model: EmbeddingModel
+    embedding: np.ndarray
+    n_walks: int
+    n_contexts: int
+    ops: OpCount
+    hyper: "object" = None
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingResult(model={type(self.model).__name__}, "
+            f"n_walks={self.n_walks}, n_contexts={self.n_contexts})"
+        )
+
+
+class WalkTrainer:
+    """Feeds walks into a model with the paper's negative-sampling policies.
+
+    Parameters
+    ----------
+    model:
+        any :class:`EmbeddingModel`.
+    window:
+        sliding-window size w (Table 2: 8).
+    ns:
+        negatives per window (Table 2: 10).
+    negative_reuse:
+        ``"per_context"`` (the CPU Algorithm 1 policy) or ``"per_walk"``
+        (the FPGA policy, one batch per walk [18]).  Defaults depend on the
+        model: dataflow → per_walk, others → per_context.
+    """
+
+    def __init__(
+        self,
+        model: EmbeddingModel,
+        *,
+        window: int = 8,
+        ns: int = 10,
+        negative_reuse: str | None = None,
+    ):
+        check_positive("window", window, integer=True)
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        check_positive("ns", ns, integer=True)
+        self.model = model
+        self.window = int(window)
+        self.ns = int(ns)
+        if negative_reuse is None:
+            negative_reuse = (
+                "per_walk" if isinstance(model, DataflowOSELMSkipGram) else "per_context"
+            )
+        check_in_set("negative_reuse", negative_reuse, ("per_walk", "per_context"))
+        self.negative_reuse = negative_reuse
+        self.n_walks = 0
+        self.n_contexts = 0
+        self.ops = OpCount()
+
+    def train_walk(self, walk: np.ndarray, sampler: NegativeSampler) -> int:
+        """Partition one walk and train; returns the context count."""
+        ctx = contexts_from_walk(walk, self.window)
+        if ctx.n == 0:
+            return 0
+        negatives = sampler.sample_for_walk(ctx.n, self.ns, reuse=self.negative_reuse)
+        self.model.train_walk(ctx, negatives)
+        self.n_walks += 1
+        self.n_contexts += ctx.n
+        self.ops = self.ops + self.model.op_profile(
+            self.model.dim, ctx.n, self.window - 1, self.ns
+        )
+        return ctx.n
+
+    def train_corpus(self, walks, sampler: NegativeSampler) -> None:
+        for walk in walks:
+            self.train_walk(walk, sampler)
+
+    def result(self, hyper=None) -> TrainingResult:
+        return TrainingResult(
+            model=self.model,
+            embedding=self.model.embedding,
+            n_walks=self.n_walks,
+            n_contexts=self.n_contexts,
+            ops=self.ops,
+            hyper=hyper,
+        )
+
+
+def train_on_graph(
+    graph: CSRGraph,
+    *,
+    dim: int = 32,
+    model: str | EmbeddingModel = "proposed",
+    hyper=None,
+    epochs: int = 1,
+    negative_power: float = 0.75,
+    seed=None,
+    **model_kwargs,
+) -> TrainingResult:
+    """End-to-end training: walks (Table 2 policy) → negatives → model.
+
+    ``hyper`` is a :class:`repro.experiments.hyper.Node2VecParams` (or None
+    for the paper's defaults).  ``model`` may be a registry name or an
+    already-built :class:`EmbeddingModel`.
+    """
+    from repro.experiments.hyper import Node2VecParams  # local: avoid cycle
+
+    check_positive("epochs", epochs, integer=True)
+    hp = hyper or Node2VecParams()
+    rng = as_generator(seed)
+
+    if isinstance(model, str):
+        model = make_model(
+            model, graph.n_nodes, dim, seed=rng.integers(2**63), **model_kwargs
+        )
+    elif model_kwargs:
+        raise ValueError("model_kwargs only apply when model is a registry name")
+
+    walker = Node2VecWalker(graph, hp.walk_params(), seed=rng.integers(2**63))
+    trainer = WalkTrainer(model, window=hp.w, ns=hp.ns)
+    sampler: NegativeSampler | None = None
+    for _ in range(epochs):
+        walks = walker.simulate()
+        if sampler is None:
+            # frequency over the entire RW, as in §3.1
+            sampler = NegativeSampler.from_walks(
+                walks, graph.n_nodes, power=negative_power, seed=rng.integers(2**63)
+            )
+        trainer.train_corpus(walks, sampler)
+    return trainer.result(hyper=hp)

@@ -1,0 +1,27 @@
+"""Downstream evaluation: one-vs-rest logistic regression, F1 metrics, and
+the paper's 90/10 split protocol (§4.3)."""
+
+from repro.evaluation.logreg import OneVsRestLogisticRegression
+from repro.evaluation.metrics import (
+    accuracy,
+    confusion_counts,
+    macro_f1,
+    micro_f1,
+    per_class_f1,
+)
+from repro.evaluation.protocol import EvalScores, average_scores, evaluate_embedding
+from repro.evaluation.split import stratified_split, train_test_split
+
+__all__ = [
+    "OneVsRestLogisticRegression",
+    "micro_f1",
+    "macro_f1",
+    "accuracy",
+    "per_class_f1",
+    "confusion_counts",
+    "stratified_split",
+    "train_test_split",
+    "EvalScores",
+    "evaluate_embedding",
+    "average_scores",
+]

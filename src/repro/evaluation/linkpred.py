@@ -1,0 +1,177 @@
+"""Link prediction on node embeddings — the second standard downstream task
+of the node2vec literature (Grover & Leskovec [1], §4.2 of that paper).
+
+Protocol: hide a fraction of edges, train the embedding on the remainder,
+featurize node pairs with a binary operator (Hadamard by default), train a
+logistic classifier on (held-in edges vs sampled non-edges), score AUC on
+(held-out edges vs fresh non-edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.logreg import OneVsRestLogisticRegression
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_set, check_probability
+
+__all__ = [
+    "EDGE_OPERATORS",
+    "edge_features",
+    "sample_non_edges",
+    "split_edges",
+    "LinkPredictionResult",
+    "evaluate_link_prediction",
+    "auc_score",
+]
+
+EDGE_OPERATORS = {
+    "hadamard": lambda a, b: a * b,
+    "average": lambda a, b: 0.5 * (a + b),
+    "l1": lambda a, b: np.abs(a - b),
+    "l2": lambda a, b: (a - b) ** 2,
+}
+
+
+def edge_features(embedding: np.ndarray, pairs: np.ndarray, operator: str = "hadamard"):
+    """Featurize node pairs with one of the node2vec binary operators."""
+    check_in_set("operator", operator, tuple(EDGE_OPERATORS))
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return EDGE_OPERATORS[operator](embedding[pairs[:, 0]], embedding[pairs[:, 1]])
+
+
+def sample_non_edges(graph: CSRGraph, n: int, *, seed=None, exclude=None) -> np.ndarray:
+    """Uniformly sample ``n`` node pairs that are not edges of ``graph``.
+
+    ``exclude`` — optional (k, 2) pairs additionally treated as forbidden
+    (e.g. held-out true edges).  Rejection sampling; raises if the graph is
+    too dense to find enough non-edges.
+    """
+    rng = as_generator(seed)
+    forbidden = set()
+    if exclude is not None:
+        for u, v in np.asarray(exclude, dtype=np.int64).reshape(-1, 2):
+            forbidden.add((min(int(u), int(v)), max(int(u), int(v))))
+    out: list[tuple[int, int]] = []
+    attempts = 0
+    limit = 200 * max(n, 1)
+    while len(out) < n:
+        attempts += 1
+        if attempts > limit:
+            raise RuntimeError("graph too dense to sample non-edges")
+        u = int(rng.integers(graph.n_nodes))
+        v = int(rng.integers(graph.n_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in forbidden or graph.has_edge(u, v):
+            continue
+        forbidden.add(key)
+        out.append((u, v))
+    return np.asarray(out, dtype=np.int64)
+
+
+def split_edges(graph: CSRGraph, *, test_frac: float = 0.2, seed=None):
+    """Split edges into (train_graph, test_edges); self loops stay in train."""
+    check_probability("test_frac", test_frac)
+    rng = as_generator(seed)
+    edges = graph.edge_array()
+    loops = edges[:, 0] == edges[:, 1]
+    candidates = edges[~loops]
+    perm = rng.permutation(candidates.shape[0])
+    n_test = int(round(candidates.shape[0] * test_frac))
+    n_test = min(max(n_test, 1), candidates.shape[0] - 1)
+    test_edges = candidates[perm[:n_test]]
+    keep = np.concatenate([candidates[perm[n_test:]], edges[loops]])
+    train_graph = CSRGraph.from_edges(
+        graph.n_nodes, keep, node_labels=graph.node_labels
+    )
+    return train_graph, test_edges
+
+
+def auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """ROC AUC via the Mann–Whitney rank statistic (ties get mean ranks)."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1).astype(bool)
+    if labels.all() or not labels.any():
+        raise ValueError("AUC needs both positive and negative examples")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # mean ranks for ties
+    sorted_scores = scores[order]
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j) / 2 + 1
+        i = j + 1
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    return float((ranks[labels].sum() - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg))
+
+
+@dataclass(frozen=True)
+class LinkPredictionResult:
+    auc: float
+    accuracy: float
+    operator: str
+    n_test_edges: int
+
+
+def evaluate_link_prediction(
+    embedding: np.ndarray,
+    train_graph: CSRGraph,
+    test_edges: np.ndarray,
+    *,
+    operator: str = "hadamard",
+    reg: float = 1e-3,
+    seed=None,
+) -> LinkPredictionResult:
+    """Train a pair classifier on the held-in graph, score on held-out edges.
+
+    ``embedding`` must have been trained on ``train_graph`` (not the full
+    graph) — otherwise the test edges leak.
+    """
+    rng = as_generator(seed)
+    train_pos = train_graph.edge_array()
+    train_pos = train_pos[train_pos[:, 0] != train_pos[:, 1]]
+    test_edges = np.asarray(test_edges, dtype=np.int64).reshape(-1, 2)
+
+    train_neg = sample_non_edges(
+        train_graph, train_pos.shape[0], seed=rng, exclude=test_edges
+    )
+    test_neg = sample_non_edges(
+        train_graph, test_edges.shape[0], seed=rng, exclude=test_edges
+    )
+
+    X_train = np.vstack(
+        [edge_features(embedding, train_pos, operator),
+         edge_features(embedding, train_neg, operator)]
+    )
+    y_train = np.concatenate(
+        [np.ones(train_pos.shape[0], dtype=np.int64),
+         np.zeros(train_neg.shape[0], dtype=np.int64)]
+    )
+    clf = OneVsRestLogisticRegression(reg=reg).fit(X_train, y_train)
+
+    X_test = np.vstack(
+        [edge_features(embedding, test_edges, operator),
+         edge_features(embedding, test_neg, operator)]
+    )
+    y_test = np.concatenate(
+        [np.ones(test_edges.shape[0]), np.zeros(test_neg.shape[0])]
+    )
+    scores = clf.decision_function(X_test)[:, list(clf.classes_).index(1)]
+    pred = clf.predict(X_test)
+    return LinkPredictionResult(
+        auc=auc_score(scores, y_test),
+        accuracy=float(np.mean(pred == y_test)),
+        operator=operator,
+        n_test_edges=int(test_edges.shape[0]),
+    )

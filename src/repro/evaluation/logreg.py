@@ -1,0 +1,124 @@
+"""One-vs-rest logistic regression (the paper's downstream classifier, §4.3).
+
+Implemented from scratch on NumPy/SciPy: for each class a binary logistic
+regression with L2 regularization; prediction is the argmax of the class
+scores.  Because the per-class problems are independent, all classes are
+optimized *jointly* as one flat parameter vector with a block-diagonal
+objective — one L-BFGS run instead of C, which is both faster and simpler.
+
+Features are standardized internally (zero mean, unit variance) — standard
+practice for embeddings whose scale depends on training hyper-parameters
+(the proposed model's β scale varies with µ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.utils.validation import check_positive
+
+__all__ = ["OneVsRestLogisticRegression"]
+
+
+def _log_sigmoid(z: np.ndarray) -> np.ndarray:
+    # log σ(z), numerically stable on both tails
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = -np.log1p(np.exp(-z[pos]))
+    out[~pos] = z[~pos] - np.log1p(np.exp(z[~pos]))
+    return out
+
+
+class OneVsRestLogisticRegression:
+    """OvR logistic regression with L2 regularization.
+
+    Parameters
+    ----------
+    reg:
+        L2 strength λ (applied to weights, not intercepts).
+    max_iter:
+        L-BFGS iteration cap.
+    standardize:
+        z-score features using training statistics.
+    """
+
+    def __init__(self, *, reg: float = 1e-2, max_iter: int = 200, standardize: bool = True):
+        check_positive("reg", reg, strict=False)
+        check_positive("max_iter", max_iter, integer=True)
+        self.reg = float(reg)
+        self.max_iter = int(max_iter)
+        self.standardize = bool(standardize)
+        self.coef_: np.ndarray | None = None  # (C, d)
+        self.intercept_: np.ndarray | None = None  # (C,)
+        self.classes_: np.ndarray | None = None
+        self._mean = None
+        self._std = None
+
+    # ------------------------------------------------------------------ #
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (n_samples, n_features)")
+        if self.standardize and self._mean is not None:
+            return (X - self._mean) / self._std
+        return X
+
+    def fit(self, X, y) -> "OneVsRestLogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n_samples, d) aligned with y")
+        self.classes_ = np.unique(y)
+        C = self.classes_.shape[0]
+        n, d = X.shape
+
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            self._std = X.std(axis=0)
+            self._std = np.where(self._std < 1e-12, 1.0, self._std)
+        Xs = self._transform(X)
+
+        # targets ±1, one column per class
+        T = np.where(y[:, None] == self.classes_[None, :], 1.0, -1.0)  # (n, C)
+
+        def objective(flat):
+            W = flat[: C * d].reshape(C, d)
+            b = flat[C * d :]
+            Z = Xs @ W.T + b  # (n, C)
+            M = T * Z
+            loss = -np.sum(_log_sigmoid(M)) / n + 0.5 * self.reg * np.sum(W * W)
+            # ∂/∂z of −log σ(t z) = −t σ(−t z)
+            G = -T * (1.0 / (1.0 + np.exp(np.clip(M, -60, 60)))) / n  # (n, C)
+            gW = G.T @ Xs + self.reg * W
+            gb = G.sum(axis=0)
+            return loss, np.concatenate([gW.ravel(), gb])
+
+        x0 = np.zeros(C * d + C)
+        res = minimize(
+            objective,
+            x0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        flat = res.x
+        self.coef_ = flat[: C * d].reshape(C, d)
+        self.intercept_ = flat[C * d :]
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("fit() first")
+        return self._transform(X) @ self.coef_.T + self.intercept_
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class sigmoid scores, normalized to sum to 1 (OvR heuristic)."""
+        z = self.decision_function(X)
+        p = 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+        return p / p.sum(axis=1, keepdims=True)

@@ -1,0 +1,77 @@
+"""Classification metrics: micro/macro F1 and accuracy.
+
+The paper evaluates embeddings with a one-vs-rest logistic regression and
+reports F1 (Figure 6 explicitly says micro F1).  Implemented from scratch —
+no scikit-learn in this environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_counts", "micro_f1", "macro_f1", "accuracy", "per_class_f1"]
+
+
+def _validate(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=np.int64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.int64).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_counts(y_true, y_pred, n_classes: int | None = None):
+    """Per-class (tp, fp, fn) arrays."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    tp = np.zeros(n_classes, dtype=np.int64)
+    fp = np.zeros(n_classes, dtype=np.int64)
+    fn = np.zeros(n_classes, dtype=np.int64)
+    match = y_true == y_pred
+    np.add.at(tp, y_true[match], 1)
+    np.add.at(fp, y_pred[~match], 1)
+    np.add.at(fn, y_true[~match], 1)
+    return tp, fp, fn
+
+
+def micro_f1(y_true, y_pred) -> float:
+    """Micro-averaged F1.
+
+    For single-label multiclass prediction micro-F1 equals accuracy (each
+    error is simultaneously one FP and one FN); computed from the pooled
+    counts anyway so the identity is *verified* rather than assumed.
+    """
+    tp, fp, fn = confusion_counts(y_true, y_pred)
+    tp_s, fp_s, fn_s = tp.sum(), fp.sum(), fn.sum()
+    denom = 2 * tp_s + fp_s + fn_s
+    return 2 * tp_s / denom if denom else 0.0
+
+
+def per_class_f1(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """F1 per class (0 for classes with no support and no predictions)."""
+    tp, fp, fn = confusion_counts(y_true, y_pred, n_classes)
+    denom = 2 * tp + fp + fn
+    out = np.zeros(tp.shape[0], dtype=np.float64)
+    nz = denom > 0
+    out[nz] = 2 * tp[nz] / denom[nz]
+    return out
+
+
+def macro_f1(y_true, y_pred, n_classes: int | None = None) -> float:
+    """Macro-averaged F1 over classes that appear in y_true or y_pred."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    f1 = per_class_f1(y_true, y_pred, n_classes)
+    present = np.zeros(n_classes, dtype=bool)
+    present[np.unique(y_true)] = True
+    present[np.unique(y_pred)] = True
+    return float(f1[present].mean())
+
+
+def accuracy(y_true, y_pred) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))

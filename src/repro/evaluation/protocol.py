@@ -1,0 +1,73 @@
+"""The paper's evaluation protocol (§4.3): embedding → one-vs-rest logistic
+regression → F1, with 90/10 split and multi-trial averaging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.logreg import OneVsRestLogisticRegression
+from repro.evaluation.metrics import accuracy, macro_f1, micro_f1
+from repro.utils.rng import as_generator
+from repro.evaluation.split import stratified_split
+
+__all__ = ["EvalScores", "evaluate_embedding", "average_scores"]
+
+
+@dataclass(frozen=True)
+class EvalScores:
+    """Downstream classification quality of one embedding."""
+
+    micro_f1: float
+    macro_f1: float
+    accuracy: float
+    n_train: int
+    n_test: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "micro_f1": self.micro_f1,
+            "macro_f1": self.macro_f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def evaluate_embedding(
+    embedding: np.ndarray,
+    labels: np.ndarray,
+    *,
+    train_frac: float = 0.9,
+    reg: float = 1e-2,
+    seed=None,
+) -> EvalScores:
+    """One classification trial: split → fit OvR logistic regression → F1."""
+    embedding = np.asarray(embedding, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if embedding.shape[0] != labels.shape[0]:
+        raise ValueError("embedding rows must align with labels")
+    rng = as_generator(seed)
+    train, test = stratified_split(labels, train_frac=train_frac, seed=rng)
+    if test.size == 0:
+        raise ValueError("test split is empty; lower train_frac or add data")
+    clf = OneVsRestLogisticRegression(reg=reg).fit(embedding[train], labels[train])
+    pred = clf.predict(embedding[test])
+    return EvalScores(
+        micro_f1=micro_f1(labels[test], pred),
+        macro_f1=macro_f1(labels[test], pred),
+        accuracy=accuracy(labels[test], pred),
+        n_train=int(train.size),
+        n_test=int(test.size),
+    )
+
+
+def average_scores(scores: list[EvalScores]) -> dict[str, float]:
+    """Mean and std over trials (the paper averages 3 embedding trainings)."""
+    if not scores:
+        raise ValueError("no scores to average")
+    out: dict[str, float] = {}
+    for key in ("micro_f1", "macro_f1", "accuracy"):
+        vals = np.array([getattr(s, key) for s in scores])
+        out[key] = float(vals.mean())
+        out[key + "_std"] = float(vals.std())
+    return out

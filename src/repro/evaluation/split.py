@@ -1,0 +1,56 @@
+"""Train/test splitting (the paper's 90/10 protocol, §4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["train_test_split", "stratified_split"]
+
+
+def train_test_split(n: int, *, train_frac: float = 0.9, seed=None):
+    """Random index split: (train_idx, test_idx).
+
+    Guarantees at least one sample on each side when ``n >= 2``.
+    """
+    check_probability("train_frac", train_frac)
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = as_generator(seed)
+    perm = rng.permutation(n)
+    k = int(round(n * train_frac))
+    k = min(max(k, 1), n - 1)
+    return np.sort(perm[:k]), np.sort(perm[k:])
+
+
+def stratified_split(labels, *, train_frac: float = 0.9, seed=None):
+    """Per-class split preserving label proportions.
+
+    Classes with a single sample put it in the training side (the test set
+    simply lacks that class), so tiny scaled-down datasets stay usable.
+    """
+    check_probability("train_frac", train_frac)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if labels.size < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = as_generator(seed)
+    train_parts, test_parts = [], []
+    for c in np.unique(labels):
+        idx = np.flatnonzero(labels == c)
+        idx = idx[rng.permutation(idx.size)]
+        if idx.size == 1:
+            train_parts.append(idx)
+            continue
+        k = int(round(idx.size * train_frac))
+        k = min(max(k, 1), idx.size - 1)
+        train_parts.append(idx[:k])
+        test_parts.append(idx[k:])
+    train = np.sort(np.concatenate(train_parts))
+    test = (
+        np.sort(np.concatenate(test_parts))
+        if test_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return train, test

@@ -1,0 +1,5 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from repro.experiments.hyper import PAPER_DIMS, PAPER_HYPER, Node2VecParams
+
+__all__ = ["Node2VecParams", "PAPER_HYPER", "PAPER_DIMS"]

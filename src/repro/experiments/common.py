@@ -1,0 +1,40 @@
+"""Shared helpers for the accuracy experiments (Figures 5–7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.protocol import EvalScores, average_scores, evaluate_embedding
+from repro.experiments.report import Profile
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import PAPER_DATASETS
+from repro.utils.rng import as_generator
+
+__all__ = ["profile_graph", "score_embedding_trials", "SHORT_NAMES"]
+
+SHORT_NAMES = {"cora": "cora", "amazon_photo": "ampt", "amazon_computers": "amcp"}
+
+
+def profile_graph(dataset: str, profile: Profile, *, seed=0) -> CSRGraph:
+    """Materialize one Table 1 surrogate at the profile's scale."""
+    spec = PAPER_DATASETS[dataset].scaled(profile.dataset_scale)
+    return spec.generate(seed=seed)
+
+
+def score_embedding_trials(
+    train_fn,
+    labels: np.ndarray,
+    *,
+    trials: int,
+    seed=0,
+) -> dict[str, float]:
+    """Run ``train_fn(trial_seed) -> embedding`` ``trials`` times and average
+    the downstream scores (the paper's 3-trial protocol, §4.3)."""
+    rng = as_generator(seed)
+    scores: list[EvalScores] = []
+    for _ in range(trials):
+        emb = train_fn(int(rng.integers(2**62)))
+        scores.append(
+            evaluate_embedding(emb, labels, seed=int(rng.integers(2**62)))
+        )
+    return average_scores(scores)

@@ -1,0 +1,63 @@
+"""Hyper-parameter registry — the paper's Table 2.
+
+| parameter | value | description                          |
+|-----------|-------|--------------------------------------|
+| p         | 0.5   | return parameter of α_pq(t, x)       |
+| q         | 1.0   | in-out parameter of α_pq(t, x)       |
+| r         | 10    | random walks per node                |
+| l         | 80    | length of a single random walk       |
+| w         | 8     | window size                          |
+| ns        | 10    | number of negative samples           |
+
+Every experiment imports these so the one place to change a sweep is here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sampling.walks import WalkParams
+from repro.utils.validation import check_positive
+
+__all__ = ["Node2VecParams", "PAPER_HYPER", "PAPER_DIMS"]
+
+#: Embedding dimensionalities evaluated throughout §4 (Tables 3–6, Fig 6).
+PAPER_DIMS = (32, 64, 96)
+
+
+@dataclass(frozen=True)
+class Node2VecParams:
+    """node2vec + training hyper-parameters (defaults = paper Table 2)."""
+
+    p: float = 0.5
+    q: float = 1.0
+    r: int = 10
+    l: int = 80
+    w: int = 8
+    ns: int = 10
+
+    def __post_init__(self):
+        check_positive("p", self.p)
+        check_positive("q", self.q)
+        check_positive("r", self.r, integer=True)
+        check_positive("l", self.l, integer=True)
+        check_positive("w", self.w, integer=True)
+        if self.w < 2:
+            raise ValueError("w must be >= 2")
+        check_positive("ns", self.ns, integer=True)
+
+    @property
+    def n_contexts(self) -> int:
+        """Contexts per full-length walk: l − w + 1 (= 73 for the paper)."""
+        return max(0, self.l - self.w + 1)
+
+    def walk_params(self) -> WalkParams:
+        return WalkParams(p=self.p, q=self.q, length=self.l, walks_per_node=self.r)
+
+    def scaled(self, *, r: int | None = None, l: int | None = None) -> "Node2VecParams":
+        """Copy with a cheaper walk budget (quick experiment profiles)."""
+        return replace(self, r=r if r is not None else self.r, l=l if l is not None else self.l)
+
+
+#: The exact Table 2 configuration.
+PAPER_HYPER = Node2VecParams()

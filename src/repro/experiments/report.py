@@ -1,0 +1,107 @@
+"""Experiment report infrastructure.
+
+Every experiment module (`table3`, `fig6`, ...) produces an
+:class:`ExperimentReport`: named rows that pair the paper's value with ours,
+rendered as an ASCII table.  ``python -m repro.experiments <name>`` prints
+them; the benchmark suite embeds them into its output so
+``pytest benchmarks/`` regenerates every paper artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.tables import TextTable
+
+__all__ = ["ExperimentReport", "Profile", "QUICK", "PAPER"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Workload scale for accuracy experiments.
+
+    ``quick`` keeps CI runs in minutes: scaled-down Table 1 surrogates, a
+    reduced walk budget and one trial.  ``paper`` is the full §4 workload
+    (hours).  Timing/size/resource experiments (Tables 3–6) are analytic and
+    ignore the profile.
+    """
+
+    name: str
+    dataset_scale: float  # multiplier on Table 1 node/edge counts
+    r: int  # walks per node
+    l: int  # walk length
+    w: int  # window
+    ns: int  # negatives per window
+    dims: tuple  # embedding dims to sweep
+    trials: int  # embedding trainings averaged (paper: 3)
+    seq_edges_per_event: int
+    seq_max_events: int | None
+    datasets: tuple = ("cora", "amazon_photo", "amazon_computers")
+
+    def hyper(self):
+        from repro.experiments.hyper import Node2VecParams
+
+        return Node2VecParams(r=self.r, l=self.l, w=self.w, ns=self.ns)
+
+
+QUICK = Profile(
+    name="quick",
+    dataset_scale=0.12,
+    r=3,
+    l=40,
+    w=8,
+    ns=5,
+    dims=(32,),
+    trials=1,
+    seq_edges_per_event=8,
+    seq_max_events=120,
+)
+
+PAPER = Profile(
+    name="paper",
+    dataset_scale=1.0,
+    r=10,
+    l=80,
+    w=8,
+    ns=10,
+    dims=(32, 64, 96),
+    trials=3,
+    seq_edges_per_event=1,
+    seq_max_events=None,
+)
+
+PROFILES = {"quick": QUICK, "paper": PAPER}
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated paper artifact."""
+
+    name: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        table = TextTable(self.columns, title=f"{self.name}: {self.title}")
+        table.add_rows(self.rows)
+        out = [table.render()]
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

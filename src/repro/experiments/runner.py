@@ -1,0 +1,73 @@
+"""CLI experiment runner.
+
+Usage::
+
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments table3          # regenerate Table 3
+    python -m repro.experiments all --profile quick
+    python -m repro.experiments fig7 --profile paper --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    tying_study,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "tying": tying_study.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate ('all' for everything)",
+    )
+    parser.add_argument("--profile", default="quick", choices=["quick", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        report = EXPERIMENTS[name](profile=args.profile, seed=args.seed)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

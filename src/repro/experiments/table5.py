@@ -1,0 +1,54 @@
+"""Table 5 — model sizes of the original and proposed models (MB)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.hw.modelsize import (
+    PAPER_MODEL_SIZES_MB,
+    dataset_n_nodes,
+    model_size_mb,
+)
+
+__all__ = ["run", "measured_table5"]
+
+DIMS = (32, 64, 96)
+SHORTS = ("cora", "ampt", "amcp")
+
+
+def measured_table5() -> dict:
+    out: dict = {}
+    for d in DIMS:
+        out[d] = {}
+        for model in ("original", "proposed"):
+            out[d][model] = {
+                s: model_size_mb(model, dataset_n_nodes(s), d) for s in SHORTS
+            }
+    return out
+
+
+def run(profile: str = "quick", seed: int = 0) -> ExperimentReport:
+    ours = measured_table5()
+    report = ExperimentReport(
+        name="Table 5",
+        title="Model sizes (MB): original vs proposed",
+        columns=["dims", "model", "cora paper", "cora ours",
+                 "ampt paper", "ampt ours", "amcp paper", "amcp ours"],
+    )
+    for d in DIMS:
+        for model in ("original", "proposed"):
+            paper_row = PAPER_MODEL_SIZES_MB[d][model]
+            our_row = ours[d][model]
+            report.add_row(
+                d, model,
+                paper_row["cora"], our_row["cora"],
+                paper_row["ampt"], our_row["ampt"],
+                paper_row["amcp"], our_row["amcp"],
+            )
+    max_ratio = max(
+        ours[d]["original"][s] / ours[d]["proposed"][s] for d in DIMS for s in SHORTS
+    )
+    report.data = {"sizes": ours, "max_ratio": max_ratio}
+    report.add_note(
+        f"proposed model up to {max_ratio:.2f}x smaller (paper: up to 3.82x)"
+    )
+    return report

@@ -1,0 +1,47 @@
+"""Table 6 — FPGA resource utilization on the XCZU7EV."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.fpga.resources import PAPER_RESOURCES, ResourceEstimator
+from repro.fpga.spec import paper_spec
+
+__all__ = ["run", "measured_table6"]
+
+DIMS = (32, 64, 96)
+RESOURCES = ("bram36", "dsp", "ff", "lut")
+
+
+def measured_table6() -> dict:
+    out: dict = {}
+    for d in DIMS:
+        usage = ResourceEstimator(paper_spec(d)).estimate()
+        out[d] = {"used": usage.as_dict(), "percent": usage.utilization()}
+    return out
+
+
+def run(profile: str = "quick", seed: int = 0) -> ExperimentReport:
+    ours = measured_table6()
+    report = ExperimentReport(
+        name="Table 6",
+        title="Resource utilization on XCZU7EV",
+        columns=["dims", "resource", "used paper", "used ours",
+                 "% paper", "% ours"],
+    )
+    device = ResourceEstimator(paper_spec(32)).device
+    for d in DIMS:
+        for res in RESOURCES:
+            paper_used = PAPER_RESOURCES[d][res]
+            paper_pct = device.utilization({res: paper_used})[res]
+            report.add_row(
+                d, res.upper(),
+                paper_used, round(ours[d]["used"][res], 1),
+                round(paper_pct, 2), round(ours[d]["percent"][res], 2),
+            )
+    report.data = ours
+    report.add_note(
+        "structural features + nnls calibration; fit error: DSP<=3.3%, "
+        "LUT<=5.2%, FF<=8.8%, BRAM<=10.7% (the d=64 partitioning jump is "
+        "the unmodelled residual)"
+    )
+    return report

@@ -1,0 +1,9 @@
+"""Fixed-point arithmetic (Q formats) for the FPGA functional model."""
+
+from repro.fixedpoint.qformat import (
+    DEFAULT_ACCUM_FORMAT,
+    DEFAULT_WEIGHT_FORMAT,
+    QFormat,
+)
+
+__all__ = ["QFormat", "DEFAULT_WEIGHT_FORMAT", "DEFAULT_ACCUM_FORMAT"]

@@ -1,0 +1,113 @@
+"""Parametric Q-format fixed-point arithmetic.
+
+The accelerator's PL datapath uses "fixed-point multiply-add operations"
+(§4.5).  This module provides the quantization/saturation semantics the FPGA
+functional model applies to values crossing a BRAM boundary:
+
+* weights and activations are stored as signed ``total_bits`` words with
+  ``frac_bits`` fractional bits (default Q8.24: range ±128, resolution
+  2^-24);
+* quantization is round-to-nearest-even (matching the default HLS
+  ``AP_RND``-style behavior closely enough for accuracy studies);
+* out-of-range values saturate (HLS ``AP_SAT``) instead of wrapping —
+  wrap-around would destroy training, and every shipped accelerator of this
+  kind saturates.
+
+DSP48E2 accumulators are 48-bit — much wider than the operands — so the
+functional model keeps *intra-stage* arithmetic in double precision and
+quantizes at stage boundaries, mirroring the real datapath (see
+``repro.fpga.accelerator``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["QFormat", "DEFAULT_WEIGHT_FORMAT", "DEFAULT_ACCUM_FORMAT"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed fixed-point format with ``int_bits`` + ``frac_bits`` + 1 sign bit.
+
+    ``Q8.24`` ⇒ ``QFormat(int_bits=7, frac_bits=24)`` in the convention used
+    here: total width = 1 + int_bits + frac_bits = 32.
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        check_positive("int_bits", self.int_bits, strict=False, integer=True)
+        check_positive("frac_bits", self.frac_bits, strict=False, integer=True)
+        if self.total_bits < 2:
+            raise ValueError("need at least 2 bits (sign + value)")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def bytes(self) -> int:
+        """Storage bytes per word, rounded up to whole bytes."""
+        return (self.total_bits + 7) // 8
+
+    @property
+    def resolution(self) -> float:
+        """The quantization step 2^-frac_bits."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value ((2^(total-1) − 1) · step)."""
+        return (2 ** (self.total_bits - 1) - 1) * self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value (−2^(total−1) · step)."""
+        return -(2 ** (self.total_bits - 1)) * self.resolution
+
+    # ------------------------------------------------------------------ #
+
+    def to_raw(self, x) -> np.ndarray:
+        """Quantize to integer raw words (round-half-even, saturating)."""
+        x = np.asarray(x, dtype=np.float64)
+        scaled = np.rint(x / self.resolution)  # rint = round-half-even
+        lo = -(2 ** (self.total_bits - 1))
+        hi = 2 ** (self.total_bits - 1) - 1
+        return np.clip(scaled, lo, hi).astype(np.int64)
+
+    def from_raw(self, raw) -> np.ndarray:
+        """Raw integer words back to float."""
+        return np.asarray(raw, dtype=np.float64) * self.resolution
+
+    def quantize(self, x) -> np.ndarray:
+        """Round-to-nearest-even onto the representable grid, saturating."""
+        return self.from_raw(self.to_raw(x))
+
+    def representable(self, x, *, atol: float = 0.0) -> np.ndarray:
+        """Boolean mask: is each value already exactly on the grid?"""
+        x = np.asarray(x, dtype=np.float64)
+        return np.abs(self.quantize(x) - x) <= atol
+
+    def quantization_error(self, x) -> np.ndarray:
+        """Signed error introduced by :meth:`quantize` (0 when saturating
+        is not involved, bounded by step/2)."""
+        x = np.asarray(x, dtype=np.float64)
+        return self.quantize(x) - x
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits + 1}.{self.frac_bits}"
+
+
+#: Weight/activation storage format of the accelerator model (32-bit words).
+DEFAULT_WEIGHT_FORMAT = QFormat(int_bits=7, frac_bits=24)
+
+#: Wide accumulator format (DSP48E2-style 48-bit accumulation).
+DEFAULT_ACCUM_FORMAT = QFormat(int_bits=15, frac_bits=32)

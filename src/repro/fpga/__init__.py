@@ -1,0 +1,78 @@
+"""Cycle-level simulator of the proposed FPGA accelerator (ZCU104/XCZU7EV):
+fixed-point functional model, 4-stage dataflow pipeline timing calibrated to
+Table 3, buffer/BRAM inventory, DMA model, and resource estimation for
+Table 6."""
+
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.fpga.bram import Buffer, BufferInventory, bram36_for
+from repro.fpga.device import DEVICES, XCZU7EV, FPGADevice
+from repro.fpga.dma import DMAModel, WalkTransfer
+from repro.fpga.eventsim import ScheduleResult, StageTask, simulate_walk_schedule
+from repro.fpga.pipeline import PipelineModel, WalkCycles
+from repro.fpga.power import (
+    EmbeddedGPUModel,
+    FPGAPowerModel,
+    PlatformEnergy,
+    energy_comparison,
+)
+from repro.fpga.roofline import RooflinePoint, roofline_analysis
+from repro.fpga.schedule import SchedulePoint, balance_stages, derive_paper_parallelism
+from repro.fpga.walker import BoardModel, EndToEnd, WalkEngineModel
+from repro.fpga.resources import (
+    PAPER_RESOURCES,
+    ResourceEstimator,
+    ResourceUsage,
+    calibrate_resource_model,
+)
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.stages import CycleConstants, StageCycles, stage_cycles
+from repro.fpga.timing import (
+    CALIBRATED_CONSTANTS,
+    PAPER_FPGA_MS,
+    calibrate_cycle_constants,
+    calibration_residuals,
+    fpga_walk_ms,
+)
+
+__all__ = [
+    "FPGAAccelerator",
+    "AcceleratorSpec",
+    "paper_spec",
+    "FPGADevice",
+    "XCZU7EV",
+    "DEVICES",
+    "Buffer",
+    "BufferInventory",
+    "bram36_for",
+    "DMAModel",
+    "WalkTransfer",
+    "PipelineModel",
+    "WalkCycles",
+    "StageCycles",
+    "CycleConstants",
+    "stage_cycles",
+    "ResourceEstimator",
+    "ResourceUsage",
+    "PAPER_RESOURCES",
+    "calibrate_resource_model",
+    "CALIBRATED_CONSTANTS",
+    "PAPER_FPGA_MS",
+    "calibrate_cycle_constants",
+    "calibration_residuals",
+    "fpga_walk_ms",
+    "FPGAPowerModel",
+    "EmbeddedGPUModel",
+    "PlatformEnergy",
+    "energy_comparison",
+    "SchedulePoint",
+    "balance_stages",
+    "derive_paper_parallelism",
+    "WalkEngineModel",
+    "BoardModel",
+    "EndToEnd",
+    "ScheduleResult",
+    "StageTask",
+    "simulate_walk_schedule",
+    "RooflinePoint",
+    "roofline_analysis",
+]

@@ -1,0 +1,151 @@
+"""The accelerator simulator: functional fixed-point training + cycle counts.
+
+``FPGAAccelerator`` is a drop-in :class:`~repro.embedding.base.EmbeddingModel`
+that executes Algorithm 2 with the accelerator's semantics:
+
+* **numerics** — β and P live in DRAM/BRAM as fixed-point words
+  (:class:`~repro.fixedpoint.QFormat`, default Q8.24), so state is quantized
+  (with saturation) at every BRAM write-back.  Intra-walk arithmetic runs at
+  double precision, mirroring the wide DSP48E2 accumulators (48-bit) that
+  keep intermediate sums exact;
+* **per-walk negative reuse** — one negative batch per walk [18] (enforced by
+  the caller via :class:`~repro.embedding.trainer.WalkTrainer`'s default);
+* **timing** — every trained walk advances a cycle counter through the
+  calibrated pipeline model (fill + (C−1)·II + overhead) and logs the DMA
+  traffic that the ping/pong buffers overlap with compute.
+
+The simulated clock is the paper's 200 MHz PL clock; ``elapsed_seconds``
+is the accelerator-time equivalent of the training performed so far.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.fixedpoint.qformat import QFormat
+from repro.fpga.device import FPGADevice, XCZU7EV
+from repro.fpga.dma import DMAModel
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.resources import ResourceEstimator, ResourceUsage
+from repro.fpga.spec import AcceleratorSpec
+from repro.fpga.stages import CycleConstants
+from repro.sampling.corpus import WalkContexts
+
+__all__ = ["FPGAAccelerator"]
+
+
+class FPGAAccelerator(DataflowOSELMSkipGram):
+    """Cycle-counted, fixed-point execution of the proposed accelerator.
+
+    Parameters
+    ----------
+    n_nodes:
+        graph size (β rows in DRAM).
+    spec:
+        the synthesis configuration; ``spec.dim`` is the embedding width.
+    device:
+        target FPGA (default XCZU7EV, the ZCU104's part).
+    constants:
+        cycle-model constants; default = calibrated against Table 3.
+    mu, p0, init_scale, seed:
+        forwarded to the underlying model (see
+        :class:`~repro.embedding.sequential.OSELMSkipGram`).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        spec: AcceleratorSpec | None = None,
+        *,
+        device: FPGADevice = XCZU7EV,
+        constants: CycleConstants | None = None,
+        dma: DMAModel | None = None,
+        **model_kwargs,
+    ):
+        self.spec = spec or AcceleratorSpec()
+        super().__init__(n_nodes, self.spec.dim, **model_kwargs)
+        if constants is None:
+            from repro.fpga.timing import CALIBRATED_CONSTANTS
+
+            constants = CALIBRATED_CONSTANTS
+        self.device = device
+        self.pipeline = PipelineModel(self.spec, constants)
+        self.dma = dma or DMAModel()
+        self.qformat: QFormat = self.spec.weight_format
+
+        # DRAM state is fixed point from the start.
+        self.B = self.qformat.quantize(self.B)
+        self.P = self.qformat.quantize(self.P)
+
+        # telemetry
+        self.total_cycles = 0.0
+        self.dma_cycles_overlapped = 0.0
+        self.dma_bytes = 0
+        self.saturation_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Functional simulation
+    # ------------------------------------------------------------------ #
+
+    def train_walk(self, contexts: WalkContexts, negatives: np.ndarray) -> None:
+        negatives = self._check_walk_inputs(contexts, negatives)
+        if contexts.n == 0:
+            return
+        touched = np.unique(
+            np.concatenate(
+                [contexts.centers, contexts.positives.ravel(), negatives.ravel()]
+            )
+        )
+
+        # Algorithm 2 on the wide-accumulator datapath (double precision).
+        super().train_walk(contexts, negatives)
+
+        # BRAM→DRAM write-back: quantize + saturate the touched rows and P.
+        rows = self.B[touched]
+        quant = self.qformat.quantize(rows)
+        self.saturation_events += int(
+            np.sum((rows > self.qformat.max_value) | (rows < self.qformat.min_value))
+        )
+        self.B[touched] = quant
+        p_old = self.P
+        self.P = self.qformat.quantize(self.P)
+        self.saturation_events += int(
+            np.sum((p_old > self.qformat.max_value) | (p_old < self.qformat.min_value))
+        )
+
+        # Timing: pipeline cycles (the calibrated walk_overhead already
+        # covers the exposed portion of the ping/pong DMA).
+        self.total_cycles += self.pipeline.walk_cycles(contexts.n).total
+        transfer = self.dma.walk_transfer(self.spec, touched_nodes=touched.size)
+        self.dma_cycles_overlapped += transfer.total_cycles
+        self.dma_bytes += transfer.total_bytes
+
+    # ------------------------------------------------------------------ #
+    # Telemetry / reports
+    # ------------------------------------------------------------------ #
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated accelerator time for all walks trained so far."""
+        return self.spec.cycles_to_seconds(self.total_cycles)
+
+    def walk_milliseconds(self) -> float:
+        """Steady-state per-walk time for the configured full walk length."""
+        return self.pipeline.walk_milliseconds()
+
+    def resources(self) -> ResourceUsage:
+        return ResourceEstimator(self.spec, device=self.device).estimate()
+
+    def fits_device(self) -> bool:
+        return self.resources().fits()
+
+    def state_bytes(self, *, weight_bytes: int | None = None) -> int:
+        wb = self.qformat.bytes if weight_bytes is None else weight_bytes
+        return (self.n_nodes * self.dim + self.dim * self.dim) * wb
+
+    def __repr__(self) -> str:
+        return (
+            f"FPGAAccelerator(n_nodes={self.n_nodes}, {self.spec}, "
+            f"walks={self.n_walks_trained}, cycles={self.total_cycles:.0f})"
+        )

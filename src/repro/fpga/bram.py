@@ -1,0 +1,114 @@
+"""On-chip buffer inventory and BRAM mapping.
+
+"only weights necessary for training are implemented on BRAM cells of the PL
+part" (§3.2): per random walk, the host DMAs in the walk's node ids, the
+shared negative batch, and the β rows of every node the walk touches; P
+lives in BRAM permanently; ΔP/Δβ accumulators stream back at walk end.
+
+Each logical buffer is cyclically partitioned so that one element per lane
+can be read per cycle (the HLS ``ARRAY_PARTITION cyclic`` idiom).  A
+partition bank is built from 18 Kb half-BRAMs: a bank of b bits costs
+``ceil(b / 18Kb)`` halves, and two halves make one BRAM36 — the granularity
+Vivado reports and Table 6 counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.spec import AcceleratorSpec
+
+__all__ = ["Buffer", "BufferInventory", "bram36_for"]
+
+_HALF_BRAM_BITS = 18 * 1024
+
+
+def bram36_for(words: int, word_bits: int, partitions: int) -> float:
+    """BRAM36 cost of one logical buffer.
+
+    ``partitions`` cyclic banks, each holding ``ceil(words/partitions)``
+    words of ``word_bits``; each bank rounds up to half-BRAM granularity.
+    """
+    if words <= 0:
+        return 0.0
+    partitions = max(1, partitions)
+    words_per_bank = int(np.ceil(words / partitions))
+    halves_per_bank = max(1, int(np.ceil(words_per_bank * word_bits / _HALF_BRAM_BITS)))
+    return partitions * halves_per_bank / 2.0
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One logical on-chip array."""
+
+    name: str
+    words: int
+    word_bits: int
+    partitions: int
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.word_bits
+
+    @property
+    def bram36(self) -> float:
+        return bram36_for(self.words, self.word_bits, self.partitions)
+
+
+class BufferInventory:
+    """All on-chip buffers of one accelerator configuration.
+
+    The working set of β is bounded: a walk of length l touches at most
+    l distinct nodes, plus the ns shared negatives — the paper's insight
+    that lets big graphs train on a small FPGA.  Double buffering (ping/
+    pong) overlaps DMA with compute for the walk-local arrays.
+    """
+
+    def __init__(self, spec: AcceleratorSpec, *, double_buffer: bool = True):
+        self.spec = spec
+        self.double_buffer = bool(double_buffer)
+        d = spec.dim
+        wb = spec.weight_format.total_bits
+        lanes_m = spec.lanes_matrix
+        lanes_s = spec.lanes_sample
+        walk_nodes = spec.walk_length + spec.ns  # touched β rows upper bound
+        db = 2 if double_buffer else 1
+
+        self.buffers: list[Buffer] = [
+            # persistent state
+            Buffer("P", d * d, wb, lanes_m),
+            Buffer("dP", d * d, wb, lanes_m),
+            # walk-local weight tile (β rows for touched nodes), ping/pong
+            Buffer("beta_tile", db * walk_nodes * d, wb, lanes_s),
+            Buffer("dbeta_tile", walk_nodes * d, wb, lanes_s),
+            # per-context intermediates
+            Buffer("H", d, wb, lanes_m),
+            Buffer("Ph", d, wb, lanes_m),
+            Buffer("gain", d, wb, lanes_s),
+            # sample/walk metadata (node ids, 32-bit)
+            Buffer("walk_ids", db * spec.walk_length, 32, 1),
+            Buffer("negatives", spec.ns, 32, 1),
+            Buffer("errors", spec.samples_per_context, wb, 1),
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def by_name(self, name: str) -> Buffer:
+        for b in self.buffers:
+            if b.name == name:
+                return b
+        raise KeyError(name)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(b.bits for b in self.buffers)
+
+    @property
+    def total_bram36(self) -> float:
+        return sum(b.bram36 for b in self.buffers)
+
+    def report(self) -> list[tuple[str, int, float]]:
+        """(name, bits, bram36) rows for diagnostics."""
+        return [(b.name, b.bits, b.bram36) for b in self.buffers]

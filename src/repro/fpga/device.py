@@ -1,0 +1,53 @@
+"""FPGA device database.
+
+Capacities for the paper's target part, the Zynq UltraScale+ XCZU7EV
+(ZCU104 evaluation board).  The Table 6 utilization percentages confirm the
+denominators: 183/58.65% → 312 BRAM36; 1379/79.80% → 1728 DSP48E2;
+48609/10.55% → 460800 FF; 53330/23.15% → 230400 LUT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGADevice", "XCZU7EV", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Programmable-logic resource capacities of one device."""
+
+    name: str
+    bram36: int  # 36 Kb block RAMs
+    dsp: int  # DSP48E2 slices
+    ff: int  # flip-flops
+    lut: int  # 6-input LUTs
+
+    @property
+    def bram_kbits(self) -> int:
+        """Total BRAM capacity in kilobits (the paper quotes '11Mb')."""
+        return self.bram36 * 36
+
+    def utilization(self, used: dict[str, float]) -> dict[str, float]:
+        """Percent utilization for a usage dict with keys bram36/dsp/ff/lut."""
+        caps = {"bram36": self.bram36, "dsp": self.dsp, "ff": self.ff, "lut": self.lut}
+        out = {}
+        for key, val in used.items():
+            if key not in caps:
+                raise KeyError(f"unknown resource {key!r}")
+            out[key] = 100.0 * val / caps[key]
+        return out
+
+    def fits(self, used: dict[str, float]) -> bool:
+        """Does a usage dict fit on the device?"""
+        return all(v <= 100.0 for v in self.utilization(used).values())
+
+
+#: The paper's device (ZCU104 board).  11.0 Mb BRAM, 1728 DSP slices.
+XCZU7EV = FPGADevice(name="xczu7ev", bram36=312, dsp=1728, ff=460800, lut=230400)
+
+#: A couple of neighbors in the family, for what-if resource studies.
+XCZU3EG = FPGADevice(name="xczu3eg", bram36=216, dsp=360, ff=141120, lut=70560)
+XCZU9EG = FPGADevice(name="xczu9eg", bram36=912, dsp=2520, ff=548160, lut=274080)
+
+DEVICES = {d.name: d for d in (XCZU7EV, XCZU3EG, XCZU9EG)}

@@ -1,0 +1,88 @@
+"""DMA transfer model (PS DRAM ↔ PL BRAM over the AXI HP ports).
+
+Per random walk the host moves (§3.2, Figure 4):
+
+1. the walk's node ids + the shared negative batch (down),
+2. the β rows of every touched node (down),
+3. the updated β rows and ΔP (up).
+
+The model is bandwidth + per-burst latency: a 128-bit AXI interface at the
+PL clock moves 16 bytes/cycle; each burst pays a fixed setup latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.spec import AcceleratorSpec
+from repro.utils.validation import check_positive
+
+__all__ = ["DMAModel", "WalkTransfer"]
+
+
+@dataclass(frozen=True)
+class WalkTransfer:
+    """Byte/cycle accounting of one walk's transfers."""
+
+    bytes_down: int
+    bytes_up: int
+    cycles_down: float
+    cycles_up: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_down + self.bytes_up
+
+    @property
+    def total_cycles(self) -> float:
+        return self.cycles_down + self.cycles_up
+
+
+class DMAModel:
+    """Bandwidth/latency model of the board's DMA path.
+
+    Parameters
+    ----------
+    bytes_per_cycle:
+        AXI data-path width in bytes (16 = 128-bit HP port).
+    burst_latency_cycles:
+        fixed cost per burst (descriptor setup + interconnect latency).
+    """
+
+    def __init__(self, *, bytes_per_cycle: float = 16.0, burst_latency_cycles: float = 120.0):
+        check_positive("bytes_per_cycle", bytes_per_cycle)
+        check_positive("burst_latency_cycles", burst_latency_cycles, strict=False)
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        self.burst_latency_cycles = float(burst_latency_cycles)
+
+    def transfer_cycles(self, n_bytes: int, *, n_bursts: int = 1) -> float:
+        """Cycles to move ``n_bytes`` in ``n_bursts`` bursts."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return n_bytes / self.bytes_per_cycle + n_bursts * self.burst_latency_cycles
+
+    def walk_transfer(
+        self, spec: AcceleratorSpec, *, touched_nodes: int | None = None
+    ) -> WalkTransfer:
+        """Transfer accounting for one walk on a given configuration.
+
+        ``touched_nodes`` defaults to the worst case (walk_length + ns
+        distinct rows); the cycle-level simulator passes the actual count.
+        """
+        wb = spec.weight_format.bytes
+        if touched_nodes is None:
+            touched_nodes = spec.walk_length + spec.ns
+        meta = 4 * (spec.walk_length + spec.ns)  # 32-bit node ids
+        beta_rows = touched_nodes * spec.dim * wb
+        down = meta + beta_rows
+        up = beta_rows + spec.dim * spec.dim * wb  # rows back + ΔP/P sync
+        return WalkTransfer(
+            bytes_down=down,
+            bytes_up=up,
+            cycles_down=self.transfer_cycles(down, n_bursts=2),
+            cycles_up=self.transfer_cycles(up, n_bursts=2),
+        )

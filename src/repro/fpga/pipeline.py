@@ -1,0 +1,93 @@
+"""Dataflow pipeline composition: stage cycles → per-walk cycle counts.
+
+With the HLS DATAFLOW optimization the four stages of successive contexts
+overlap; the steady-state initiation interval (II) is the slowest stage plus
+a serialized remainder for the shared ΔP/P accumulator banks (successive
+contexts read-modify-write the same partitioned arrays, which cannot be
+fully overlapped):
+
+    II   = max_stage + serial_matrix_factor · ceil(d² / lanes_matrix)
+    walk = fill + (C − 1) · II + walk_overhead
+
+where fill is the first context's full traversal of the pipeline.  Without
+the dataflow optimization (Algorithm 1 on the PL), contexts execute
+serially: ``walk = C · Σ stages`` — the configuration the paper's "1.89 to
+2.77 times speedup" software comparison isolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.spec import AcceleratorSpec
+from repro.fpga.stages import CycleConstants, StageCycles, stage_cycles
+
+__all__ = ["PipelineModel", "WalkCycles"]
+
+
+@dataclass(frozen=True)
+class WalkCycles:
+    """Cycle breakdown for training one random walk."""
+
+    fill: float
+    steady_ii: float
+    n_contexts: int
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        if self.n_contexts == 0:
+            return self.overhead
+        return self.fill + (self.n_contexts - 1) * self.steady_ii + self.overhead
+
+
+class PipelineModel:
+    """Maps an :class:`AcceleratorSpec` to per-walk cycles."""
+
+    def __init__(
+        self,
+        spec: AcceleratorSpec,
+        constants: CycleConstants | None = None,
+        *,
+        dataflow: bool = True,
+    ):
+        self.spec = spec
+        self.constants = constants or CycleConstants()
+        self.dataflow = bool(dataflow)
+
+    def stages(self) -> StageCycles:
+        return stage_cycles(self.spec, self.constants)
+
+    def initiation_interval(self) -> float:
+        s = self.stages()
+        if not self.dataflow:
+            return s.total
+        serial = self.constants.serial_matrix_factor * np.ceil(
+            self.spec.dim**2 / self.spec.lanes_matrix
+        )
+        return s.max_stage + serial
+
+    def walk_cycles(self, n_contexts: int | None = None) -> WalkCycles:
+        """Cycles for a walk with ``n_contexts`` contexts (default: full
+        walk, l − w + 1)."""
+        if n_contexts is None:
+            n_contexts = self.spec.n_contexts
+        if n_contexts < 0:
+            raise ValueError("n_contexts must be non-negative")
+        s = self.stages()
+        ii = self.initiation_interval()
+        fill = s.total if self.dataflow else ii
+        return WalkCycles(
+            fill=float(fill),
+            steady_ii=float(ii),
+            n_contexts=int(n_contexts),
+            overhead=self.constants.walk_overhead,
+        )
+
+    def walk_seconds(self, n_contexts: int | None = None) -> float:
+        return self.spec.cycles_to_seconds(self.walk_cycles(n_contexts).total)
+
+    def walk_milliseconds(self, n_contexts: int | None = None) -> float:
+        return 1e3 * self.walk_seconds(n_contexts)

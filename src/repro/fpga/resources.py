@@ -1,0 +1,139 @@
+"""FPGA resource estimation (Table 6).
+
+The estimator combines *structural* features computed from the accelerator
+configuration with calibrated linear coefficients:
+
+* ``bram_inventory`` — the BRAM36 count of the explicit buffer inventory
+  (:mod:`repro.fpga.bram`);
+* ``lanes_total`` — MAC lanes summed over the stage engines (three matrix
+  engines on the boosted lane group + two sample engines on the base group);
+* ``dim`` — datapath vector length (drives register/muxing growth).
+
+Coefficients are non-negative least squares fits to the paper's three
+Table 6 rows (frozen below; :func:`calibrate_resource_model` re-derives them
+and the tests assert agreement).  Fit quality vs Table 6: DSP ≤3.3%,
+LUT ≤5.2%, FF ≤8.8%, BRAM ≤10.7% — the residual shape is the paper's
+unmodelled partitioning jump at d=64 ("the number of BRAM partitions is
+increased for further speedup").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.bram import BufferInventory
+from repro.fpga.device import FPGADevice, XCZU7EV
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+
+__all__ = [
+    "ResourceUsage",
+    "ResourceEstimator",
+    "PAPER_RESOURCES",
+    "calibrate_resource_model",
+]
+
+#: Table 6 of the paper: used resources per design point on XCZU7EV.
+PAPER_RESOURCES = {
+    32: {"bram36": 183, "dsp": 1379, "ff": 48609, "lut": 53330},
+    64: {"bram36": 271, "dsp": 1552, "ff": 77584, "lut": 87901},
+    96: {"bram36": 272, "dsp": 1573, "ff": 86081, "lut": 108639},
+}
+
+# Frozen nnls coefficients (see calibrate_resource_model).
+_COEF = {
+    "bram36": {"const": 39.6637, "inventory": 1.3906},
+    "dsp": {"const": 1081.0, "lanes_total": 2.0208},
+    "ff": {"const": 33286.0, "dim": 585.5},
+    "lut": {"dim": 520.8784, "inventory": 343.3253},
+}
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Estimated absolute usage plus percent utilization on a device."""
+
+    bram36: float
+    dsp: float
+    ff: float
+    lut: float
+    device: FPGADevice = XCZU7EV
+
+    def as_dict(self) -> dict[str, float]:
+        return {"bram36": self.bram36, "dsp": self.dsp, "ff": self.ff, "lut": self.lut}
+
+    def utilization(self) -> dict[str, float]:
+        return self.device.utilization(self.as_dict())
+
+    def fits(self) -> bool:
+        return self.device.fits(self.as_dict())
+
+
+class ResourceEstimator:
+    """Estimate BRAM/DSP/FF/LUT for an accelerator configuration."""
+
+    def __init__(self, spec: AcceleratorSpec, *, device: FPGADevice = XCZU7EV):
+        self.spec = spec
+        self.device = device
+        self.inventory = BufferInventory(spec)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lanes_total(self) -> int:
+        """MAC lanes across stage engines: Stages 1/2/4 run on the boosted
+        matrix lane group, Stages 3/4's sample datapaths on the base group."""
+        return 3 * self.spec.lanes_matrix + 2 * self.spec.lanes_sample
+
+    def features(self) -> dict[str, float]:
+        return {
+            "const": 1.0,
+            "inventory": self.inventory.total_bram36,
+            "lanes_total": float(self.lanes_total),
+            "dim": float(self.spec.dim),
+        }
+
+    def estimate(self) -> ResourceUsage:
+        f = self.features()
+        vals = {}
+        for res, coefs in _COEF.items():
+            vals[res] = sum(c * f[name] for name, c in coefs.items())
+        return ResourceUsage(device=self.device, **vals)
+
+    def report_rows(self) -> list[tuple[str, float, float]]:
+        """(resource, used, percent) rows in Table 6's order."""
+        usage = self.estimate()
+        util = usage.utilization()
+        return [
+            ("BRAM", usage.bram36, util["bram36"]),
+            ("DSP", usage.dsp, util["dsp"]),
+            ("FF", usage.ff, util["ff"]),
+            ("LUT", usage.lut, util["lut"]),
+        ]
+
+
+def calibrate_resource_model() -> dict[str, dict[str, float]]:
+    """Re-derive the frozen coefficients from Table 6 by non-negative least
+    squares on the structural features of the three paper design points."""
+    from scipy.optimize import nnls
+
+    dims = (32, 64, 96)
+    feats = []
+    for d in dims:
+        est = ResourceEstimator(paper_spec(d))
+        feats.append(est.features())
+
+    feature_sets = {
+        "bram36": ("const", "inventory"),
+        "dsp": ("const", "lanes_total"),
+        "ff": ("const", "dim"),
+        "lut": ("dim", "inventory"),
+    }
+    out: dict[str, dict[str, float]] = {}
+    for res, names in feature_sets.items():
+        A = np.array([[f[n] for n in names] for f in feats])
+        y = np.array([PAPER_RESOURCES[d][res] for d in dims], dtype=float)
+        coef, _ = nnls(A, y)
+        out[res] = dict(zip(names, (float(c) for c in coef)))
+    return out

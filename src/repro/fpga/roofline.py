@@ -1,0 +1,100 @@
+"""Roofline analysis of the accelerator's per-walk workload.
+
+Classic HPC question the paper's §3.2 answers qualitatively ("only weights
+necessary for training are implemented on BRAM"): is the accelerator
+compute-bound or DMA-bound?  The roofline model makes it quantitative:
+
+* **arithmetic intensity** I = MACs per DRAM byte moved for one walk;
+* **ridge point** I* = peak MAC throughput / DMA bandwidth;
+* I > I* ⇒ compute-bound (more lanes help), I < I* ⇒ memory-bound (the
+  paper's β-tiling and negative-reuse tricks are what keep it out of this
+  regime).
+
+Peak throughput counts the sample-stage lanes at the PL clock; bytes come
+from the DMA model's per-walk transfer accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embedding.sequential import OSELMSkipGram
+from repro.fpga.dma import DMAModel
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.spec import AcceleratorSpec
+from repro.fpga.stages import CycleConstants
+
+__all__ = ["RooflinePoint", "roofline_analysis"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One configuration's position on the roofline."""
+
+    spec: AcceleratorSpec
+    macs_per_walk: float
+    bytes_per_walk: float
+    peak_macs_per_cycle: float
+    dma_bytes_per_cycle: float
+    achieved_macs_per_cycle: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per byte of DRAM traffic."""
+        return self.macs_per_walk / self.bytes_per_walk
+
+    @property
+    def ridge_intensity(self) -> float:
+        """The machine balance: MACs/byte at which compute and DMA tie."""
+        return self.peak_macs_per_cycle / self.dma_bytes_per_cycle
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.arithmetic_intensity >= self.ridge_intensity
+
+    @property
+    def roofline_bound_macs_per_cycle(self) -> float:
+        """min(peak, I × bandwidth) — the attainable ceiling."""
+        return min(
+            self.peak_macs_per_cycle,
+            self.arithmetic_intensity * self.dma_bytes_per_cycle,
+        )
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable throughput (< 1: pipeline overheads)."""
+        return self.achieved_macs_per_cycle / self.roofline_bound_macs_per_cycle
+
+
+def roofline_analysis(
+    spec: AcceleratorSpec,
+    *,
+    dma: DMAModel | None = None,
+    constants: CycleConstants | None = None,
+) -> RooflinePoint:
+    """Place one accelerator configuration on its roofline.
+
+    MAC counts use the proposed model's op profile at the spec's walk
+    geometry; bytes use the DMA model's worst-case walk transfer; achieved
+    throughput divides MACs by the calibrated per-walk cycles.
+    """
+    dma = dma or DMAModel()
+    if constants is None:
+        from repro.fpga.timing import CALIBRATED_CONSTANTS
+
+        constants = CALIBRATED_CONSTANTS
+    ops = OSELMSkipGram.op_profile(
+        spec.dim, spec.n_contexts, spec.window - 1, spec.ns
+    )
+    transfer = dma.walk_transfer(spec)
+    cycles = PipelineModel(spec, constants).walk_cycles().total
+    # lanes across the stage engines do MACs every cycle at peak
+    peak = float(3 * spec.lanes_matrix + 2 * spec.lanes_sample)
+    return RooflinePoint(
+        spec=spec,
+        macs_per_walk=float(ops.mac),
+        bytes_per_walk=float(transfer.total_bytes),
+        peak_macs_per_cycle=peak,
+        dma_bytes_per_cycle=dma.bytes_per_cycle,
+        achieved_macs_per_cycle=float(ops.mac) / cycles,
+    )

@@ -1,0 +1,94 @@
+"""Stage-balancing solver — deriving the paper's parallelism choices.
+
+§4.5: "when the number of graph embedding dimensions is 64 and 96, the
+parallelism is partially set to 48 and 64 so that execution times of
+pipeline stages are equalized."  This module implements the design rule as
+an optimization: among matrix-lane counts that fit the device, pick the
+*smallest* one whose initiation interval is within a tolerance of the best
+achievable — i.e., stop adding lanes once the matrix stages no longer
+bottleneck the pipeline (the balanced point), because every further lane
+only burns DSPs.
+
+With the calibrated cycle model, partition-realistic lane candidates
+(multiples of 16) and a 5% tolerance, the solver reproduces the paper's
+choices exactly: 32 → 32, 64 → 48, 96 → 64 (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import FPGADevice, XCZU7EV
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.resources import ResourceEstimator
+from repro.fpga.spec import AcceleratorSpec
+from repro.fpga.stages import CycleConstants
+from repro.utils.validation import check_positive
+
+__all__ = ["SchedulePoint", "balance_stages", "derive_paper_parallelism"]
+
+#: Candidate matrix-lane counts (multiples of 16 — realistic cyclic
+#: partition factors for BRAM banking).
+DEFAULT_CANDIDATES = (16, 32, 48, 64, 80, 96, 128)
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    """One candidate design point of the balance search."""
+
+    matrix_lanes: int
+    ii_cycles: float
+    dsp: float
+    fits: bool
+
+
+def balance_stages(
+    dim: int,
+    *,
+    base_parallelism: int = 32,
+    device: FPGADevice = XCZU7EV,
+    constants: CycleConstants | None = None,
+    tolerance: float = 0.05,
+    candidates=DEFAULT_CANDIDATES,
+) -> tuple[int, list[SchedulePoint]]:
+    """Pick matrix lanes for ``dim``; returns (choice, all candidate points).
+
+    The choice is the smallest candidate that (a) fits the device and
+    (b) achieves an II within ``tolerance`` of the best fitting candidate.
+    """
+    check_positive("dim", dim, integer=True)
+    check_positive("tolerance", tolerance)
+    if constants is None:
+        from repro.fpga.timing import CALIBRATED_CONSTANTS
+
+        constants = CALIBRATED_CONSTANTS
+
+    points: list[SchedulePoint] = []
+    for lanes in sorted(set(candidates)):
+        spec = AcceleratorSpec(
+            dim=dim, base_parallelism=base_parallelism, matrix_parallelism=lanes
+        )
+        ii = PipelineModel(spec, constants).initiation_interval()
+        usage = ResourceEstimator(spec, device=device).estimate()
+        points.append(
+            SchedulePoint(
+                matrix_lanes=lanes,
+                ii_cycles=float(ii),
+                dsp=usage.dsp,
+                fits=usage.fits(),
+            )
+        )
+
+    feasible = [p for p in points if p.fits]
+    if not feasible:
+        raise ValueError(f"no candidate lane count fits {device.name} at dim={dim}")
+    best_ii = min(p.ii_cycles for p in feasible)
+    for p in feasible:  # candidates are sorted ascending: first hit = smallest
+        if p.ii_cycles <= best_ii * (1.0 + tolerance):
+            return p.matrix_lanes, points
+    raise AssertionError("unreachable: best_ii candidate always qualifies")
+
+
+def derive_paper_parallelism(**kwargs) -> dict[int, int]:
+    """The solver's choice for the paper's three design points."""
+    return {d: balance_stages(d, **kwargs)[0] for d in (32, 64, 96)}

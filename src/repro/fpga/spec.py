@@ -1,0 +1,95 @@
+"""Accelerator configuration (what Vitis HLS pragmas would fix at synthesis).
+
+The paper's design points (§4.5):
+
+* embedding dimension d ∈ {32, 64, 96};
+* "the computational parallelism is basically set to 32.  However, when the
+  number of graph embedding dimensions is 64 and 96, the parallelism is
+  partially set to 48 and 64 so that execution times of pipeline stages are
+  equalized" — captured here as a base lane count for the sample-processing
+  stage and a boosted lane count for the matrix stages;
+* PL clock 200 MHz;
+* fixed-point datapath (32-bit words, wide DSP accumulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fixedpoint.qformat import DEFAULT_WEIGHT_FORMAT, QFormat
+from repro.utils.validation import check_positive
+
+__all__ = ["AcceleratorSpec", "paper_spec"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One synthesizable configuration of the accelerator."""
+
+    dim: int = 32  # graph-embedding dimensions (= hidden width N)
+    window: int = 8  # w — sliding window size
+    ns: int = 10  # negatives per window
+    walk_length: int = 80  # l
+    base_parallelism: int = 32  # lanes of the sample stage (Stage 3)
+    matrix_parallelism: int | None = None  # lanes of Stages 1/2/4 (None → auto)
+    clock_mhz: float = 200.0
+    weight_format: QFormat = field(default=DEFAULT_WEIGHT_FORMAT)
+
+    def __post_init__(self):
+        check_positive("dim", self.dim, integer=True)
+        check_positive("window", self.window, integer=True)
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        check_positive("ns", self.ns, integer=True)
+        check_positive("walk_length", self.walk_length, integer=True)
+        check_positive("base_parallelism", self.base_parallelism, integer=True)
+        check_positive("clock_mhz", self.clock_mhz)
+        if self.matrix_parallelism is not None:
+            check_positive("matrix_parallelism", self.matrix_parallelism, integer=True)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lanes_matrix(self) -> int:
+        """Lane count of the matrix stages (the paper's 'partially set to
+        48 and 64' rule: 32 → 32, 64 → 48, 96 → 64; i.e. base + d/6)."""
+        if self.matrix_parallelism is not None:
+            return self.matrix_parallelism
+        if self.dim <= self.base_parallelism:
+            return self.base_parallelism
+        boost = ((self.dim - self.base_parallelism) + 1) // 2
+        return self.base_parallelism + boost
+
+    @property
+    def lanes_sample(self) -> int:
+        return self.base_parallelism
+
+    @property
+    def n_contexts(self) -> int:
+        """Contexts per full walk: l − w + 1 (73 in the paper)."""
+        return max(0, self.walk_length - self.window + 1)
+
+    @property
+    def samples_per_context(self) -> int:
+        """(w − 1) windows × (1 positive + ns negatives)."""
+        return (self.window - 1) * (1 + self.ns)
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_mhz * 1e6)
+
+    def __str__(self) -> str:
+        return (
+            f"AcceleratorSpec(d={self.dim}, lanes={self.lanes_sample}/"
+            f"{self.lanes_matrix}, {self.clock_mhz:g}MHz, {self.weight_format})"
+        )
+
+
+def paper_spec(dim: int) -> AcceleratorSpec:
+    """The paper's configuration for one of its three design points."""
+    if dim not in (32, 64, 96):
+        raise ValueError(f"paper design points are 32/64/96, got {dim}")
+    return AcceleratorSpec(dim=dim)

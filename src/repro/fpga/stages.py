@@ -1,0 +1,94 @@
+"""Per-stage cycle models of the Algorithm 2 dataflow pipeline.
+
+Stage inventory (paper Algorithm 2):
+
+* **Stage 1** — H ← µ·β[center]; compute P·Hᵀ and H·P.
+* **Stage 2** — outer product (P Hᵀ)(H P) and the scalar H P Hᵀ.
+* **Stage 3** — the window/sample loop: error ``t − H β[s]`` for
+  (w−1)·(1+ns) samples per context.
+* **Stage 4** — gain division, ΔP and Δβ accumulation.
+
+Cost structure: matrix work is ``ceil(work / lanes)`` cycles on the stage's
+lane group; the sample loop is HLS-pipelined with a per-sample initiation
+cost of ``ceil(d / lanes)`` chunks (error dot) plus the same again for the
+Δβ row update, plus a per-sample bookkeeping constant.  Each stage pays a
+fixed pipeline-depth fill.
+
+The three free constants (per-sample bookkeeping, serialized-accumulator
+factor, fixed per-walk overhead) are calibrated against the paper's three
+measured FPGA timings in :mod:`repro.fpga.timing`; everything else follows
+from the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.spec import AcceleratorSpec
+
+__all__ = ["StageCycles", "stage_cycles", "CycleConstants"]
+
+
+@dataclass(frozen=True)
+class CycleConstants:
+    """Calibratable constants of the cycle model (see module docstring)."""
+
+    sample_overhead: float = 25.0  # per-sample loop bookkeeping (Stage 3/4)
+    serial_matrix_factor: float = 2.3  # non-overlapped ΔP/P bank accesses
+    pipeline_depth: float = 12.0  # per-stage fill (adder trees, regs)
+    divider_latency: float = 32.0  # Stage 4 reciprocal unit
+    walk_overhead: float = 600.0  # per-walk control + exposed DMA
+
+
+@dataclass(frozen=True)
+class StageCycles:
+    """Cycle counts of the four stages for ONE context."""
+
+    stage1: float
+    stage2: float
+    stage3: float
+    stage4: float
+
+    @property
+    def max_stage(self) -> float:
+        return max(self.stage1, self.stage2, self.stage3, self.stage4)
+
+    @property
+    def total(self) -> float:
+        """Serial execution (= pipeline fill for the first context)."""
+        return self.stage1 + self.stage2 + self.stage3 + self.stage4
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.stage1, self.stage2, self.stage3, self.stage4)
+
+
+def _chunks(work: int, lanes: int) -> int:
+    return int(np.ceil(work / lanes))
+
+
+def stage_cycles(
+    spec: AcceleratorSpec, constants: CycleConstants | None = None
+) -> StageCycles:
+    """Per-context stage cycles for one accelerator configuration."""
+    c = constants or CycleConstants()
+    d = spec.dim
+    lm = spec.lanes_matrix
+    ls = spec.lanes_sample
+    samples = spec.samples_per_context
+
+    # Stage 1: H (d ops) + P·Hᵀ (d² MACs) on the matrix lanes
+    s1 = _chunks(d, lm) + _chunks(d * d, lm) + c.pipeline_depth
+    # Stage 2: outer product (d² MACs) + hph reduction (d MACs + log tree)
+    s2 = _chunks(d * d, lm) + _chunks(d, lm) + np.log2(max(d, 2)) + c.pipeline_depth
+    # Stage 3: pipelined sample loop — error dot per sample
+    s3 = samples * (_chunks(d, ls) + c.sample_overhead) + c.pipeline_depth
+    # Stage 4: divider + ΔP accumulation + Δβ row updates
+    s4 = (
+        c.divider_latency
+        + _chunks(d * d, lm)
+        + samples * _chunks(d, ls)
+        + c.pipeline_depth
+    )
+    return StageCycles(stage1=float(s1), stage2=float(s2), stage3=float(s3), stage4=float(s4))

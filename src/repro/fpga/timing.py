@@ -1,0 +1,104 @@
+"""Calibration of the FPGA cycle model against the paper's measurements.
+
+The cycle model's *structure* (stage composition, lane chunking, pipeline II)
+comes from the architecture; its three free constants — per-sample loop
+bookkeeping, the serialized accumulator factor, and per-walk fixed
+overhead — are fitted to the three FPGA timings the paper reports in
+Table 3 (one per design point):
+
+    d=32: 0.777 ms   d=64: 0.878 ms   d=96: 0.985 ms      (per walk, 73 ctx)
+
+Fitting three constants to three measurements lands within ~1% (tested);
+the point of the exercise is that one constant set explains all three design
+points *through the architectural model*, so derived quantities (Algorithm 1
+vs 2 on-chip, parallelism sweeps, other dims) extrapolate sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.stages import CycleConstants
+
+__all__ = [
+    "PAPER_FPGA_MS",
+    "calibrate_cycle_constants",
+    "CALIBRATED_CONSTANTS",
+    "fpga_walk_ms",
+    "calibration_residuals",
+]
+
+#: Table 3, "Proposed model on FPGA" row (milliseconds per random walk).
+PAPER_FPGA_MS = {32: 0.777, 64: 0.878, 96: 0.985}
+
+
+def _predict_ms(constants: CycleConstants, dims=(32, 64, 96)) -> np.ndarray:
+    out = []
+    for d in dims:
+        model = PipelineModel(paper_spec(d), constants)
+        out.append(model.walk_milliseconds())
+    return np.asarray(out)
+
+
+def calibrate_cycle_constants(
+    *, base: CycleConstants | None = None
+) -> CycleConstants:
+    """Fit (sample_overhead, serial_matrix_factor, walk_overhead) to
+    Table 3's FPGA row; pipeline depth and divider latency stay at their
+    architectural defaults."""
+    base = base or CycleConstants()
+    target = np.asarray([PAPER_FPGA_MS[d] for d in (32, 64, 96)])
+
+    def residual(x):
+        c = replace(
+            base,
+            sample_overhead=x[0],
+            serial_matrix_factor=x[1],
+            walk_overhead=x[2],
+        )
+        return _predict_ms(c) - target
+
+    x0 = np.array([base.sample_overhead, base.serial_matrix_factor, base.walk_overhead])
+    fit = least_squares(
+        residual, x0, bounds=([0.0, 0.0, 0.0], [200.0, 50.0, 50_000.0])
+    )
+    return replace(
+        base,
+        sample_overhead=float(fit.x[0]),
+        serial_matrix_factor=float(fit.x[1]),
+        walk_overhead=float(fit.x[2]),
+    )
+
+
+#: Constants produced by :func:`calibrate_cycle_constants` — regenerated at
+#: import cost of one tiny least-squares solve would be wasteful, so they are
+#: frozen here; the test suite re-runs the calibration and asserts agreement.
+CALIBRATED_CONSTANTS = CycleConstants(
+    sample_overhead=24.8196590590,
+    serial_matrix_factor=3.7036072080,
+    walk_overhead=589.2193268299,
+    pipeline_depth=12.0,
+    divider_latency=32.0,
+)
+
+
+def fpga_walk_ms(dim: int, *, constants: CycleConstants | None = None) -> float:
+    """Calibrated per-walk training time (ms) for one paper design point."""
+    model = PipelineModel(paper_spec(dim), constants or CALIBRATED_CONSTANTS)
+    return model.walk_milliseconds()
+
+
+def calibration_residuals(
+    constants: CycleConstants | None = None,
+) -> dict[int, float]:
+    """Relative error of the calibrated model vs Table 3, per design point."""
+    c = constants or CALIBRATED_CONSTANTS
+    out = {}
+    for d, paper in PAPER_FPGA_MS.items():
+        out[d] = (fpga_walk_ms(d, constants=c) - paper) / paper
+    return out

@@ -1,0 +1,156 @@
+"""On-chip random-walk engine model — the paper's other future work.
+
+§5: "our FPGA-based sequentially-trainable model will be combined with an
+FPGA-based random walk implementation" (citing LightRW [13]).  Today the
+host A53 samples walks (PS side) while the PL trains; this module models
+the combined design so the end-to-end benefit can be quantified.
+
+Walk-engine timing
+------------------
+A node2vec step with the paper's q = 1 is a degree lookup, a neighbor
+fetch, and a biased coin (return to the previous node with weight 1/p) —
+memory-latency-bound on DDR.  LightRW-style engines hide that latency by
+keeping many walks in flight; with ``slots`` concurrent walkers the engine
+approaches the bandwidth bound.
+
+Per walk of length l over a graph with mean degree d̄:
+
+    cycles/step (single walker) = ddr_latency + ceil(d̄·4B / axi_bytes) + logic
+    steps/cycle (engine)        = min(slots / cycles_per_step, bw_bound)
+
+Host baseline
+-------------
+The A53 samples walks at a calibrated rate (µs per step), so the combined
+model can report how much of the current end-to-end time the host walk
+actually costs, and what moving it on chip buys — the exact question the
+future-work sentence raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.spec import AcceleratorSpec
+from repro.fpga.timing import CALIBRATED_CONSTANTS
+from repro.utils.validation import check_positive
+
+__all__ = ["WalkEngineModel", "BoardModel", "EndToEnd"]
+
+
+class WalkEngineModel:
+    """Cycle model of a LightRW-style on-chip node2vec walk sampler."""
+
+    def __init__(
+        self,
+        *,
+        slots: int = 16,
+        ddr_latency_cycles: float = 60.0,
+        axi_bytes_per_cycle: float = 16.0,
+        logic_cycles: float = 4.0,
+        clock_mhz: float = 200.0,
+    ):
+        check_positive("slots", slots, integer=True)
+        check_positive("ddr_latency_cycles", ddr_latency_cycles)
+        check_positive("axi_bytes_per_cycle", axi_bytes_per_cycle)
+        check_positive("logic_cycles", logic_cycles, strict=False)
+        check_positive("clock_mhz", clock_mhz)
+        self.slots = int(slots)
+        self.ddr_latency_cycles = float(ddr_latency_cycles)
+        self.axi_bytes_per_cycle = float(axi_bytes_per_cycle)
+        self.logic_cycles = float(logic_cycles)
+        self.clock_mhz = float(clock_mhz)
+
+    def cycles_per_step_single(self, mean_degree: float) -> float:
+        """Latency of one walk step with a single walker in flight."""
+        check_positive("mean_degree", mean_degree)
+        fetch = np.ceil(mean_degree * 4.0 / self.axi_bytes_per_cycle)
+        return self.ddr_latency_cycles + float(fetch) + self.logic_cycles
+
+    def steps_per_cycle(self, mean_degree: float) -> float:
+        """Engine throughput with ``slots`` walks hiding DDR latency.
+
+        Bounded by the AXI bandwidth needed to stream neighbor lists.
+        """
+        single = self.cycles_per_step_single(mean_degree)
+        latency_bound = self.slots / single
+        bw_bound = self.axi_bytes_per_cycle / (mean_degree * 4.0)
+        return min(latency_bound, bw_bound, 1.0)
+
+    def walk_ms(self, length: int, mean_degree: float) -> float:
+        """Engine time to produce one walk (amortized, full slots)."""
+        check_positive("length", length, integer=True)
+        cycles = length / self.steps_per_cycle(mean_degree)
+        return 1e3 * cycles / (self.clock_mhz * 1e6)
+
+
+@dataclass(frozen=True)
+class EndToEnd:
+    """End-to-end per-walk accounting for one board organization."""
+
+    organization: str
+    walk_sample_ms: float
+    training_ms: float
+    overlapped: bool
+
+    @property
+    def total_ms(self) -> float:
+        if self.overlapped:
+            return max(self.walk_sample_ms, self.training_ms)
+        return self.walk_sample_ms + self.training_ms
+
+
+class BoardModel:
+    """PS+PL board organizations: host-sampled walks vs on-chip walks.
+
+    ``host_step_us`` calibrates the A53's per-step walk cost (bisection +
+    RNG per step at ~1.2 GHz, a few µs with CSR in DRAM).  With the default
+    2 µs/step a full l=80 walk costs 0.16 ms — *under* the 0.78 ms training
+    time, so walk sampling is not the end-to-end bottleneck on the paper's
+    workload; the on-chip engine only pays off if the host is much slower
+    (see the future-work bench's sensitivity row).
+    """
+
+    def __init__(
+        self,
+        spec: AcceleratorSpec,
+        *,
+        engine: WalkEngineModel | None = None,
+        host_step_us: float = 2.0,
+    ):
+        check_positive("host_step_us", host_step_us)
+        self.spec = spec
+        self.engine = engine or WalkEngineModel(clock_mhz=spec.clock_mhz)
+        self.host_step_us = float(host_step_us)
+        self._training_ms = PipelineModel(spec, CALIBRATED_CONSTANTS).walk_milliseconds()
+
+    def host_sampling(self, mean_degree: float) -> EndToEnd:
+        """Today's organization (Figure 4): A53 samples, PL trains; the two
+        pipeline across walks, so the slower side dominates."""
+        walk_ms = self.spec.walk_length * self.host_step_us * 1e-3
+        return EndToEnd(
+            organization="host_walk+pl_train",
+            walk_sample_ms=walk_ms,
+            training_ms=self._training_ms,
+            overlapped=True,
+        )
+
+    def onchip_sampling(self, mean_degree: float) -> EndToEnd:
+        """The future-work organization: LightRW-style engine feeds the
+        trainer on chip; sampling fully overlaps training."""
+        walk_ms = self.engine.walk_ms(self.spec.walk_length, mean_degree)
+        return EndToEnd(
+            organization="onchip_walk+pl_train",
+            walk_sample_ms=walk_ms,
+            training_ms=self._training_ms,
+            overlapped=True,
+        )
+
+    def speedup(self, mean_degree: float) -> float:
+        """End-to-end gain of moving the walk on chip."""
+        return (
+            self.host_sampling(mean_degree).total_ms
+            / self.onchip_sampling(mean_degree).total_ms
+        )

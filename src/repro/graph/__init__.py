@@ -1,0 +1,70 @@
+"""Graph substrate: CSR graphs, generators, Table 1 dataset surrogates,
+connectivity, and dynamic edge-insertion streams."""
+
+from repro.graph.components import (
+    ForestSplit,
+    connected_components,
+    forest_split,
+    n_connected_components,
+    spanning_forest_mask,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    amazon_computers_like,
+    amazon_photo_like,
+    cora_like,
+    dataset_names,
+    load_dataset,
+)
+from repro.graph.dynamic import DynamicGraph, EdgeEvent, edge_stream
+from repro.graph.generators import (
+    barabasi_albert,
+    degree_corrected_sbm,
+    erdos_renyi,
+    planted_partition,
+    random_tree,
+    ring_of_cliques,
+)
+from repro.graph.io import load_cora, load_edge_list, save_edge_list
+from repro.graph.stats import (
+    GraphSummary,
+    clustering_coefficient,
+    degree_statistics,
+    edge_homophily,
+    summarize,
+)
+
+__all__ = [
+    "CSRGraph",
+    "connected_components",
+    "n_connected_components",
+    "spanning_forest_mask",
+    "forest_split",
+    "ForestSplit",
+    "DynamicGraph",
+    "EdgeEvent",
+    "edge_stream",
+    "erdos_renyi",
+    "barabasi_albert",
+    "random_tree",
+    "planted_partition",
+    "degree_corrected_sbm",
+    "ring_of_cliques",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "cora_like",
+    "amazon_photo_like",
+    "amazon_computers_like",
+    "load_dataset",
+    "dataset_names",
+    "save_edge_list",
+    "load_edge_list",
+    "load_cora",
+    "edge_homophily",
+    "degree_statistics",
+    "clustering_coefficient",
+    "GraphSummary",
+    "summarize",
+]

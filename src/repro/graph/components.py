@@ -1,0 +1,144 @@
+"""Connectivity algorithms: connected components and spanning forests.
+
+The paper's "seq" evaluation scenario (§4.3.2) removes edges from the full
+graph so the initial graph "becomes a forest without changing the number of
+connected components", then replays the removed edges one at a time.  The
+helpers here implement exactly that carve-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "connected_components",
+    "n_connected_components",
+    "spanning_forest_mask",
+    "ForestSplit",
+    "forest_split",
+]
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component id per node (ids are 0..k-1 in order of first appearance).
+
+    Iterative BFS over the CSR arrays — no recursion, O(n + m).
+    """
+    n = graph.n_nodes
+    comp = np.full(n, -1, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    next_comp = 0
+    stack: list[int] = []
+    for start in range(n):
+        if comp[start] != -1:
+            continue
+        comp[start] = next_comp
+        stack.append(start)
+        while stack:
+            u = stack.pop()
+            row = indices[indptr[u] : indptr[u + 1]]
+            fresh = row[comp[row] == -1]
+            comp[fresh] = next_comp
+            stack.extend(int(v) for v in fresh)
+        next_comp += 1
+    return comp
+
+
+def n_connected_components(graph: CSRGraph) -> int:
+    comp = connected_components(graph)
+    return int(comp.max()) + 1 if comp.size else 0
+
+
+class _UnionFind:
+    """Array-based union-find with path halving + union by size."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def spanning_forest_mask(graph: CSRGraph, *, seed=None) -> np.ndarray:
+    """Boolean mask over ``graph.edge_array()`` selecting a spanning forest.
+
+    The forest spans every connected component (tree edges = n - #components),
+    so keeping exactly these edges preserves the component count while making
+    the graph acyclic — the paper's initial-graph construction.  The edge
+    order considered is randomized by ``seed`` so different seeds carve
+    different forests.
+    """
+    edges = graph.edge_array()
+    mask = np.zeros(edges.shape[0], dtype=bool)
+    uf = _UnionFind(graph.n_nodes)
+    order = as_generator(seed).permutation(edges.shape[0])
+    for e in order:
+        u, v = int(edges[e, 0]), int(edges[e, 1])
+        if u == v:
+            continue
+        if uf.union(u, v):
+            mask[e] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class ForestSplit:
+    """Result of :func:`forest_split`.
+
+    Attributes
+    ----------
+    initial:
+        the spanning-forest graph (same node set and labels as the input).
+    removed_edges:
+        (k, 2) array of the non-forest edges, in the randomized order in which
+        the "seq" scenario replays them.
+    forest_mask:
+        boolean mask over ``graph.edge_array()`` marking forest edges.
+    """
+
+    initial: CSRGraph
+    removed_edges: np.ndarray
+    forest_mask: np.ndarray
+
+
+def forest_split(graph: CSRGraph, *, seed=None) -> ForestSplit:
+    """Split a graph into (spanning forest, replay stream of removed edges).
+
+    Guarantees (validated by tests):
+
+    * the initial graph is a forest: ``n_edges == n_nodes - #components``;
+    * the number of connected components is unchanged;
+    * forest edges + removed edges = original edges (as sets).
+    """
+    rng = as_generator(seed)
+    mask = spanning_forest_mask(graph, seed=rng)
+    edges = graph.edge_array()
+    # drop self loops from the replay stream: they never merge components and
+    # node2vec walks treat them as ordinary transitions anyway
+    removed = edges[~mask]
+    removed = removed[removed[:, 0] != removed[:, 1]]
+    removed = removed[rng.permutation(removed.shape[0])]
+    initial = graph.subgraph_edges(mask)
+    return ForestSplit(initial=initial, removed_edges=removed, forest_mask=mask)

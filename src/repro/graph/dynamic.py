@@ -1,0 +1,146 @@
+"""Dynamic graphs: edge-insertion streams over immutable CSR snapshots.
+
+The paper's target deployment is an IoT edge device observing a *growing*
+graph (new social links, new co-purchases).  ``DynamicGraph`` models this as
+a mutable edge set with cheap incremental insertion plus on-demand CSR
+snapshots, so the walk engine always works on a consistent immutable view.
+
+Rebuilding CSR on every snapshot is O(n + m); the "seq" scenario batches
+insertions (``edges_per_event``) so snapshot cost is amortized the way the
+paper's host CPU batches DMA transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DynamicGraph", "EdgeEvent", "edge_stream"]
+
+
+class EdgeEvent:
+    """One insertion event: a batch of edges added at the same step."""
+
+    __slots__ = ("step", "edges")
+
+    def __init__(self, step: int, edges: np.ndarray):
+        self.step = int(step)
+        self.edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+    @property
+    def touched_nodes(self) -> np.ndarray:
+        """Unique endpoints of this batch — walk starts for the 'seq' scenario
+        (the paper starts a random walk "from both the ends of an added
+        edge")."""
+        return np.unique(self.edges)
+
+    def __repr__(self) -> str:
+        return f"EdgeEvent(step={self.step}, n_edges={self.edges.shape[0]})"
+
+
+class DynamicGraph:
+    """A growing undirected graph with O(1) amortized edge insertion.
+
+    Parameters
+    ----------
+    n_nodes:
+        fixed node universe (the paper's scenarios add edges, not nodes).
+    initial:
+        optional starting graph (e.g. the spanning forest from
+        :func:`repro.graph.components.forest_split`).
+    node_labels:
+        class labels carried onto every snapshot.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        initial: CSRGraph | None = None,
+        node_labels: np.ndarray | None = None,
+    ):
+        if initial is not None and initial.n_nodes != n_nodes:
+            raise ValueError("initial graph node count mismatch")
+        self.n_nodes = int(n_nodes)
+        self._edges: set[tuple[int, int]] = set()
+        self.node_labels = node_labels
+        if initial is not None:
+            for u, v in initial.edge_array():
+                self._edges.add(self._key(int(u), int(v)))
+            if node_labels is None:
+                self.node_labels = initial.node_labels
+        self._snapshot: CSRGraph | None = None
+        self._dirty = True
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._key(int(u), int(v)) in self._edges
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert one edge; returns False if it already existed."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n_nodes}")
+        key = self._key(u, v)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        self._dirty = True
+        return True
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Insert a batch; returns the number of genuinely new edges."""
+        added = 0
+        for u, v in np.asarray(list(edges), dtype=np.int64).reshape(-1, 2):
+            added += self.add_edge(int(u), int(v))
+        return added
+
+    def snapshot(self) -> CSRGraph:
+        """Immutable CSR view of the current edge set (cached until dirty)."""
+        if self._dirty or self._snapshot is None:
+            edges = (
+                np.asarray(sorted(self._edges), dtype=np.int64)
+                if self._edges
+                else np.empty((0, 2), dtype=np.int64)
+            )
+            self._snapshot = CSRGraph.from_edges(
+                self.n_nodes, edges, node_labels=self.node_labels
+            )
+            self._dirty = False
+        return self._snapshot
+
+    def __repr__(self) -> str:
+        return f"DynamicGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+
+def edge_stream(
+    edges: np.ndarray, *, edges_per_event: int = 1, max_events: int | None = None
+) -> Iterator[EdgeEvent]:
+    """Chop a replay edge list into :class:`EdgeEvent` batches.
+
+    ``edges_per_event=1`` reproduces the paper's one-edge-at-a-time protocol;
+    larger batches are the documented scale knob for the quick profiles.
+    ``max_events`` truncates the stream (quick profiles again).
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges_per_event < 1:
+        raise ValueError("edges_per_event must be >= 1")
+    n_events = int(np.ceil(edges.shape[0] / edges_per_event))
+    if max_events is not None:
+        n_events = min(n_events, max_events)
+    for k in range(n_events):
+        lo = k * edges_per_event
+        hi = min(lo + edges_per_event, edges.shape[0])
+        yield EdgeEvent(step=k, edges=edges[lo:hi])

@@ -1,0 +1,297 @@
+"""Random-graph generators.
+
+These provide both generic substrates (Erdős–Rényi, Barabási–Albert, trees)
+used in tests, and the degree-corrected stochastic block models used to stand
+in for the paper's datasets (see ``repro.graph.datasets`` and the
+substitution table in DESIGN.md).
+
+All generators return :class:`~repro.graph.csr.CSRGraph` and take an explicit
+``seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "random_tree",
+    "planted_partition",
+    "degree_corrected_sbm",
+    "ring_of_cliques",
+]
+
+
+def erdos_renyi(n: int, p: float, *, seed=None) -> CSRGraph:
+    """G(n, p) undirected random graph (no self loops).
+
+    Sampling is vectorized: candidate pairs are drawn block-wise from the
+    upper triangle via geometric skipping, giving O(m) expected work instead
+    of O(n^2).
+    """
+    check_positive("n", n, integer=True)
+    check_probability("p", p)
+    rng = as_generator(seed)
+    total_pairs = n * (n - 1) // 2
+    if p == 0.0 or total_pairs == 0:
+        return CSRGraph.from_edges(n, np.empty((0, 2), dtype=np.int64))
+    if p == 1.0:
+        iu = np.triu_indices(n, k=1)
+        return CSRGraph.from_edges(n, np.stack(iu, axis=1))
+
+    # Geometric skipping over linearized upper-triangle indices.
+    picks = []
+    pos = -1
+    log1p = np.log1p(-p)
+    # Draw skips in blocks to amortize RNG overhead.
+    expected = max(16, int(total_pairs * p * 1.2))
+    while True:
+        u = rng.random(expected)
+        skips = np.floor(np.log(u) / log1p).astype(np.int64) + 1
+        steps = np.cumsum(skips) + pos
+        inside = steps < total_pairs
+        picks.append(steps[inside])
+        if not inside.all():
+            break
+        pos = int(steps[-1])
+    lin = np.concatenate(picks)
+
+    # De-linearize: row i of the upper triangle starts at offset
+    # i*n - i*(i+1)/2 - i ... solved via searchsorted on row starts.
+    row_starts = np.cumsum(np.arange(n - 1, 0, -1, dtype=np.int64))
+    row_starts = np.concatenate([[0], row_starts])
+    i = np.searchsorted(row_starts, lin, side="right") - 1
+    j = lin - row_starts[i] + i + 1
+    edges = np.stack([i, j], axis=1)
+    return CSRGraph.from_edges(n, edges)
+
+
+def barabasi_albert(n: int, m: int, *, seed=None) -> CSRGraph:
+    """Preferential-attachment graph: each new node attaches to ``m`` nodes.
+
+    Matches the classic BA process (repeated-endpoint sampling from the
+    degree-weighted multiset), which yields heavy-tailed degrees similar to
+    the Amazon co-purchase graphs' skew.
+    """
+    check_positive("n", n, integer=True)
+    check_positive("m", m, integer=True)
+    if m >= n:
+        raise ValueError(f"m ({m}) must be < n ({n})")
+    rng = as_generator(seed)
+
+    # Endpoint multiset; every arc contributes both endpoints.
+    repeated: list[int] = []
+    edges: list[tuple[int, int]] = []
+    # seed star on the first m+1 nodes so every node has degree >= 1
+    for v in range(1, m + 1):
+        edges.append((0, v))
+        repeated += [0, v]
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            t = repeated[rng.integers(len(repeated))]
+            targets.add(int(t))
+        for t in targets:
+            edges.append((v, t))
+            repeated += [v, t]
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def random_tree(n: int, *, seed=None) -> CSRGraph:
+    """Uniform random labelled tree via a Prüfer sequence."""
+    check_positive("n", n, integer=True)
+    if n == 1:
+        return CSRGraph.from_edges(1, np.empty((0, 2), dtype=np.int64))
+    if n == 2:
+        return CSRGraph.from_edges(2, np.array([[0, 1]]))
+    rng = as_generator(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    np.add.at(degree, prufer, 1)
+
+    import heapq
+
+    leaves = [int(v) for v in np.flatnonzero(degree == 1)]
+    heapq.heapify(leaves)
+    edges = np.empty((n - 1, 2), dtype=np.int64)
+    for k, a in enumerate(prufer):
+        leaf = heapq.heappop(leaves)
+        edges[k] = (leaf, a)
+        degree[a] -= 1
+        if degree[a] == 1:
+            heapq.heappush(leaves, int(a))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges[n - 2] = (u, v)
+    return CSRGraph.from_edges(n, edges)
+
+
+def _sample_block_edges(
+    rng: np.random.Generator,
+    nodes_a: np.ndarray,
+    nodes_b: np.ndarray,
+    n_edges: int,
+    weight_a: np.ndarray | None,
+    weight_b: np.ndarray | None,
+) -> np.ndarray:
+    """Sample ``n_edges`` endpoint pairs between two node pools.
+
+    Degree correction enters via per-node selection weights; duplicates and
+    self loops are removed downstream by ``CSRGraph.from_edges``/filtering.
+    """
+    if n_edges <= 0 or nodes_a.size == 0 or nodes_b.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    pa = None if weight_a is None else weight_a / weight_a.sum()
+    pb = None if weight_b is None else weight_b / weight_b.sum()
+    us = rng.choice(nodes_a, size=n_edges, p=pa)
+    vs = rng.choice(nodes_b, size=n_edges, p=pb)
+    pairs = np.stack([us, vs], axis=1)
+    return pairs[pairs[:, 0] != pairs[:, 1]]
+
+
+def planted_partition(
+    n: int,
+    n_classes: int,
+    *,
+    avg_degree: float,
+    homophily: float = 0.9,
+    seed=None,
+) -> CSRGraph:
+    """Planted-partition SBM with equal-size communities.
+
+    ``homophily`` is the fraction of edge endpoints that stay inside the
+    community. Node labels are attached for downstream classification.
+    """
+    return degree_corrected_sbm(
+        n,
+        n_classes,
+        avg_degree=avg_degree,
+        homophily=homophily,
+        degree_exponent=None,
+        seed=seed,
+    )
+
+
+def degree_corrected_sbm(
+    n: int,
+    n_classes: int,
+    *,
+    avg_degree: float,
+    homophily: float = 0.9,
+    degree_exponent: float | None = 2.5,
+    seed=None,
+) -> CSRGraph:
+    """Degree-corrected stochastic block model.
+
+    Parameters
+    ----------
+    n, n_classes:
+        node count and number of planted communities (node labels returned on
+        the graph).
+    avg_degree:
+        target mean degree; the realized edge count is close to
+        ``n * avg_degree / 2`` minus removed duplicates/self loops.
+    homophily:
+        probability that an edge is intra-community.
+    degree_exponent:
+        if not ``None``, node propensities follow a Pareto power law with this
+        exponent, giving the heavy-tailed degrees of co-purchase graphs;
+        ``None`` gives (near-)uniform degrees like a plain planted partition.
+    """
+    check_positive("n", n, integer=True)
+    check_positive("n_classes", n_classes, integer=True)
+    check_positive("avg_degree", avg_degree)
+    check_probability("homophily", homophily)
+    if n_classes > n:
+        raise ValueError("cannot have more classes than nodes")
+    rng = as_generator(seed)
+
+    labels = np.sort(rng.integers(0, n_classes, size=n))
+    # guarantee every class is non-empty
+    labels[:n_classes] = np.arange(n_classes)
+    labels = labels[rng.permutation(n)]
+
+    if degree_exponent is None:
+        theta = np.ones(n)
+    else:
+        theta = rng.pareto(degree_exponent - 1.0, size=n) + 1.0
+
+    target_edges = int(round(n * avg_degree / 2))
+    intra_edges = int(round(target_edges * homophily))
+    inter_edges = target_edges - intra_edges
+
+    chunks: list[np.ndarray] = []
+    class_nodes = [np.flatnonzero(labels == c) for c in range(n_classes)]
+    class_mass = np.array([theta[cn].sum() for cn in class_nodes])
+    per_class = rng.multinomial(intra_edges, class_mass / class_mass.sum())
+    for c, m_c in enumerate(per_class):
+        cn = class_nodes[c]
+        chunks.append(_sample_block_edges(rng, cn, cn, int(m_c), theta[cn], theta[cn]))
+
+    if inter_edges > 0 and n_classes > 1:
+        us = rng.choice(n, size=inter_edges, p=theta / theta.sum())
+        vs = rng.choice(n, size=inter_edges, p=theta / theta.sum())
+        keep = labels[us] != labels[vs]
+        chunks.append(np.stack([us[keep], vs[keep]], axis=1))
+
+    edges = (
+        np.concatenate(chunks, axis=0) if chunks else np.empty((0, 2), dtype=np.int64)
+    )
+    graph = CSRGraph.from_edges(n, edges, node_labels=labels)
+
+    # Top-up: duplicate pairs and self loops collapse during CSR construction,
+    # leaving the realized edge count a few percent below target.  Resample
+    # the deficit (same homophily mix) until within 0.5% or attempts run out.
+    all_edges = [graph.edge_array()]
+    for _ in range(6):
+        graph = CSRGraph.from_edges(
+            n, np.concatenate(all_edges, axis=0), node_labels=labels
+        )
+        deficit = target_edges - graph.n_edges
+        if deficit <= max(1, int(0.005 * target_edges)):
+            break
+        extra = int(np.ceil(deficit * 1.05))
+        n_intra = int(round(extra * homophily))
+        top: list[np.ndarray] = []
+        per_class = rng.multinomial(n_intra, class_mass / class_mass.sum())
+        for c, m_c in enumerate(per_class):
+            cn = class_nodes[c]
+            top.append(_sample_block_edges(rng, cn, cn, int(m_c), theta[cn], theta[cn]))
+        n_inter = extra - n_intra
+        if n_inter > 0 and n_classes > 1:
+            us = rng.choice(n, size=n_inter, p=theta / theta.sum())
+            vs = rng.choice(n, size=n_inter, p=theta / theta.sum())
+            keep = labels[us] != labels[vs]
+            top.append(np.stack([us[keep], vs[keep]], axis=1))
+        if top:
+            all_edges.append(np.concatenate(top, axis=0))
+    return graph
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int, *, seed=None) -> CSRGraph:
+    """Deterministic community benchmark: cliques joined in a ring.
+
+    Handy in tests because the optimal embedding/clustering is known exactly.
+    Labels each clique as its own class.
+    """
+    check_positive("n_cliques", n_cliques, integer=True)
+    check_positive("clique_size", clique_size, integer=True)
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    n = n_cliques * clique_size
+    edges = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+        nxt = ((c + 1) % n_cliques) * clique_size
+        if n_cliques > 1:
+            edges.append((base, nxt))
+    labels = np.repeat(np.arange(n_cliques), clique_size)
+    return CSRGraph.from_edges(n, np.asarray(edges), node_labels=labels)

@@ -1,0 +1,37 @@
+"""Hardware models: op counting, CPU timing profiles (Cortex-A53,
+Core i7-11700) calibrated against Tables 3/4, and model-size accounting
+(Table 5)."""
+
+from repro.hw.cpu import (
+    CORE_I7_11700,
+    CORTEX_A53,
+    PAPER_CPU_MS,
+    PAPER_TIMING_N_NODES,
+    CPUProfile,
+    calibrate_cpu_profiles,
+    cpu_walk_ms,
+)
+from repro.hw.modelsize import (
+    PAPER_MODEL_SIZES_MB,
+    dataset_n_nodes,
+    model_size_bytes,
+    model_size_mb,
+    size_ratio,
+)
+from repro.hw.opcount import OpCount
+
+__all__ = [
+    "OpCount",
+    "CPUProfile",
+    "CORTEX_A53",
+    "CORE_I7_11700",
+    "PAPER_CPU_MS",
+    "PAPER_TIMING_N_NODES",
+    "cpu_walk_ms",
+    "calibrate_cpu_profiles",
+    "model_size_bytes",
+    "model_size_mb",
+    "size_ratio",
+    "PAPER_MODEL_SIZES_MB",
+    "dataset_n_nodes",
+]

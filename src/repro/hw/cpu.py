@@ -1,0 +1,184 @@
+"""CPU timing models for the paper's software baselines (Tables 3/4).
+
+Our Python implementations run at interpreter speed; the paper's run as
+C/C++ on an ARM Cortex-A53 @1.2 GHz (the ZCU104's PS) and an Intel Core
+i7-11700 @2.5 GHz.  The timing model maps *operation counts* (from each
+model's analytic ``op_profile``) to milliseconds:
+
+    t = c_compute · mac · cache_penalty(working_set) + c_overhead · windows
+
+with ``cache_penalty(ws) = 1 + k · max(0, ws / last_level_cache − 1)`` —
+once the weight matrices outgrow the LLC, every strided row access pays DRAM
+latency, which is exactly the superlinear growth the A53 shows in Table 3
+(its 1 MB L2 is dwarfed by Cora's 1.4–4.2 MB weight tables) and the i7 does
+not (16 MB L3 covers every configuration).
+
+Per-(platform, model) compute coefficients are fitted to the paper's six
+timings per platform (least squares, :func:`calibrate_cpu_profiles`); the
+frozen values below reproduce Table 3 within 0.1% and Table 4 within 1.8%
+(asserted by tests).  The two models get separate compute coefficients
+because their access patterns differ in kind: the SGD skip-gram is a
+gather/scatter row shuffle, the OS-ELM update is dense matrix arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.opcount import OpCount
+from repro.utils.validation import check_in_set
+
+__all__ = [
+    "CPUProfile",
+    "CORTEX_A53",
+    "CORE_I7_11700",
+    "PAPER_CPU_MS",
+    "cpu_walk_ms",
+    "calibrate_cpu_profiles",
+    "PAPER_TIMING_N_NODES",
+]
+
+#: Tables 3 and 4: per-walk training time (ms), Cora-scale weight tables.
+PAPER_CPU_MS = {
+    "cortex_a53": {
+        "original": {32: 35.357, 64: 100.291, 96: 202.175},
+        "proposed": {32: 18.753, 64: 35.941, 96: 72.612},
+    },
+    "core_i7_11700": {
+        "original": {32: 1.309, 64: 2.293, 96: 3.285},
+        "proposed": {32: 0.787, 64: 1.426, 96: 2.396},
+    },
+}
+
+#: The timing benchmarks train Cora (first dataset of Table 1).
+PAPER_TIMING_N_NODES = 2708
+
+_MODEL_NAMES = ("original", "proposed", "dataflow")
+
+
+def _model_classes():
+    # imported lazily: repro.embedding imports repro.hw.opcount, so a
+    # module-level import here would be circular
+    from repro.embedding.dataflow import DataflowOSELMSkipGram
+    from repro.embedding.sequential import OSELMSkipGram
+    from repro.embedding.skipgram import SkipGramSGD
+
+    return {
+        "original": SkipGramSGD,
+        "proposed": OSELMSkipGram,
+        "dataflow": DataflowOSELMSkipGram,
+    }
+
+
+def _working_set_bytes(model: str, dim: int, n_nodes: int) -> int:
+    """Bytes the training loop streams through: the weight state (float64 on
+    CPU — Table 5 pairs with this accounting)."""
+    if model == "original":
+        return 2 * n_nodes * dim * 8
+    return (n_nodes * dim + dim * dim) * 8
+
+
+@dataclass(frozen=True)
+class CPUProfile:
+    """One platform's calibrated timing profile."""
+
+    name: str
+    clock_ghz: float
+    last_level_cache_kb: int
+    compute_ns: dict  # per-model ns per MAC
+    overhead_ns: dict  # per-model ns per window iteration
+    cache_factor: float  # k in the penalty formula
+
+    def cache_penalty(self, working_set_bytes: float) -> float:
+        ratio = working_set_bytes / (self.last_level_cache_kb * 1024)
+        return 1.0 + self.cache_factor * max(0.0, ratio - 1.0)
+
+    def walk_ms(
+        self,
+        model: str,
+        dim: int,
+        *,
+        n_nodes: int = PAPER_TIMING_N_NODES,
+        n_contexts: int = 73,
+        n_positives: int = 7,
+        n_negatives: int = 10,
+    ) -> float:
+        """Predicted per-walk training time in milliseconds."""
+        check_in_set("model", model, _MODEL_NAMES)
+        ops: OpCount = _model_classes()[model].op_profile(
+            dim, n_contexts, n_positives, n_negatives
+        )
+        key = "proposed" if model == "dataflow" else model
+        pen = self.cache_penalty(_working_set_bytes(key, dim, n_nodes))
+        t_ns = self.compute_ns[key] * ops.mac * pen + self.overhead_ns[key] * ops.win
+        return t_ns * 1e-6
+
+
+# Frozen calibration (see calibrate_cpu_profiles; tests assert agreement).
+CORTEX_A53 = CPUProfile(
+    name="cortex_a53",
+    clock_ghz=1.2,
+    last_level_cache_kb=1024,  # A53 cluster L2 on Zynq UltraScale+
+    compute_ns={"original": 43.29632, "proposed": 15.80900},
+    overhead_ns={"original": 13356.23830, "proposed": 20735.85130},
+    cache_factor=0.57390,
+)
+
+CORE_I7_11700 = CPUProfile(
+    name="core_i7_11700",
+    clock_ghz=2.5,
+    last_level_cache_kb=16384,  # 16 MB L3
+    compute_ns={"original": 1.77524, "proposed": 0.82048},
+    overhead_ns={"original": 629.30015, "proposed": 702.44849},
+    cache_factor=0.5,  # never triggered: all working sets fit the L3
+)
+
+_PROFILES = {p.name: p for p in (CORTEX_A53, CORE_I7_11700)}
+
+
+def cpu_walk_ms(platform: str, model: str, dim: int, **kw) -> float:
+    """Convenience lookup: predicted per-walk ms on a named platform."""
+    check_in_set("platform", platform, tuple(_PROFILES))
+    return _PROFILES[platform].walk_ms(model, dim, **kw)
+
+
+def calibrate_cpu_profiles() -> dict[str, CPUProfile]:
+    """Re-derive the frozen profiles from Tables 3/4 by least squares."""
+    from scipy.optimize import least_squares
+
+    dims = (32, 64, 96)
+    out = {}
+    for name, base in _PROFILES.items():
+        target = np.array(
+            [PAPER_CPU_MS[name][m][d] for m in ("original", "proposed") for d in dims]
+        )
+
+        def predict(x):
+            prof = CPUProfile(
+                name=base.name,
+                clock_ghz=base.clock_ghz,
+                last_level_cache_kb=base.last_level_cache_kb,
+                compute_ns={"original": x[0], "proposed": x[2]},
+                overhead_ns={"original": x[1], "proposed": x[3]},
+                cache_factor=x[4],
+            )
+            return np.array(
+                [prof.walk_ms(m, d) for m in ("original", "proposed") for d in dims]
+            )
+
+        fit = least_squares(
+            lambda x: (predict(x) - target) / target,
+            x0=[5.0, 1000.0, 5.0, 1000.0, 0.5],
+            bounds=(0.0, np.inf),
+        )
+        out[name] = CPUProfile(
+            name=base.name,
+            clock_ghz=base.clock_ghz,
+            last_level_cache_kb=base.last_level_cache_kb,
+            compute_ns={"original": float(fit.x[0]), "proposed": float(fit.x[2])},
+            overhead_ns={"original": float(fit.x[1]), "proposed": float(fit.x[3])},
+            cache_factor=float(fit.x[4]),
+        )
+    return out

@@ -1,0 +1,6 @@
+"""Host-side parallelism: multiprocess walk generation and the pipelined
+training loop mirroring the board's PS/PL overlap."""
+
+from repro.parallel.pipeline import ParallelWalkGenerator, train_parallel
+
+__all__ = ["ParallelWalkGenerator", "train_parallel"]

@@ -1,0 +1,172 @@
+"""Parallel walk generation + pipelined training.
+
+The board's division of labor (§3.2) is a two-stage pipeline: the PS samples
+random walks while the PL trains on the previous ones.  On a multicore host
+the same structure applies: walk sampling is Python/RNG-bound and
+embarrassingly parallel across start nodes, while training is NumPy-bound.
+This module provides
+
+* :class:`ParallelWalkGenerator` — walk corpus generation fanned out over a
+  ``multiprocessing`` pool (fork start method; the CSR arrays are shared
+  copy-on-write, so workers carry no pickling cost for the graph);
+* :func:`train_parallel` — the full pipeline: chunks of start nodes →
+  worker walks → in-order training, overlapping generation with training.
+
+Determinism: every chunk derives its own seed from (base seed, chunk index)
+and results are consumed in chunk order, so the trained embedding is
+**bit-identical for any worker count** — the invariant the tests pin down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.embedding.trainer import TrainingResult, WalkTrainer, make_model
+from repro.graph.csr import CSRGraph
+from repro.sampling.negative import NegativeSampler, walk_frequencies
+from repro.sampling.walks import Node2VecWalker, WalkParams
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["ParallelWalkGenerator", "train_parallel"]
+
+# worker globals (populated by the pool initializer via fork)
+_WORKER_GRAPH: CSRGraph | None = None
+_WORKER_PARAMS: WalkParams | None = None
+
+
+def _init_worker(graph: CSRGraph, params: WalkParams) -> None:
+    global _WORKER_GRAPH, _WORKER_PARAMS
+    _WORKER_GRAPH = graph
+    _WORKER_PARAMS = params
+
+
+def _walk_chunk(job: tuple) -> list:
+    """Run one chunk of walks inside a worker (or inline)."""
+    starts, seed = job
+    walker = Node2VecWalker(_WORKER_GRAPH, _WORKER_PARAMS, seed=seed)
+    return [walker.walk(int(s)) for s in starts]
+
+
+class ParallelWalkGenerator:
+    """Chunked, seeded, optionally multiprocess walk generation.
+
+    Parameters
+    ----------
+    graph, params:
+        what to walk on and how.
+    n_workers:
+        0 or 1 → inline generation (no processes); ≥2 → a fork pool.
+    chunk_size:
+        start nodes per work item; larger chunks amortize IPC, smaller
+        chunks pipeline better.
+    seed:
+        base seed; chunk ``i`` uses ``SeedSequence([seed, i])``.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        params: WalkParams | None = None,
+        *,
+        n_workers: int = 0,
+        chunk_size: int = 256,
+        seed: int = 0,
+    ):
+        check_positive("chunk_size", chunk_size, integer=True)
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self.graph = graph
+        self.params = params or WalkParams()
+        self.n_workers = int(n_workers)
+        self.chunk_size = int(chunk_size)
+        self.seed = int(seed)
+
+    def _jobs(self, starts: np.ndarray) -> list[tuple]:
+        jobs = []
+        for i, lo in enumerate(range(0, starts.shape[0], self.chunk_size)):
+            chunk = starts[lo : lo + self.chunk_size]
+            chunk_seed = np.random.SeedSequence([self.seed, i])
+            jobs.append((chunk, chunk_seed))
+        return jobs
+
+    def corpus_starts(self) -> np.ndarray:
+        """The r-walks-per-node start list (shuffled per repetition, matching
+        :meth:`Node2VecWalker.simulate`)."""
+        rng = as_generator(np.random.SeedSequence([self.seed, 0xC0FFEE]))
+        n = self.graph.n_nodes
+        reps = [rng.permutation(n) for _ in range(self.params.walks_per_node)]
+        return np.concatenate(reps)
+
+    def generate(self, starts: np.ndarray | None = None) -> Iterator[list]:
+        """Yield walk chunks in deterministic chunk order."""
+        if starts is None:
+            starts = self.corpus_starts()
+        starts = np.asarray(starts, dtype=np.int64)
+        jobs = self._jobs(starts)
+        if self.n_workers <= 1:
+            _init_worker(self.graph, self.params)
+            for job in jobs:
+                yield _walk_chunk(job)
+            return
+        ctx = mp.get_context("fork" if os.name == "posix" else "spawn")
+        with ctx.Pool(
+            self.n_workers,
+            initializer=_init_worker,
+            initargs=(self.graph, self.params),
+        ) as pool:
+            # imap preserves submission order → deterministic consumption
+            yield from pool.imap(_walk_chunk, jobs)
+
+    def all_walks(self, starts: np.ndarray | None = None) -> list:
+        return [w for chunk in self.generate(starts) for w in chunk]
+
+
+def train_parallel(
+    graph: CSRGraph,
+    *,
+    dim: int = 32,
+    model: str = "proposed",
+    hyper=None,
+    n_workers: int = 0,
+    chunk_size: int = 256,
+    negative_power: float = 0.75,
+    seed: int = 0,
+    **model_kwargs,
+) -> TrainingResult:
+    """Pipelined counterpart of :func:`repro.embedding.train_on_graph`.
+
+    Walk chunks stream out of the worker pool while the main process trains
+    on them, mirroring the PS/PL overlap of the board.  The result is
+    bit-identical across ``n_workers`` settings (chunk-seeded generation,
+    in-order consumption) — and bit-identical to itself run twice.
+
+    Note the negative sampler is built from the first pass's frequencies
+    exactly like the sequential trainer: we buffer one full corpus, build
+    the sampler, then train — generation still overlaps the (later) walk
+    chunks' transport, and determinism is preserved.
+    """
+    from repro.experiments.hyper import Node2VecParams
+
+    hp = hyper or Node2VecParams()
+    rng = as_generator(seed)
+    mdl = make_model(model, graph.n_nodes, dim, seed=int(rng.integers(2**62)), **model_kwargs)
+
+    generator = ParallelWalkGenerator(
+        graph,
+        hp.walk_params(),
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        seed=int(rng.integers(2**31)),
+    )
+    walks = generator.all_walks()
+    sampler = NegativeSampler.from_walks(
+        walks, graph.n_nodes, power=negative_power, seed=int(rng.integers(2**62))
+    )
+    trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns)
+    trainer.train_corpus(walks, sampler)
+    return trainer.result(hyper=hp)

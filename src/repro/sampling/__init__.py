@@ -1,0 +1,27 @@
+"""Sampling substrate: Walker's alias method, negative sampling, node2vec
+second-order random walks, and window partitioning of walks into skip-gram
+training contexts."""
+
+from repro.sampling.alias import AliasTable
+from repro.sampling.batched import BatchedWalker
+from repro.sampling.corpus import (
+    WalkContexts,
+    contexts_from_walk,
+    corpus_contexts,
+    n_contexts,
+)
+from repro.sampling.negative import NegativeSampler, walk_frequencies
+from repro.sampling.walks import Node2VecWalker, WalkParams
+
+__all__ = [
+    "AliasTable",
+    "BatchedWalker",
+    "NegativeSampler",
+    "walk_frequencies",
+    "Node2VecWalker",
+    "WalkParams",
+    "WalkContexts",
+    "contexts_from_walk",
+    "corpus_contexts",
+    "n_contexts",
+]

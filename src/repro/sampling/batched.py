@@ -1,0 +1,120 @@
+"""Lockstep batched random walks — vectorized sampling for the q = 1 regime.
+
+The paper's hyper-parameters (Table 2) set q = 1, which collapses Eq. (1)
+to "uniform over neighbors, except the previous node is re-weighted by
+1/p".  That special structure admits a fully vectorized sampler over a
+*batch* of walks advancing in lockstep:
+
+1. propose, for every active walk, a uniform neighbor of its current node
+   (one gather: ``indices[indptr[cur] + floor(u · deg)]``);
+2. accept with probability α(x)/α_max where α = 1/p for x = prev and 1
+   otherwise — a vectorized comparison, no per-row search;
+3. retry only the rejected lanes (expected ≤ max(1/p, 1, p) rounds).
+
+This is the same rejection scheme as :class:`Node2VecWalker`'s
+``"rejection"`` strategy, but with the per-walk Python loop replaced by
+array ops across the whole batch — typically ~10× faster corpus generation
+at Table 2 settings.  Distributional equivalence with the reference walker
+is asserted by tests; for q ≠ 1 or weighted graphs use the reference
+walker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.walks import WalkParams
+from repro.utils.rng import as_generator
+
+__all__ = ["BatchedWalker"]
+
+
+class BatchedWalker:
+    """Vectorized lockstep walker for unweighted graphs with q = 1.
+
+    Parameters mirror :class:`~repro.sampling.walks.Node2VecWalker`; a
+    ``ValueError`` is raised for configurations outside the fast regime.
+    """
+
+    def __init__(self, graph: CSRGraph, params: WalkParams | None = None, *, seed=None):
+        self.graph = graph
+        self.params = params or WalkParams()
+        if self.params.q != 1.0:
+            raise ValueError("BatchedWalker requires q == 1 (Table 2's value); "
+                             "use Node2VecWalker for general q")
+        if not np.allclose(graph.weights, 1.0):
+            raise ValueError("BatchedWalker requires an unweighted graph")
+        self.rng = as_generator(seed)
+        self._deg = graph.degree()
+
+    # ------------------------------------------------------------------ #
+
+    def _propose(self, cur: np.ndarray) -> np.ndarray:
+        """One uniform neighbor per walk (vectorized CSR gather)."""
+        deg = self._deg[cur]
+        offs = (self.rng.random(cur.shape[0]) * deg).astype(np.int64)
+        return self.graph.indices[self.graph.indptr[cur] + offs]
+
+    def step_batch(self, prev: np.ndarray, cur: np.ndarray) -> np.ndarray:
+        """Advance every walk one biased step (rejection over the batch)."""
+        p = self.params.p
+        alpha_max = max(1.0 / p, 1.0)
+        nxt = np.full(cur.shape[0], -1, dtype=np.int64)
+        pending = np.arange(cur.shape[0])
+        # dangling current nodes stay -1 (caller truncates those walks)
+        alive = self._deg[cur[pending]] > 0
+        pending = pending[alive]
+        while pending.size:
+            cand = self._propose(cur[pending])
+            alpha = np.where(cand == prev[pending], 1.0 / p, 1.0)
+            accept = self.rng.random(pending.size) * alpha_max <= alpha
+            nxt[pending[accept]] = cand[accept]
+            pending = pending[~accept]
+        return nxt
+
+    def walk_batch(self, starts: np.ndarray) -> np.ndarray:
+        """Walks from every start, as an (n_walks, length) array.
+
+        Truncated walks (dangling nodes) are padded with −1 from the
+        truncation point on; :meth:`as_walk_list` strips the padding.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        W = starts.shape[0]
+        length = self.params.length
+        out = np.full((W, length), -1, dtype=np.int64)
+        out[:, 0] = starts
+        if length == 1:
+            return out
+
+        # first step: uniform neighbor (no bias — there is no previous node)
+        active = np.flatnonzero(self._deg[starts] > 0)
+        if active.size:
+            out[active, 1] = self._propose(starts[active])
+
+        for i in range(2, length):
+            active = np.flatnonzero(out[:, i - 1] >= 0)
+            if active.size == 0:
+                break
+            prev = out[active, i - 2]
+            cur = out[active, i - 1]
+            out[active, i] = self.step_batch(prev, cur)
+        return out
+
+    def as_walk_list(self, batch: np.ndarray) -> list[np.ndarray]:
+        """Strip −1 padding, one variable-length array per walk."""
+        out = []
+        for row in batch:
+            stop = np.flatnonzero(row < 0)
+            out.append(row[: stop[0]].copy() if stop.size else row.copy())
+        return out
+
+    def simulate(self, *, shuffle: bool = True) -> list[np.ndarray]:
+        """The r-walks-per-node corpus, like ``Node2VecWalker.simulate``."""
+        n = self.graph.n_nodes
+        starts = []
+        for _ in range(self.params.walks_per_node):
+            order = self.rng.permutation(n) if shuffle else np.arange(n)
+            starts.append(order)
+        batch = self.walk_batch(np.concatenate(starts))
+        return self.as_walk_list(batch)

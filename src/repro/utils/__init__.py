@@ -1,0 +1,27 @@
+"""Shared utilities: deterministic RNG plumbing, table rendering, validation.
+
+These helpers are intentionally small and dependency-free so that every
+substrate package (:mod:`repro.graph`, :mod:`repro.sampling`, ...) can use
+them without import cycles.
+"""
+
+from repro.utils.rng import RngMixin, as_generator, spawn_generators
+from repro.utils.tables import TextTable, format_float
+from repro.utils.validation import (
+    check_in_set,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RngMixin",
+    "as_generator",
+    "spawn_generators",
+    "TextTable",
+    "format_float",
+    "check_in_set",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

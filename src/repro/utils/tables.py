@@ -1,0 +1,89 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The experiment harness prints paper-vs-measured tables; this module renders
+them without external dependencies (no pandas/tabulate in the environment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["TextTable", "format_float"]
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Format a numeric cell: floats with ``digits`` decimals, rest via str.
+
+    ``None`` renders as ``"-"`` so sparse tables stay readable.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude < 10 ** -digits or magnitude >= 10**7):
+            return f"{value:.{digits}e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+class TextTable:
+    """Accumulate rows and render a boxed ASCII table.
+
+    Example
+    -------
+    >>> t = TextTable(["model", "ms"], title="Timing")
+    >>> t.add_row(["original", 35.357])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None, digits: int = 3):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.digits = digits
+        self._rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [format_float(v, self.digits) for v in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.columns)} columns"
+            )
+        self._rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "|" + "|".join(f" {c:>{w}} " for c, w in zip(cells, widths)) + "|"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(fmt_line(self.columns))
+        lines.append(sep)
+        for row in self._rows:
+            lines.append(fmt_line(row))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,56 @@
+"""Argument-validation helpers shared across the library.
+
+All raise ``ValueError``/``TypeError`` with messages naming the offending
+argument, so failures surface at the public API boundary rather than deep in
+NumPy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_in_set", "check_shape"]
+
+
+def check_positive(name: str, value, *, strict: bool = True, integer: bool = False):
+    """Validate that ``value`` is a positive (or non-negative) scalar."""
+    if integer and not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if not np.isscalar(value) or isinstance(value, (str, bytes, bool)):
+        raise TypeError(f"{name} must be a numeric scalar, got {value!r}")
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_set(name: str, value, allowed: Iterable[Any]):
+    """Validate a categorical option against its allowed values."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: tuple) -> np.ndarray:
+    """Validate an array's shape; ``None`` entries are wildcards."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dims, got shape {array.shape}")
+    for axis, (got, want) in enumerate(zip(array.shape, shape)):
+        if want is not None and got != want:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {want} along axis {axis}"
+            )
+    return array

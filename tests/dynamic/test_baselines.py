@@ -1,0 +1,47 @@
+"""Tests for repro.dynamic.baselines (dynnode2vec)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.baselines import run_dynnode2vec_scenario
+from repro.embedding import SkipGramSGD
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import ring_of_cliques
+
+HP = Node2VecParams(r=2, l=16, w=4, ns=3)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(5, 8, seed=0)
+
+
+class TestDynnode2vec:
+    def test_runs_and_shapes(self, graph):
+        res = run_dynnode2vec_scenario(graph, dim=8, hyper=HP, seed=0, n_snapshots=4)
+        assert res.scenario == "dynnode2vec"
+        assert res.embedding.shape == (graph.n_nodes, 8)
+        assert isinstance(res.model, SkipGramSGD)
+        assert np.isfinite(res.embedding).all()
+
+    def test_snapshot_count(self, graph):
+        res = run_dynnode2vec_scenario(graph, dim=8, hyper=HP, seed=0, n_snapshots=4)
+        assert res.n_events == 4
+
+    def test_final_graph_complete(self, graph):
+        res = run_dynnode2vec_scenario(graph, dim=8, hyper=HP, seed=0, n_snapshots=3)
+        assert res.extras["final_graph"] == graph
+
+    def test_initial_corpus_included(self, graph):
+        res = run_dynnode2vec_scenario(graph, dim=8, hyper=HP, seed=0, n_snapshots=2)
+        # at least the full r-walks-per-node initial corpus
+        assert res.n_walks >= HP.r * graph.n_nodes
+
+    def test_deterministic(self, graph):
+        a = run_dynnode2vec_scenario(graph, dim=8, hyper=HP, seed=5, n_snapshots=3)
+        b = run_dynnode2vec_scenario(graph, dim=8, hyper=HP, seed=5, n_snapshots=3)
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_invalid_snapshots(self, graph):
+        with pytest.raises((ValueError, TypeError)):
+            run_dynnode2vec_scenario(graph, hyper=HP, n_snapshots=0)

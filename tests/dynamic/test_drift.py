@@ -1,0 +1,92 @@
+"""Tests for repro.dynamic.drift (community rewiring + recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.drift import DriftResult, rewire_communities, run_drift_scenario
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import planted_partition, ring_of_cliques
+from repro.graph.stats import edge_homophily
+
+HP = Node2VecParams(r=2, l=16, w=4, ns=3)
+
+
+class TestRewireCommunities:
+    @pytest.fixture()
+    def graph(self):
+        return planted_partition(100, 4, avg_degree=8, homophily=0.95, seed=0)
+
+    def test_fraction_of_labels_changed(self, graph):
+        out = rewire_communities(graph, fraction=0.2, seed=0)
+        changed = np.mean(out.node_labels != graph.node_labels)
+        assert changed == pytest.approx(0.2, abs=0.02)
+
+    def test_zero_fraction_noop_labels(self, graph):
+        out = rewire_communities(graph, fraction=0.0, seed=0)
+        assert np.array_equal(out.node_labels, graph.node_labels)
+
+    def test_homophily_roughly_preserved(self, graph):
+        """Movers take their edges along, so the drifted graph stays
+        community-structured under the NEW labels."""
+        out = rewire_communities(graph, fraction=0.3, seed=0)
+        assert edge_homophily(out) > 0.7
+
+    def test_node_count_preserved(self, graph):
+        out = rewire_communities(graph, fraction=0.25, seed=0)
+        assert out.n_nodes == graph.n_nodes
+
+    def test_deterministic(self, graph):
+        a = rewire_communities(graph, fraction=0.2, seed=5)
+        b = rewire_communities(graph, fraction=0.2, seed=5)
+        assert a == b and np.array_equal(a.node_labels, b.node_labels)
+
+    def test_requires_labels(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            rewire_communities(g)
+
+    def test_invalid_fraction(self, graph):
+        with pytest.raises(ValueError):
+            rewire_communities(graph, fraction=1.5)
+
+
+class TestDriftScenario:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return ring_of_cliques(5, 8, seed=0)
+
+    def test_trajectory_shape(self, graph):
+        res = run_drift_scenario(
+            graph, model="proposed", dim=16, hyper=HP,
+            drift_fraction=0.25, seed=0, model_kwargs={"mu": 0.05},
+        )
+        assert isinstance(res, DriftResult)
+        # the drift hurts, retraining helps
+        assert res.f1_after_drift < res.f1_before
+        assert res.f1_recovered > res.f1_after_drift
+
+    def test_recovery_metric_bounds(self, graph):
+        res = run_drift_scenario(
+            graph, model="original", dim=16, hyper=HP,
+            drift_fraction=0.25, seed=0,
+        )
+        assert res.recovery >= 0.0
+
+    def test_model_name_recorded(self, graph):
+        res = run_drift_scenario(graph, model="original", dim=8, hyper=HP, seed=0)
+        assert res.model_name == "original"
+
+    def test_forgetting_factor_accelerates_recovery(self, graph):
+        """The FOS-ELM extension's purpose: after the drift, λ<1 tracks the
+        new communities at least as well as infinite-memory RLS."""
+        plain = run_drift_scenario(
+            graph, model="proposed", dim=16, hyper=HP, drift_fraction=0.3,
+            seed=3, model_kwargs={"mu": 0.05},
+        )
+        fos = run_drift_scenario(
+            graph, model="proposed", dim=16, hyper=HP, drift_fraction=0.3,
+            seed=3, model_kwargs={"mu": 0.05, "forgetting_factor": 0.9999},
+        )
+        assert fos.f1_recovered >= plain.f1_recovered - 0.05

@@ -1,0 +1,124 @@
+"""Tests for repro.embedding.block (exact per-walk block RLS)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.block import BlockOSELMSkipGram
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.sequential import OSELMSkipGram
+from repro.sampling.corpus import WalkContexts, contexts_from_walk
+
+
+def walk_inputs(n_nodes=40, length=12, window=4, ns=3, seed=0):
+    rng = np.random.default_rng(seed)
+    walk = rng.integers(0, n_nodes, size=length)
+    ctx = contexts_from_walk(walk, window)
+    negs = np.broadcast_to(rng.integers(0, n_nodes, size=ns), (ctx.n, ns)).copy()
+    return ctx, negs
+
+
+class TestExactness:
+    def test_single_context_matches_rank1(self):
+        """With one context the block step IS the rank-1 step."""
+        ctx = WalkContexts(centers=np.array([3]), positives=np.array([[4, 5, 6]]))
+        negs = np.array([[7, 8]])
+        a = OSELMSkipGram(10, 6, seed=9)
+        b = BlockOSELMSkipGram(10, 6, seed=9)
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert np.allclose(a.B, b.B, atol=1e-10)
+        assert np.allclose(a.P, b.P, atol=1e-10)
+
+    def test_p_update_is_exact_block_rls(self):
+        """P_new must equal (P0⁻¹ + HᵀH)⁻¹ — the Woodbury identity."""
+        ctx, negs = walk_inputs(seed=2)
+        m = BlockOSELMSkipGram(40, 8, seed=2)
+        P0 = m.P.copy()
+        H = m.mu * m.B[ctx.centers]
+        m.train_walk(ctx, negs)
+        expected = np.linalg.inv(np.linalg.inv(P0) + H.T @ H)
+        assert np.allclose(m.P, expected, atol=1e-10)
+
+    def test_p_stays_positive_definite(self):
+        m = BlockOSELMSkipGram(40, 8, seed=0)
+        for s in range(30):
+            ctx, negs = walk_inputs(seed=s)
+            m.train_walk(ctx, negs)
+        assert np.linalg.eigvalsh(m.P).min() > 0
+
+    def test_differs_from_dataflow(self):
+        # large hph regime so the S-matrix cross terms actually matter
+        ctx, negs = walk_inputs(seed=1)
+        kw = dict(mu=0.5, p0=10.0, init_scale=1.0, seed=4)
+        a = DataflowOSELMSkipGram(40, 8, **kw)
+        b = BlockOSELMSkipGram(40, 8, **kw)
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert not np.allclose(a.P, b.P, atol=1e-6)
+
+    def test_train_context_disabled(self):
+        m = BlockOSELMSkipGram(10, 4, seed=0)
+        with pytest.raises(NotImplementedError):
+            m.train_context(0, np.array([1]), np.array([2]))
+
+    def test_empty_walk_noop(self):
+        m = BlockOSELMSkipGram(10, 4, seed=0)
+        B = m.B.copy()
+        ctx = contexts_from_walk(np.array([1]), 4)
+        m.train_walk(ctx, np.zeros((0, 2), dtype=np.int64))
+        assert np.array_equal(m.B, B)
+
+
+class TestStability:
+    def test_stable_where_dataflow_diverges(self):
+        """The clique stress case: walks revisit the same few nodes, the
+        summed rank-1 deflations of Algorithm 2 overshoot and P goes
+        indefinite → divergence.  The exact block solve keeps P positive
+        definite and the embedding bounded on the identical stream."""
+        from repro.graph import ring_of_cliques
+        from repro.sampling import NegativeSampler, Node2VecWalker, WalkParams
+
+        g = ring_of_cliques(6, 8, seed=0)
+        kw = dict(mu=0.01, p0=10.0, init_scale=1.0, seed=1)
+        dataflow = DataflowOSELMSkipGram(g.n_nodes, 16, **kw)
+        block = BlockOSELMSkipGram(g.n_nodes, 16, **kw)
+        walker = Node2VecWalker(g, WalkParams(0.5, 1.0, 30, 5), seed=2)
+        walks = walker.simulate()
+        sampler = NegativeSampler.from_walks(walks, g.n_nodes, seed=3)
+        dataflow_diverged = False
+        with np.errstate(all="ignore"):
+            for w in walks:
+                ctx = contexts_from_walk(w, 5)
+                if ctx.n == 0:
+                    continue
+                negs = sampler.sample_for_walk(ctx.n, 5, reuse="per_walk")
+                block.train_walk(ctx, negs)
+                if not dataflow_diverged:
+                    dataflow.train_walk(ctx, negs)
+                    dataflow_diverged = (
+                        not np.isfinite(dataflow.B).all()
+                        or np.abs(dataflow.B).max() > 1e6
+                    )
+        assert dataflow_diverged
+        assert np.isfinite(block.B).all()
+        assert np.abs(block.B).max() < 1e3
+        assert np.linalg.eigvalsh(block.P).min() > 0
+
+    def test_learns_communities(self):
+        rng = np.random.default_rng(0)
+        m = BlockOSELMSkipGram(6, 8, mu=0.05, seed=0)
+        for _ in range(300):
+            block_base = int(rng.choice([0, 3]))
+            walk = block_base + rng.integers(0, 3, size=6)
+            ctx = contexts_from_walk(walk, 3)
+            m.train_walk(ctx, rng.integers(0, 6, size=(ctx.n, 2)))
+        e = m.embedding
+        e = e / np.linalg.norm(e, axis=1, keepdims=True)
+        assert (e[0] @ e[1] + e[3] @ e[4]) / 2 > (e[0] @ e[3] + e[1] @ e[4]) / 2
+
+
+class TestOpProfile:
+    def test_cubic_solve_term(self):
+        a = BlockOSELMSkipGram.op_profile(32, 73, 7, 10)
+        b = DataflowOSELMSkipGram.op_profile(32, 73, 7, 10)
+        assert a.mac > b.mac + 73**3 / 3 - 1

@@ -1,0 +1,141 @@
+"""Tests for repro.embedding.dataflow (Algorithm 2 — FPGA semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.sequential import OSELMSkipGram
+from repro.sampling.corpus import WalkContexts, contexts_from_walk
+
+
+def walk_inputs(n_nodes=40, length=12, window=4, ns=3, seed=0):
+    rng = np.random.default_rng(seed)
+    walk = rng.integers(0, n_nodes, size=length)
+    ctx = contexts_from_walk(walk, window)
+    negs = np.broadcast_to(
+        rng.integers(0, n_nodes, size=ns), (ctx.n, ns)
+    ).copy()  # per-walk reuse, as on the FPGA
+    return ctx, negs
+
+
+class TestSemantics:
+    def test_train_context_disabled(self):
+        m = DataflowOSELMSkipGram(10, 4, seed=0)
+        with pytest.raises(NotImplementedError):
+            m.train_context(0, np.array([1]), np.array([2]))
+
+    def test_empty_walk_noop(self):
+        m = DataflowOSELMSkipGram(10, 4, seed=0)
+        B, P = m.B.copy(), m.P.copy()
+        ctx = contexts_from_walk(np.array([1, 2]), 4)  # too short → 0 contexts
+        m.train_walk(ctx, np.zeros((0, 3), dtype=np.int64))
+        assert np.array_equal(m.B, B) and np.array_equal(m.P, P)
+
+    def test_single_context_walk_matches_algorithm1(self):
+        """With exactly one context there is nothing to defer: Algorithm 2
+        must coincide with Algorithm 1 exactly."""
+        ctx = WalkContexts(
+            centers=np.array([3]), positives=np.array([[4, 5, 6]])
+        )
+        negs = np.array([[7, 8]])
+        a = OSELMSkipGram(10, 6, seed=9)
+        b = DataflowOSELMSkipGram(10, 6, seed=9)
+        assert np.array_equal(a.B, b.B)
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert np.allclose(a.B, b.B, atol=1e-12)
+        assert np.allclose(a.P, b.P, atol=1e-12)
+
+    def test_deferred_updates_differ_from_algorithm1(self):
+        """With many contexts the frozen-state semantics must diverge from
+        the sequential update (that's the whole point of Figure 5)."""
+        ctx, negs = walk_inputs()
+        a = OSELMSkipGram(40, 8, seed=1)
+        b = DataflowOSELMSkipGram(40, 8, seed=1)
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert not np.allclose(a.B, b.B)
+
+    def test_all_contexts_use_walk_start_state(self):
+        """Manually replicate the deferred computation."""
+        ctx, negs = walk_inputs(seed=3)
+        m = DataflowOSELMSkipGram(40, 8, seed=2)
+        B0, P0 = m.B.copy(), m.P.copy()
+        mu = m.mu
+        dP = np.zeros_like(P0)
+        dB = np.zeros_like(B0)
+        J = ctx.positives.shape[1]
+        for i in range(ctx.n):
+            H = mu * B0[ctx.centers[i]]
+            Ph = P0 @ H
+            hph = H @ Ph
+            k = Ph / (1 + hph)
+            dP -= np.outer(k, Ph)
+            for pos in ctx.positives[i]:
+                dB[pos] += k * (1.0 - H @ B0[pos])
+            for neg in negs[i]:
+                dB[neg] += J * k * (0.0 - H @ B0[neg])
+        m.train_walk(ctx, negs)
+        assert np.allclose(m.P, P0 + dP, atol=1e-10)
+        assert np.allclose(m.B, B0 + dB, atol=1e-10)
+
+    def test_p_stays_symmetric(self):
+        m = DataflowOSELMSkipGram(40, 8, seed=0)
+        for s in range(10):
+            ctx, negs = walk_inputs(seed=s)
+            m.train_walk(ctx, negs)
+        assert np.allclose(m.P, m.P.T, atol=1e-10)
+
+    def test_walk_counter(self):
+        m = DataflowOSELMSkipGram(40, 8, seed=0)
+        ctx, negs = walk_inputs()
+        m.train_walk(ctx, negs)
+        m.train_walk(ctx, negs)
+        assert m.n_walks_trained == 2
+
+
+class TestAccuracyParity:
+    """Figure 5's claim: dataflow optimization costs little accuracy."""
+
+    def test_close_to_algorithm1_after_training(self):
+        rng = np.random.default_rng(0)
+        n_nodes, dim = 30, 8
+        a = OSELMSkipGram(n_nodes, dim, mu=0.05, seed=4)
+        b = DataflowOSELMSkipGram(n_nodes, dim, mu=0.05, seed=4)
+        for _ in range(400):
+            block = int(rng.choice([0, 15]))
+            walk = block + rng.integers(0, 15, size=10)
+            ctx = contexts_from_walk(walk, 4)
+            negs = np.broadcast_to(
+                rng.integers(0, n_nodes, size=3), (ctx.n, 3)
+            ).copy()
+            a.train_walk(ctx, negs)
+            b.train_walk(ctx, negs)
+
+        def sep(m):
+            e = m.embedding
+            e = e / (np.linalg.norm(e, axis=1, keepdims=True) + 1e-12)
+            S = e @ e.T
+            labels = (np.arange(n_nodes) >= 15).astype(int)
+            same = labels[:, None] == labels[None, :]
+            np.fill_diagonal(same, False)
+            other = ~same
+            np.fill_diagonal(other, False)
+            return S[same].mean() - S[other].mean()
+
+        sa, sb = sep(a), sep(b)
+        assert sa > 0.1 and sb > 0.1  # both learn
+        assert abs(sa - sb) < 0.35 * max(sa, sb)  # and comparably well
+
+
+class TestOpProfile:
+    def test_one_negative_batch_per_walk(self):
+        ops = DataflowOSELMSkipGram.op_profile(32, 73, 7, 10)
+        assert ops.rng == 10  # drawn once per walk [18]
+
+    def test_extra_delta_p_macs(self):
+        a = OSELMSkipGram.op_profile(32, 73, 7, 10)
+        b = DataflowOSELMSkipGram.op_profile(32, 73, 7, 10)
+        # +d² per context for ΔP accumulation, −(J−1)·ns·d saved error dots
+        expected = a.mac + 32 * 32 * 73 - 32 * 73 * 6 * 10
+        assert b.mac == pytest.approx(expected)

@@ -1,0 +1,93 @@
+"""Tests for the FOS-ELM forgetting-factor extension."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.sequential import OSELMSkipGram
+from repro.sampling.corpus import contexts_from_walk
+
+
+def ctx_negs(n_nodes=30, length=12, window=4, ns=3, seed=0):
+    rng = np.random.default_rng(seed)
+    walk = rng.integers(0, n_nodes, size=length)
+    ctx = contexts_from_walk(walk, window)
+    negs = rng.integers(0, n_nodes, size=(ctx.n, ns))
+    return ctx, negs
+
+
+class TestForgettingFactor:
+    def test_lambda_one_is_paper_algorithm(self):
+        a = OSELMSkipGram(30, 8, forgetting_factor=1.0, seed=0)
+        b = OSELMSkipGram(30, 8, seed=0)
+        ctx, negs = ctx_negs()
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert np.array_equal(a.B, b.B)
+        assert np.array_equal(a.P, b.P)
+
+    def test_invalid_lambda(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                OSELMSkipGram(10, 4, forgetting_factor=bad, seed=0)
+
+    def test_forgetting_keeps_gain_alive(self):
+        """With λ < 1 the P trace stays bounded away from zero under long
+        training; with λ = 1 it decays monotonically."""
+        rls = OSELMSkipGram(30, 8, forgetting_factor=1.0, seed=0)
+        fos = OSELMSkipGram(30, 8, forgetting_factor=0.995, seed=0)
+        for s in range(150):
+            ctx, negs = ctx_negs(seed=s)
+            rls.train_walk(ctx, negs)
+            fos.train_walk(ctx, negs)
+        assert np.trace(fos.P) > np.trace(rls.P)
+
+    def test_forgetting_adapts_to_drift(self):
+        """After the data distribution flips, the forgetting model moves its
+        embedding further toward the new regime than plain RLS."""
+        rng = np.random.default_rng(0)
+        rls = OSELMSkipGram(20, 8, mu=0.05, forgetting_factor=1.0, seed=1)
+        fos = OSELMSkipGram(20, 8, mu=0.05, forgetting_factor=0.99, seed=1)
+        # phase 1: nodes 0..9 co-occur
+        for _ in range(120):
+            walk = rng.integers(0, 10, size=8)
+            ctx = contexts_from_walk(walk, 3)
+            negs = rng.integers(10, 20, size=(ctx.n, 2))
+            rls.train_walk(ctx, negs)
+            fos.train_walk(ctx, negs)
+        # phase 2: node 0 now co-occurs with 10..19 instead
+        for _ in range(60):
+            walk = np.concatenate([[0], rng.integers(10, 20, size=7)])
+            ctx = contexts_from_walk(walk, 3)
+            negs = rng.integers(1, 10, size=(ctx.n, 2))
+            rls.train_walk(ctx, negs)
+            fos.train_walk(ctx, negs)
+
+        def affinity(m):
+            e = m.embedding / (np.linalg.norm(m.embedding, axis=1, keepdims=True) + 1e-12)
+            new = e[0] @ e[10:].T
+            old = e[0] @ e[1:10].T
+            return float(new.mean() - old.mean())
+
+        assert affinity(fos) > affinity(rls)
+
+    def test_dataflow_forgetting_matches_sequential_single_context(self):
+        ctx = contexts_from_walk(np.array([3, 4, 5, 6]), 4)  # one context
+        negs = np.array([[7, 8]])
+        a = OSELMSkipGram(10, 6, forgetting_factor=0.99, seed=9)
+        b = DataflowOSELMSkipGram(10, 6, forgetting_factor=0.99, seed=9)
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert np.allclose(a.B, b.B, atol=1e-12)
+        assert np.allclose(a.P, b.P, atol=1e-10)
+
+    def test_dataflow_p_rescaled_per_walk(self):
+        m = DataflowOSELMSkipGram(30, 8, forgetting_factor=0.99, seed=0)
+        ctx, negs = ctx_negs()
+        tr0 = np.trace(m.P)
+        m.train_walk(ctx, negs)
+        # deflation shrinks P, the λ^-C rescale pushes back up; net effect
+        # must differ from the λ=1 run
+        ref = DataflowOSELMSkipGram(30, 8, forgetting_factor=1.0, seed=0)
+        ref.train_walk(ctx, negs)
+        assert np.trace(m.P) > np.trace(ref.P)

@@ -1,0 +1,85 @@
+"""Cross-model property tests (hypothesis): invariants every trainable
+model must satisfy on arbitrary valid inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import make_model
+from repro.sampling.corpus import contexts_from_walk
+
+MODELS = ("original", "proposed", "dataflow", "block")
+
+
+@st.composite
+def walk_case(draw):
+    n_nodes = draw(st.integers(min_value=8, max_value=40))
+    length = draw(st.integers(min_value=3, max_value=20))
+    window = draw(st.integers(min_value=2, max_value=min(6, length)))
+    ns = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    walk = rng.integers(0, n_nodes, size=length)
+    ctx = contexts_from_walk(walk, window)
+    negs = rng.integers(0, n_nodes, size=(ctx.n, ns))
+    return n_nodes, ctx, negs, seed
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("name", MODELS)
+    @given(case=walk_case())
+    @settings(max_examples=15, deadline=None)
+    def test_finite_state_after_one_walk(self, name, case):
+        n_nodes, ctx, negs, seed = case
+        model = make_model(name, n_nodes, 8, seed=seed)
+        model.train_walk(ctx, negs)
+        assert np.isfinite(model.embedding).all()
+
+    @pytest.mark.parametrize("name", MODELS)
+    @given(case=walk_case())
+    @settings(max_examples=10, deadline=None)
+    def test_training_is_deterministic(self, name, case):
+        n_nodes, ctx, negs, seed = case
+        a = make_model(name, n_nodes, 8, seed=seed)
+        b = make_model(name, n_nodes, 8, seed=seed)
+        a.train_walk(ctx, negs)
+        b.train_walk(ctx, negs)
+        assert np.array_equal(a.embedding, b.embedding)
+
+    @pytest.mark.parametrize("name", MODELS)
+    @given(case=walk_case())
+    @settings(max_examples=10, deadline=None)
+    def test_untouched_nodes_unchanged(self, name, case):
+        n_nodes, ctx, negs, seed = case
+        model = make_model(name, n_nodes, 8, seed=seed)
+        before = model.embedding
+        touched = set(np.concatenate([ctx.centers, ctx.positives.ravel(),
+                                      negs.ravel()]).tolist())
+        model.train_walk(ctx, negs)
+        after = model.embedding
+        for v in range(n_nodes):
+            if v not in touched:
+                assert np.array_equal(before[v], after[v]), (name, v)
+
+    @pytest.mark.parametrize("name", ["proposed", "dataflow", "block"])
+    @given(case=walk_case())
+    @settings(max_examples=10, deadline=None)
+    def test_p_symmetric_after_training(self, name, case):
+        n_nodes, ctx, negs, seed = case
+        model = make_model(name, n_nodes, 8, seed=seed)
+        model.train_walk(ctx, negs)
+        assert np.allclose(model.P, model.P.T, atol=1e-9)
+
+    @pytest.mark.parametrize("name", MODELS)
+    @given(case=walk_case())
+    @settings(max_examples=8, deadline=None)
+    def test_op_profile_nonnegative_and_scales(self, name, case):
+        n_nodes, ctx, negs, seed = case
+        if ctx.n == 0:
+            return
+        cls = type(make_model(name, n_nodes, 8, seed=0))
+        ops = cls.op_profile(8, ctx.n, ctx.positives.shape[1], negs.shape[1])
+        assert all(v >= 0 for v in ops.as_dict().values())
+        double = cls.op_profile(8, 2 * ctx.n, ctx.positives.shape[1], negs.shape[1])
+        assert double.mac >= ops.mac

@@ -1,0 +1,240 @@
+"""Tests for repro.embedding.sequential (Algorithm 1 — the proposed model)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.sequential import OSELMSkipGram
+from repro.sampling.corpus import WalkContexts, contexts_from_walk
+
+
+def simple_context(n=20, center=0, positives=(1, 2, 3), negatives=(10, 11)):
+    return (
+        center,
+        np.asarray(positives, dtype=np.int64),
+        np.asarray(negatives, dtype=np.int64),
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        m = OSELMSkipGram(50, 16, seed=0)
+        assert m.B.shape == (50, 16)
+        assert m.P.shape == (16, 16)
+
+    def test_p0_scaling(self):
+        m = OSELMSkipGram(10, 4, p0=2.5, seed=0)
+        assert np.allclose(m.P, 2.5 * np.eye(4))
+
+    def test_beta_tying_has_no_alpha(self):
+        m = OSELMSkipGram(10, 4, weight_tying="beta", seed=0)
+        assert m._alpha is None
+
+    def test_alpha_tying_allocates_alpha(self):
+        m = OSELMSkipGram(10, 4, weight_tying="alpha", seed=0)
+        assert m._alpha.shape == (10, 4)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"mu": 0},
+            {"p0": 0},
+            {"init_scale": 0},
+            {"weight_tying": "gamma"},
+            {"denominator": "plusone"},
+            {"duplicate_policy": "maybe"},
+        ],
+    )
+    def test_invalid_args(self, kw):
+        with pytest.raises((ValueError, TypeError)):
+            OSELMSkipGram(10, 4, seed=0, **kw)
+
+    def test_embedding_is_copy(self):
+        m = OSELMSkipGram(10, 4, seed=0)
+        e = m.embedding
+        e[0, 0] = 123
+        assert m.B[0, 0] != 123
+
+
+class TestHidden:
+    def test_beta_tying_scales_by_mu(self):
+        m = OSELMSkipGram(10, 4, mu=0.05, seed=0)
+        assert np.allclose(m.hidden(3), 0.05 * m.B[3])
+
+    def test_alpha_tying_uses_fixed_rows(self):
+        m = OSELMSkipGram(10, 4, weight_tying="alpha", seed=0)
+        assert np.array_equal(m.hidden(3), m._alpha[3])
+
+    def test_alpha_rows_fixed_during_training(self):
+        m = OSELMSkipGram(20, 4, weight_tying="alpha", seed=0)
+        before = m._alpha.copy()
+        c, pos, neg = simple_context()
+        m.train_context(c, pos, neg)
+        assert np.array_equal(m._alpha, before)
+
+
+class TestGainAndP:
+    def test_standard_gain_formula(self):
+        """k must equal Ph/(1+hph) — and also P_i H (Algorithm 1 line 7)."""
+        m = OSELMSkipGram(10, 4, seed=0)
+        H = m.hidden(0).copy()
+        P_before = m.P.copy()
+        Ph = P_before @ H
+        hph = H @ Ph
+        k = m._gain(H)
+        assert np.allclose(k, Ph / (1 + hph))
+        assert np.allclose(m.P @ H, k, atol=1e-12)  # P_i Hᵀ == gain
+
+    def test_p_stays_symmetric(self):
+        m = OSELMSkipGram(30, 8, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            c = int(rng.integers(30))
+            m.train_context(c, rng.integers(0, 30, 4), rng.integers(0, 30, 3))
+        assert np.allclose(m.P, m.P.T, atol=1e-10)
+
+    def test_p_stays_positive_definite(self):
+        m = OSELMSkipGram(30, 8, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            m.train_context(int(rng.integers(30)), rng.integers(0, 30, 4), rng.integers(0, 30, 3))
+        eig = np.linalg.eigvalsh(m.P)
+        assert eig.min() > 0
+
+    def test_p_shrinks(self):
+        """Each update deflates P along H (RLS covariance contraction)."""
+        m = OSELMSkipGram(20, 4, seed=0)
+        tr0 = np.trace(m.P)
+        c, pos, neg = simple_context()
+        m.train_context(c, pos, neg)
+        assert np.trace(m.P) < tr0
+
+    def test_paper_denominator_no_crash_on_tiny_hph(self):
+        m = OSELMSkipGram(10, 4, denominator="paper", seed=0)
+        m.B[:] = 1e-9  # hph ~ 0 → eps guard must kick in
+        k = m._gain(m.hidden(0))
+        assert np.isfinite(k).all()
+
+
+class TestBetaUpdate:
+    def test_positive_moves_score_toward_one(self):
+        m = OSELMSkipGram(20, 8, mu=0.05, init_scale=0.5, seed=0)
+        H = m.hidden(0).copy()
+        before = H @ m.B[1]
+        m.train_context(0, np.array([1]), np.array([], dtype=np.int64))
+        after = H @ m.B[1]
+        assert abs(1.0 - after) < abs(1.0 - before)
+
+    def test_negative_moves_score_toward_zero(self):
+        m = OSELMSkipGram(20, 8, mu=0.05, init_scale=0.5, seed=0)
+        m.B[2] = m.B[0] * 2.0  # make the initial score clearly nonzero
+        H = m.hidden(0).copy()
+        before = H @ m.B[2]
+        m.train_context(0, np.array([], dtype=np.int64).reshape(0), np.array([2]))
+        # context with no positives trains nothing (window loop is per
+        # positive), so score unchanged
+        assert H @ m.B[2] == pytest.approx(before)
+
+    def test_negatives_trained_once_per_window(self):
+        """ns negatives are trained per positive window (lines 8–13): two
+        positives → negative row is updated twice."""
+        m1 = OSELMSkipGram(20, 8, mu=0.05, init_scale=0.5, duplicate_policy="sequential", seed=3)
+        m2 = OSELMSkipGram(20, 8, mu=0.05, init_scale=0.5, duplicate_policy="sequential", seed=3)
+        m1.train_context(0, np.array([1]), np.array([9]))
+        d1 = np.linalg.norm(m1.B[9] - m2.B[9])
+        m2.train_context(0, np.array([1, 2]), np.array([9]))
+        d2 = np.linalg.norm(m2.B[9] - m1.B[9])
+        assert d2 > 0  # second window trained the same negative again
+
+    def test_batched_matches_sequential_without_duplicates(self):
+        a = OSELMSkipGram(30, 8, duplicate_policy="batched", seed=5)
+        b = OSELMSkipGram(30, 8, duplicate_policy="sequential", seed=5)
+        assert np.array_equal(a.B, b.B)
+        # all samples distinct → identical results up to float assoc
+        a.train_context(0, np.array([1, 2, 3]), np.array([10, 11]))
+        b.train_context(0, np.array([1, 2, 3]), np.array([10, 11]))
+        assert np.allclose(a.B, b.B, atol=1e-12)
+        assert np.allclose(a.P, b.P, atol=1e-12)
+
+    def test_batched_close_to_sequential_with_duplicates(self):
+        a = OSELMSkipGram(30, 8, duplicate_policy="batched", seed=5)
+        b = OSELMSkipGram(30, 8, duplicate_policy="sequential", seed=5)
+        a.train_context(0, np.array([1, 1, 2]), np.array([1, 10]))
+        b.train_context(0, np.array([1, 1, 2]), np.array([1, 10]))
+        # not exactly equal (stale errors for the duplicate), but close
+        assert np.allclose(a.B, b.B, atol=1e-2)
+
+    def test_untouched_rows_unchanged(self):
+        m = OSELMSkipGram(20, 8, seed=0)
+        before = m.B.copy()
+        m.train_context(0, np.array([1]), np.array([2]))
+        assert np.array_equal(m.B[15], before[15])
+
+
+class TestTrainWalk:
+    def test_walk_counter(self):
+        m = OSELMSkipGram(20, 8, seed=0)
+        ctx = contexts_from_walk(np.arange(10), 4)
+        m.train_walk(ctx, np.zeros((ctx.n, 2), dtype=np.int64) + 15)
+        assert m.n_walks_trained == 1
+
+    def test_bad_negatives_shape(self):
+        m = OSELMSkipGram(20, 8, seed=0)
+        ctx = contexts_from_walk(np.arange(10), 4)
+        with pytest.raises(ValueError):
+            m.train_walk(ctx, np.zeros((1, 2), dtype=np.int64))
+
+    def test_out_of_range_center(self):
+        m = OSELMSkipGram(5, 4, seed=0)
+        ctx = WalkContexts(
+            centers=np.array([7]), positives=np.array([[1, 2]])
+        )
+        with pytest.raises(ValueError):
+            m.train_walk(ctx, np.zeros((1, 2), dtype=np.int64))
+
+    def test_learns_community_structure(self):
+        rng = np.random.default_rng(0)
+        m = OSELMSkipGram(6, 8, mu=0.05, seed=0)
+        for _ in range(300):
+            block = rng.choice([0, 3])
+            walk = block + rng.integers(0, 3, size=6)
+            ctx = contexts_from_walk(walk, 3)
+            negs = rng.integers(0, 6, size=(ctx.n, 2))
+            m.train_walk(ctx, negs)
+        e = m.embedding
+        e = e / np.linalg.norm(e, axis=1, keepdims=True)
+        intra = (e[0] @ e[1] + e[3] @ e[4]) / 2
+        inter = (e[0] @ e[3] + e[1] @ e[4]) / 2
+        assert intra > inter
+
+
+class TestOpProfile:
+    def test_quadratic_in_dim(self):
+        a = OSELMSkipGram.op_profile(32, 73, 7, 10)
+        b = OSELMSkipGram.op_profile(64, 73, 7, 10)
+        # dominated by d² terms plus d terms: ratio between 2x and 4x
+        assert 2.0 < b.mac / a.mac <= 4.0
+
+    def test_one_division_per_context(self):
+        ops = OSELMSkipGram.op_profile(32, 73, 7, 10)
+        assert ops.div == 73
+
+    def test_no_transcendentals(self):
+        assert OSELMSkipGram.op_profile(32, 73, 7, 10).exp == 0
+
+    def test_state_bytes_beta_mode(self):
+        m = OSELMSkipGram(100, 32, seed=0)
+        assert m.state_bytes() == (100 * 32 + 32 * 32) * 4
+
+    def test_state_bytes_alpha_mode_larger(self):
+        a = OSELMSkipGram(100, 32, weight_tying="alpha", seed=0)
+        b = OSELMSkipGram(100, 32, weight_tying="beta", seed=0)
+        assert a.state_bytes() > b.state_bytes()
+
+    def test_model_smaller_than_original(self):
+        """Table 5's headline: proposed ≈ 3.5–4x smaller than original."""
+        from repro.embedding.skipgram import SkipGramSGD
+
+        orig = SkipGramSGD(2708, 32, seed=0)
+        prop = OSELMSkipGram(2708, 32, seed=0)
+        ratio = orig.state_bytes() / prop.state_bytes()
+        assert 3.0 < ratio < 4.2

@@ -1,0 +1,165 @@
+"""Tests for repro.embedding.skipgram (the 'Original model' baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.skipgram import SkipGramSGD, _sigmoid
+from repro.sampling.corpus import contexts_from_walk
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert _sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_symmetric(self):
+        x = np.linspace(-5, 5, 11)
+        assert np.allclose(_sigmoid(x) + _sigmoid(-x), 1.0)
+
+    def test_extreme_values_stable(self):
+        out = _sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(out).all()
+        assert out[0] < 1e-10 and out[1] > 1 - 1e-10
+
+    def test_monotone(self):
+        x = np.linspace(-8, 8, 100)
+        assert np.all(np.diff(_sigmoid(x)) > 0)
+
+
+class TestConstruction:
+    def test_shapes(self):
+        m = SkipGramSGD(10, 4, seed=0)
+        assert m.w_in.shape == (10, 4)
+        assert m.w_out.shape == (10, 4)
+
+    def test_w_out_zero_init(self):
+        assert np.all(SkipGramSGD(5, 3, seed=0).w_out == 0)
+
+    def test_w_in_scale(self):
+        m = SkipGramSGD(100, 8, seed=0)
+        assert np.abs(m.w_in).max() <= 0.5 / 8
+
+    def test_embedding_is_w_in_copy(self):
+        m = SkipGramSGD(5, 3, seed=0)
+        e = m.embedding
+        e[0, 0] = 99
+        assert m.w_in[0, 0] != 99
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SkipGramSGD(5, 3, lr=0)
+
+    def test_deterministic_init(self):
+        a, b = SkipGramSGD(5, 3, seed=1), SkipGramSGD(5, 3, seed=1)
+        assert np.array_equal(a.w_in, b.w_in)
+
+
+class TestGradients:
+    def test_positive_pair_score_increases(self):
+        m = SkipGramSGD(4, 8, lr=0.5, seed=0)
+        m.w_out[:] = np.random.default_rng(0).normal(size=m.w_out.shape) * 0.1
+        before = m.w_out[1] @ m.w_in[0]
+        m.train_pair(0, np.array([1]), np.array([1.0]))
+        after = m.w_out[1] @ m.w_in[0]
+        assert after > before
+
+    def test_negative_pair_score_decreases(self):
+        m = SkipGramSGD(4, 8, lr=0.5, seed=0)
+        m.w_out[:] = np.random.default_rng(0).normal(size=m.w_out.shape) * 0.1
+        before = m.w_out[2] @ m.w_in[0]
+        m.train_pair(0, np.array([2]), np.array([0.0]))
+        after = m.w_out[2] @ m.w_in[0]
+        assert after < before
+
+    def test_matches_manual_gradient(self):
+        """One SGD step against a hand-computed gradient."""
+        m = SkipGramSGD(3, 2, lr=0.1, seed=0)
+        m.w_in[:] = [[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]]
+        m.w_out[:] = [[0.0, 0.1], [0.2, 0.3], [0.4, 0.5]]
+        h = m.w_in[0].copy()
+        rows = m.w_out[[1, 2]].copy()
+        scores = rows @ h
+        g = 0.1 * (np.array([1.0, 0.0]) - 1 / (1 + np.exp(-scores)))
+        w_out_expected = m.w_out.copy()
+        w_out_expected[[1, 2]] += np.outer(g, h)
+        w_in_expected = m.w_in.copy()
+        w_in_expected[0] += g @ rows
+        m.train_pair(0, np.array([1, 2]), np.array([1.0, 0.0]))
+        assert np.allclose(m.w_out, w_out_expected)
+        assert np.allclose(m.w_in, w_in_expected)
+
+    def test_duplicate_samples_accumulate(self):
+        m = SkipGramSGD(3, 2, lr=0.1, seed=0)
+        m.w_out[:] = 0.1
+        before = m.w_out[1].copy()
+        m.train_pair(0, np.array([1, 1]), np.array([0.0, 0.0]))
+        # both gradient contributions must land (np.add.at semantics)
+        single = SkipGramSGD(3, 2, lr=0.1, seed=0)
+        single.w_out[:] = 0.1
+        single.train_pair(0, np.array([1]), np.array([0.0]))
+        moved_double = np.linalg.norm(m.w_out[1] - before)
+        moved_single = np.linalg.norm(single.w_out[1] - before)
+        assert moved_double > 1.5 * moved_single
+
+    def test_untouched_rows_unchanged(self):
+        m = SkipGramSGD(5, 3, seed=0)
+        w_out_before = m.w_out.copy()
+        m.train_pair(0, np.array([1]), np.array([1.0]))
+        assert np.array_equal(m.w_out[3], w_out_before[3])
+
+
+class TestTrainWalk:
+    def test_walk_updates_embedding(self):
+        m = SkipGramSGD(10, 4, seed=0)
+        before = m.w_in.copy()
+        ctx = contexts_from_walk(np.array([0, 1, 2, 3, 4]), 3)
+        negs = np.full((ctx.n, 2), 9)
+        m.train_walk(ctx, negs)
+        assert not np.array_equal(m.w_in, before)
+
+    def test_bad_negative_shape(self):
+        m = SkipGramSGD(10, 4, seed=0)
+        ctx = contexts_from_walk(np.arange(5), 3)
+        with pytest.raises(ValueError):
+            m.train_walk(ctx, np.zeros((1, 2), dtype=np.int64))
+
+    def test_out_of_range_negatives(self):
+        m = SkipGramSGD(10, 4, seed=0)
+        ctx = contexts_from_walk(np.arange(5), 3)
+        with pytest.raises(ValueError):
+            m.train_walk(ctx, np.full((ctx.n, 2), 10))
+
+    def test_learns_bigram_structure(self):
+        """Nodes that co-occur should end up closer than nodes that do not."""
+        m = SkipGramSGD(6, 8, lr=0.05, seed=0)
+        rng = np.random.default_rng(0)
+        # corpus: {0,1,2} always co-occur; {3,4,5} always co-occur
+        for _ in range(300):
+            block = rng.choice([0, 3])
+            walk = block + rng.integers(0, 3, size=6)
+            ctx = contexts_from_walk(walk, 3)
+            negs = rng.integers(0, 6, size=(ctx.n, 2))
+            m.train_walk(ctx, negs)
+        e = m.embedding
+        e = e / np.linalg.norm(e, axis=1, keepdims=True)
+        intra = (e[0] @ e[1] + e[3] @ e[4]) / 2
+        inter = (e[0] @ e[3] + e[1] @ e[4]) / 2
+        assert intra > inter
+
+
+class TestOpProfile:
+    def test_scaling_in_dim(self):
+        a = SkipGramSGD.op_profile(32, 73, 7, 10)
+        b = SkipGramSGD.op_profile(64, 73, 7, 10)
+        assert b.mac == pytest.approx(2 * a.mac)
+
+    def test_paper_workload_counts(self):
+        ops = SkipGramSGD.op_profile(32, 73, 7, 10)
+        pairs = 73 * 7 * 11
+        assert ops.exp == pairs
+        assert ops.mac == 3 * 32 * pairs + 32 * 73 * 7
+        assert ops.walk == 1.0
+
+    def test_state_bytes(self):
+        m = SkipGramSGD(100, 32, seed=0)
+        assert m.state_bytes() == 2 * 100 * 32 * 8
+        assert m.state_bytes(weight_bytes=4) == 2 * 100 * 32 * 4

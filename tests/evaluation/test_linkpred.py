@@ -1,0 +1,141 @@
+"""Tests for repro.evaluation.linkpred."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.linkpred import (
+    EDGE_OPERATORS,
+    auc_score,
+    edge_features,
+    evaluate_link_prediction,
+    sample_non_edges,
+    split_edges,
+)
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import CSRGraph, ring_of_cliques
+
+
+class TestEdgeFeatures:
+    def test_hadamard(self):
+        emb = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = edge_features(emb, np.array([[0, 1]]), "hadamard")
+        assert np.array_equal(out, [[3.0, 8.0]])
+
+    def test_average(self):
+        emb = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = edge_features(emb, np.array([[0, 1]]), "average")
+        assert np.array_equal(out, [[2.0, 3.0]])
+
+    def test_l1_l2(self):
+        emb = np.array([[1.0, 5.0], [3.0, 4.0]])
+        assert np.array_equal(edge_features(emb, [[0, 1]], "l1"), [[2.0, 1.0]])
+        assert np.array_equal(edge_features(emb, [[0, 1]], "l2"), [[4.0, 1.0]])
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            edge_features(np.zeros((2, 2)), [[0, 1]], "concat")
+
+    def test_all_operators_registered(self):
+        assert set(EDGE_OPERATORS) == {"hadamard", "average", "l1", "l2"}
+
+
+class TestSampleNonEdges:
+    def test_no_edges_no_loops(self):
+        g = ring_of_cliques(3, 4, seed=0)
+        pairs = sample_non_edges(g, 30, seed=0)
+        assert pairs.shape == (30, 2)
+        for u, v in pairs:
+            assert u != v
+            assert not g.has_edge(int(u), int(v))
+
+    def test_exclude_respected(self):
+        g = CSRGraph.from_edges(6, [(0, 1)])
+        excl = np.array([[2, 3]])
+        pairs = sample_non_edges(g, 10, seed=0, exclude=excl)
+        assert not any((min(u, v), max(u, v)) == (2, 3) for u, v in pairs)
+
+    def test_unique_pairs(self):
+        g = CSRGraph.from_edges(8, [(0, 1)])
+        pairs = sample_non_edges(g, 20, seed=0)
+        keys = {(min(u, v), max(u, v)) for u, v in pairs}
+        assert len(keys) == 20
+
+    def test_dense_graph_raises(self):
+        # complete graph: no non-edges exist
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = CSRGraph.from_edges(5, edges)
+        with pytest.raises(RuntimeError):
+            sample_non_edges(g, 3, seed=0)
+
+
+class TestSplitEdges:
+    def test_partition(self):
+        g = ring_of_cliques(4, 5, seed=0)
+        train, test = split_edges(g, test_frac=0.25, seed=0)
+        assert train.n_edges + test.shape[0] == g.n_edges
+        for u, v in test:
+            assert not train.has_edge(int(u), int(v))
+            assert g.has_edge(int(u), int(v))
+
+    def test_labels_carried(self):
+        g = ring_of_cliques(4, 5, seed=0)
+        train, _ = split_edges(g, seed=0)
+        assert np.array_equal(train.node_labels, g.node_labels)
+
+    def test_self_loops_stay_in_train(self):
+        g = CSRGraph.from_edges(4, [(0, 0), (0, 1), (1, 2), (2, 3), (3, 0)])
+        train, test = split_edges(g, test_frac=0.5, seed=0)
+        assert train.has_edge(0, 0)
+
+    def test_invalid_frac(self):
+        g = ring_of_cliques(3, 4, seed=0)
+        with pytest.raises(ValueError):
+            split_edges(g, test_frac=1.5)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_score([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1]) == 1.0
+
+    def test_inverted(self):
+        assert auc_score([0.9, 0.8, 0.2, 0.1], [0, 0, 1, 1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, 4000)
+        assert auc_score(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_mean_rank(self):
+        # all scores equal → AUC exactly 0.5
+        assert auc_score([1.0, 1.0, 1.0, 1.0], [0, 1, 0, 1]) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc_score([0.1, 0.2], [1, 1])
+
+
+class TestEndToEnd:
+    def test_good_embedding_predicts_links(self):
+        from repro import train_embedding
+
+        g = ring_of_cliques(5, 8, seed=0)
+        train, test = split_edges(g, test_frac=0.2, seed=0)
+        emb = train_embedding(
+            g.__class__.from_edges(g.n_nodes, train.edge_array(),
+                                   node_labels=g.node_labels),
+            dim=16,
+            model="proposed",
+            hyper=Node2VecParams(r=3, l=20, w=4, ns=3),
+            seed=0,
+        ).embedding
+        res = evaluate_link_prediction(emb, train, test, seed=0)
+        assert res.auc > 0.75
+        assert res.n_test_edges == test.shape[0]
+
+    def test_random_embedding_near_chance(self):
+        g = ring_of_cliques(5, 8, seed=0)
+        train, test = split_edges(g, test_frac=0.2, seed=0)
+        emb = np.random.default_rng(0).normal(size=(g.n_nodes, 16))
+        res = evaluate_link_prediction(emb, train, test, seed=0)
+        assert res.auc < 0.75

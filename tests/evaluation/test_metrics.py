@@ -1,0 +1,109 @@
+"""Tests for repro.evaluation.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    accuracy,
+    confusion_counts,
+    macro_f1,
+    micro_f1,
+    per_class_f1,
+)
+
+
+class TestConfusionCounts:
+    def test_perfect(self):
+        tp, fp, fn = confusion_counts([0, 1, 2], [0, 1, 2])
+        assert np.array_equal(tp, [1, 1, 1])
+        assert fp.sum() == 0 and fn.sum() == 0
+
+    def test_one_error(self):
+        tp, fp, fn = confusion_counts([0, 0], [0, 1])
+        assert tp[0] == 1
+        assert fn[0] == 1  # a class-0 item missed
+        assert fp[1] == 1  # a spurious class-1 prediction
+
+    def test_explicit_n_classes(self):
+        tp, fp, fn = confusion_counts([0], [0], n_classes=5)
+        assert tp.shape == (5,)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            confusion_counts([], [])
+
+
+class TestMicroF1:
+    def test_perfect(self):
+        assert micro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_all_wrong(self):
+        assert micro_f1([0, 0], [1, 1]) == 0.0
+
+    def test_equals_accuracy_for_multiclass(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 4, 200)
+        p = rng.integers(0, 4, 200)
+        assert micro_f1(y, p) == pytest.approx(accuracy(y, p))
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_micro_equals_accuracy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        y = rng.integers(0, 5, n)
+        p = rng.integers(0, 5, n)
+        assert micro_f1(y, p) == pytest.approx(accuracy(y, p))
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1([0, 1], [0, 1]) == 1.0
+
+    def test_penalizes_minority_failure(self):
+        # majority class right, minority completely wrong
+        y = [0] * 9 + [1]
+        p = [0] * 10
+        assert micro_f1(y, p) == pytest.approx(0.9)
+        assert macro_f1(y, p) < 0.6
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 3, 50)
+        p = rng.integers(0, 3, 50)
+        assert 0.0 <= macro_f1(y, p) <= 1.0
+
+    def test_class_only_in_pred_counts(self):
+        # predicting a class absent from y_true must drag the macro down
+        a = macro_f1([0, 0, 0, 0], [0, 0, 0, 0])
+        b = macro_f1([0, 0, 0, 0], [0, 0, 0, 1])
+        assert b < a
+
+
+class TestPerClassF1:
+    def test_known_values(self):
+        y = [0, 0, 1, 1]
+        p = [0, 1, 1, 1]
+        f1 = per_class_f1(y, p)
+        # class 0: tp=1 fp=0 fn=1 → 2/3; class 1: tp=2 fp=1 fn=0 → 4/5
+        assert f1[0] == pytest.approx(2 / 3)
+        assert f1[1] == pytest.approx(4 / 5)
+
+    def test_absent_class_zero(self):
+        f1 = per_class_f1([0], [0], n_classes=3)
+        assert f1[1] == 0.0 and f1[2] == 0.0
+
+
+class TestAccuracy:
+    def test_simple(self):
+        assert accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])

@@ -1,0 +1,62 @@
+"""Tests for repro.evaluation.protocol."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.protocol import EvalScores, average_scores, evaluate_embedding
+
+
+def clustered_embedding(n_per=30, n_classes=4, d=8, sep=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, d)) * sep
+    emb = np.concatenate(
+        [centers[c] + rng.normal(size=(n_per, d)) for c in range(n_classes)]
+    )
+    labels = np.repeat(np.arange(n_classes), n_per)
+    return emb, labels
+
+
+class TestEvaluateEmbedding:
+    def test_good_embedding_high_f1(self):
+        emb, labels = clustered_embedding()
+        scores = evaluate_embedding(emb, labels, seed=0)
+        assert scores.micro_f1 > 0.9
+        assert scores.macro_f1 > 0.85
+
+    def test_random_embedding_low_f1(self):
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(120, 8))
+        labels = rng.integers(0, 4, 120)
+        scores = evaluate_embedding(emb, labels, seed=0)
+        assert scores.micro_f1 < 0.5
+
+    def test_split_sizes_90_10(self):
+        emb, labels = clustered_embedding(n_per=30, n_classes=4)
+        scores = evaluate_embedding(emb, labels, train_frac=0.9, seed=0)
+        assert scores.n_train == 108
+        assert scores.n_test == 12
+
+    def test_deterministic_given_seed(self):
+        emb, labels = clustered_embedding()
+        a = evaluate_embedding(emb, labels, seed=5)
+        b = evaluate_embedding(emb, labels, seed=5)
+        assert a == b
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_embedding(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestAverageScores:
+    def test_mean_and_std(self):
+        scores = [
+            EvalScores(0.8, 0.7, 0.8, 90, 10),
+            EvalScores(0.9, 0.8, 0.9, 90, 10),
+        ]
+        out = average_scores(scores)
+        assert out["micro_f1"] == pytest.approx(0.85)
+        assert out["micro_f1_std"] == pytest.approx(0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_scores([])

@@ -1,0 +1,70 @@
+"""Tests for repro.evaluation.split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.split import stratified_split, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_paper_fractions(self):
+        train, test = train_test_split(100, train_frac=0.9, seed=0)
+        assert train.size == 90 and test.size == 10
+
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split(37, seed=1)
+        both = np.concatenate([train, test])
+        assert np.array_equal(np.sort(both), np.arange(37))
+
+    def test_deterministic(self):
+        a = train_test_split(50, seed=3)
+        b = train_test_split(50, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_minimum_one_each_side(self):
+        train, test = train_test_split(2, train_frac=0.99, seed=0)
+        assert train.size == 1 and test.size == 1
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            train_test_split(1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, train_frac=1.5)
+
+
+class TestStratifiedSplit:
+    def test_proportions_preserved(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        train, test = stratified_split(labels, train_frac=0.9, seed=0)
+        assert np.sum(labels[train] == 1) == 9
+        assert np.sum(labels[test] == 1) == 1
+
+    def test_disjoint_and_complete(self):
+        labels = np.array([0, 0, 1, 1, 2, 2, 2])
+        train, test = stratified_split(labels, seed=0)
+        both = np.sort(np.concatenate([train, test]))
+        assert np.array_equal(both, np.arange(labels.size))
+
+    def test_singleton_class_goes_to_train(self):
+        labels = np.array([0, 0, 0, 0, 1])
+        train, test = stratified_split(labels, train_frac=0.5, seed=0)
+        assert 4 in train  # the lone class-1 sample
+
+    def test_every_class_in_train(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, 100)
+        train, _ = stratified_split(labels, seed=0)
+        assert set(np.unique(labels[train])) == set(np.unique(labels))
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_partition(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, int(rng.integers(2, 80)))
+        train, test = stratified_split(labels, train_frac=0.8, seed=seed)
+        assert np.intersect1d(train, test).size == 0
+        assert train.size + test.size == labels.size

@@ -1,0 +1,85 @@
+"""Tests for the figure experiments (tiny profiles — smoke + structure).
+
+Full-shape assertions live in the benchmark suite, which runs the quick
+profile; here we only verify the experiment plumbing end to end on a
+miniature workload.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig7
+from repro.experiments.report import QUICK
+
+TINY = replace(
+    QUICK,
+    name="tiny",
+    dataset_scale=0.05,
+    r=2,
+    l=24,
+    w=6,
+    ns=3,
+    dims=(16,),
+    trials=1,
+    seq_edges_per_event=16,
+    seq_max_events=20,
+    datasets=("cora",),
+)
+
+
+class TestFig5:
+    def test_structure(self):
+        report = fig5.run(profile=TINY, seed=0)
+        assert len(report.rows) == 1
+        cell = report.data["cora"]
+        assert 0.0 <= cell["cpu"]["micro_f1"] <= 1.0
+        assert 0.0 <= cell["fpga"]["micro_f1"] <= 1.0
+
+    def test_both_paths_learn_something(self):
+        report = fig5.run(profile=TINY, seed=0)
+        cell = report.data["cora"]
+        # far above the ~1/7 random floor even at tiny scale
+        assert cell["cpu"]["micro_f1"] > 0.3
+        assert cell["fpga"]["micro_f1"] > 0.3
+
+
+class TestFig6:
+    def test_structure(self):
+        report = fig6.run(profile=TINY, seed=0)
+        cell = report.data["cora"][16]
+        assert set(cell) == {
+            "original_all", "original_seq", "proposed_all", "proposed_seq",
+        }
+        for f1 in cell.values():
+            assert 0.0 <= f1 <= 1.0
+
+
+class TestFig7:
+    def test_structure_and_mu_ordering(self):
+        report = fig7.run(profile=TINY, seed=0)
+        assert set(fig7.MU_SWEEP) <= {r[0] for r in report.rows}
+        # degenerate mu must not beat the best plateau point even at tiny scale
+        plateau = max(report.data[m] for m in (0.01, 0.05, 0.1))
+        assert report.data[0.001] <= plateau
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig7" in out
+
+    def test_run_table3(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_bad_name(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["table99"])

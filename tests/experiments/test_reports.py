@@ -1,0 +1,87 @@
+"""Tests for repro.experiments.report and the analytic table experiments."""
+
+import pytest
+
+from repro.experiments import table1, table3, table4, table5, table6
+from repro.experiments.report import PAPER, PROFILES, QUICK, ExperimentReport
+
+
+class TestExperimentReport:
+    def test_add_row_validates_width(self):
+        r = ExperimentReport(name="X", title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            r.add_row(1)
+
+    def test_render_contains_title_and_notes(self):
+        r = ExperimentReport(name="X", title="thing", columns=["a"])
+        r.add_row(1)
+        r.add_note("hello")
+        out = r.render()
+        assert "X: thing" in out
+        assert "note: hello" in out
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert PROFILES["quick"] is QUICK
+        assert PROFILES["paper"] is PAPER
+
+    def test_paper_profile_is_table2(self):
+        hp = PAPER.hyper()
+        assert (hp.p, hp.q, hp.r, hp.l, hp.w, hp.ns) == (0.5, 1.0, 10, 80, 8, 10)
+        assert PAPER.dims == (32, 64, 96)
+        assert PAPER.trials == 3
+        assert PAPER.dataset_scale == 1.0
+
+    def test_quick_profile_smaller(self):
+        assert QUICK.dataset_scale < 0.5
+        assert QUICK.r < PAPER.r
+
+
+class TestTable1:
+    def test_rows_and_fidelity(self):
+        report = table1.run()
+        assert len(report.rows) == 3
+        for name, d in report.data.items():
+            assert d["n_nodes"] > 0
+
+
+class TestTable3:
+    def test_reproduces_paper_speedups(self):
+        report = table3.run()
+        s = report.data["speedup_vs_original"]
+        # paper: 45.504 / 114.227 / 205.254
+        assert s[32] == pytest.approx(45.5, rel=0.03)
+        assert s[64] == pytest.approx(114.2, rel=0.03)
+        assert s[96] == pytest.approx(205.3, rel=0.03)
+
+    def test_five_rows(self):
+        assert len(table3.run().rows) == 5
+
+
+class TestTable4:
+    def test_reproduces_paper_speedups(self):
+        report = table4.run()
+        s = report.data["speedup_vs_original"]
+        # paper: 1.687 / 2.612 / 3.335
+        assert s[32] == pytest.approx(1.687, rel=0.05)
+        assert s[96] == pytest.approx(3.335, rel=0.05)
+
+
+class TestTable5:
+    def test_headline_ratio(self):
+        report = table5.run()
+        assert 3.5 < report.data["max_ratio"] < 4.2
+
+    def test_18_rows(self):
+        assert len(table5.run().rows) == 6  # 3 dims x 2 models
+
+
+class TestTable6:
+    def test_all_fit(self):
+        report = table6.run()
+        for d in (32, 64, 96):
+            assert all(v <= 100 for v in report.data[d]["percent"].values())
+
+    def test_12_rows(self):
+        assert len(table6.run().rows) == 12

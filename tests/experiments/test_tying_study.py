@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.tying_study (corpus machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tying_study import make_corpus
+
+
+class TestMakeCorpus:
+    def test_shapes(self):
+        seqs, labels = make_corpus(n_tokens=50, n_topics=5, n_sequences=20,
+                                   length=12, seed=0)
+        assert len(seqs) == 20
+        assert all(len(s) == 12 for s in seqs)
+        assert labels.shape == (50,)
+        assert set(np.unique(labels)) == set(range(5))
+
+    def test_tokens_in_range(self):
+        seqs, labels = make_corpus(n_tokens=30, n_sequences=10, seed=1)
+        for s in seqs:
+            assert s.min() >= 0 and s.max() < 30
+
+    def test_walk_like_has_immediate_returns(self):
+        seqs, _ = make_corpus(
+            n_sequences=200, length=20, return_bias=0.4,
+            allow_revisits=True, seed=0,
+        )
+        returns = total = 0
+        for s in seqs:
+            for i in range(2, len(s)):
+                total += 1
+                returns += s[i] == s[i - 2]
+        assert returns / total > 0.15
+
+    def test_text_like_suppresses_window_revisits(self):
+        walkish, _ = make_corpus(n_sequences=100, allow_revisits=True, seed=0)
+        textish, _ = make_corpus(n_sequences=100, allow_revisits=False, seed=0)
+
+        def revisit_rate(seqs, window=5):
+            hits = total = 0
+            for s in seqs:
+                for i in range(len(s)):
+                    ctx = s[max(0, i - window) : i]
+                    total += 1
+                    hits += s[i] in ctx
+            return hits / total
+
+        assert revisit_rate(textish) < 0.5 * revisit_rate(walkish)
+
+    def test_topic_structure_present(self):
+        seqs, labels = make_corpus(n_sequences=100, seed=2)
+        # consecutive tokens share a topic far more often than chance
+        same = total = 0
+        for s in seqs:
+            for a, b in zip(s[:-1], s[1:]):
+                total += 1
+                same += labels[a] == labels[b]
+        n_topics = labels.max() + 1
+        assert same / total > 2.0 / n_topics
+
+    def test_deterministic(self):
+        a, la = make_corpus(seed=9)
+        b, lb = make_corpus(seed=9)
+        assert np.array_equal(la, lb)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))

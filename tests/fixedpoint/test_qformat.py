@@ -1,0 +1,126 @@
+"""Tests for repro.fixedpoint.qformat."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint.qformat import (
+    DEFAULT_ACCUM_FORMAT,
+    DEFAULT_WEIGHT_FORMAT,
+    QFormat,
+)
+
+
+class TestFormatGeometry:
+    def test_q8_24(self):
+        q = QFormat(int_bits=7, frac_bits=24)
+        assert q.total_bits == 32
+        assert q.bytes == 4
+        assert q.resolution == 2.0**-24
+        assert str(q) == "Q8.24"
+
+    def test_max_min_values(self):
+        q = QFormat(int_bits=3, frac_bits=4)  # 8-bit word
+        assert q.max_value == (2**7 - 1) / 16
+        assert q.min_value == -(2**7) / 16
+
+    def test_default_formats(self):
+        assert DEFAULT_WEIGHT_FORMAT.total_bits == 32
+        assert DEFAULT_ACCUM_FORMAT.total_bits == 48
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(int_bits=0, frac_bits=0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(int_bits=-1, frac_bits=4)
+
+    def test_bytes_rounding(self):
+        assert QFormat(int_bits=8, frac_bits=9).bytes == 3  # 18 bits
+
+
+class TestQuantize:
+    @pytest.fixture()
+    def q(self):
+        return QFormat(int_bits=3, frac_bits=8)
+
+    def test_grid_values_unchanged(self, q):
+        x = np.array([0.0, 1.0, -1.0, 0.5, q.resolution * 7])
+        assert np.array_equal(q.quantize(x), x)
+
+    def test_rounding_to_nearest(self, q):
+        x = 0.4 * q.resolution
+        assert q.quantize(x) == 0.0
+        x = 0.6 * q.resolution
+        assert q.quantize(x) == q.resolution
+
+    def test_round_half_even(self, q):
+        # exactly halfway: ties to even raw word
+        assert q.quantize(0.5 * q.resolution) == 0.0
+        assert q.quantize(1.5 * q.resolution) == 2 * q.resolution
+
+    def test_positive_saturation(self, q):
+        assert q.quantize(1e9) == q.max_value
+
+    def test_negative_saturation(self, q):
+        assert q.quantize(-1e9) == q.min_value
+
+    def test_scalar_and_array(self, q):
+        assert np.isscalar(q.quantize(0.25)) or q.quantize(0.25).shape == ()
+        assert q.quantize(np.zeros((2, 3))).shape == (2, 3)
+
+    def test_raw_roundtrip(self, q):
+        x = np.linspace(q.min_value, q.max_value, 33)
+        raw = q.to_raw(x)
+        assert np.array_equal(q.quantize(x), q.from_raw(raw))
+
+    def test_raw_dtype(self, q):
+        assert q.to_raw([0.5]).dtype == np.int64
+
+
+class TestErrorBounds:
+    @given(
+        st.floats(min_value=-7.5, max_value=7.5, allow_nan=False),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_error_at_most_half_step(self, x, frac_bits):
+        # inputs stay inside the saturation-free range of every format used
+        # (Q3.2's max is 7.75), so rounding alone bounds the error
+        q = QFormat(int_bits=3, frac_bits=frac_bits)
+        err = abs(float(q.quantization_error(x)))
+        assert err <= q.resolution / 2 + 1e-15
+
+    @given(st.floats(min_value=-1000, max_value=1000, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_idempotent(self, x):
+        q = QFormat(int_bits=3, frac_bits=6)
+        once = q.quantize(x)
+        assert np.array_equal(q.quantize(once), once)
+
+    @given(st.floats(min_value=-1000, max_value=1000, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_monotone(self, x):
+        q = QFormat(int_bits=3, frac_bits=6)
+        assert q.quantize(x + 1.0) >= q.quantize(x)
+
+    @given(st.floats(min_value=-7.0, max_value=7.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_representable_detects_grid(self, x):
+        q = QFormat(int_bits=3, frac_bits=6)
+        g = float(q.quantize(x))
+        assert q.representable(g)
+
+
+class TestRepresentable:
+    def test_off_grid(self):
+        q = QFormat(int_bits=3, frac_bits=4)
+        assert not q.representable(q.resolution / 3)
+
+    def test_mask_shape(self):
+        q = QFormat(int_bits=3, frac_bits=4)
+        out = q.representable(np.array([0.0, 0.001]))
+        assert out.shape == (2,)
+        assert out[0] and not out[1]

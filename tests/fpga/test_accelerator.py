@@ -1,0 +1,142 @@
+"""Tests for repro.fpga.accelerator (functional + timing simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import DataflowOSELMSkipGram, WalkTrainer
+from repro.fixedpoint import QFormat
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.graph import ring_of_cliques
+from repro.sampling import NegativeSampler, Node2VecWalker, WalkParams
+from repro.sampling.corpus import contexts_from_walk
+
+
+def walk_inputs(n_nodes=40, length=20, window=4, ns=3, seed=0):
+    rng = np.random.default_rng(seed)
+    walk = rng.integers(0, n_nodes, size=length)
+    ctx = contexts_from_walk(walk, window)
+    negs = np.broadcast_to(rng.integers(0, n_nodes, size=ns), (ctx.n, ns)).copy()
+    return ctx, negs
+
+
+class TestFunctional:
+    def test_is_embedding_model(self):
+        acc = FPGAAccelerator(40, paper_spec(32), seed=0)
+        assert acc.dim == 32
+        assert acc.embedding.shape == (40, 32)
+
+    def test_state_always_on_grid(self):
+        spec = AcceleratorSpec(dim=8, window=4, ns=3, walk_length=20)
+        acc = FPGAAccelerator(40, spec, seed=0)
+        q = acc.qformat
+        for s in range(5):
+            ctx, negs = walk_inputs(seed=s)
+            acc.train_walk(ctx, negs)
+        assert q.representable(acc.B, atol=1e-15).all()
+        assert q.representable(acc.P, atol=1e-15).all()
+
+    def test_matches_float_model_closely(self):
+        """Q8.24 is fine enough that the fixed-point trajectory stays near
+        the float64 Algorithm 2 trajectory over a few walks."""
+        spec = AcceleratorSpec(dim=8, window=4, ns=3, walk_length=20)
+        acc = FPGAAccelerator(40, spec, seed=3)
+        ref = DataflowOSELMSkipGram(40, 8, seed=3)
+        ref.B = acc.B.copy()  # same quantized start
+        ref.P = acc.P.copy()
+        for s in range(5):
+            ctx, negs = walk_inputs(seed=s)
+            acc.train_walk(ctx, negs)
+            ref.train_walk(ctx, negs)
+        assert np.allclose(acc.B, ref.B, atol=1e-4)
+
+    def test_coarse_format_diverges_more(self):
+        spec_fine = AcceleratorSpec(dim=8, window=4, ns=3, walk_length=20)
+        spec_coarse = AcceleratorSpec(
+            dim=8, window=4, ns=3, walk_length=20,
+            weight_format=QFormat(int_bits=3, frac_bits=6),
+        )
+        fine = FPGAAccelerator(40, spec_fine, seed=3)
+        coarse = FPGAAccelerator(40, spec_coarse, seed=3)
+        ref = DataflowOSELMSkipGram(40, 8, seed=3)
+        for s in range(5):
+            ctx, negs = walk_inputs(seed=s)
+            for m in (fine, coarse, ref):
+                m.train_walk(ctx, negs)
+        err_fine = np.abs(fine.B - ref.B).max()
+        err_coarse = np.abs(coarse.B - ref.B).max()
+        assert err_coarse > err_fine
+
+    def test_saturation_counted(self):
+        spec = AcceleratorSpec(
+            dim=8, window=4, ns=3, walk_length=20,
+            weight_format=QFormat(int_bits=1, frac_bits=10),  # range ±2
+        )
+        acc = FPGAAccelerator(40, spec, mu=0.5, init_scale=1.5, p0=5.0, seed=0)
+        for s in range(10):
+            ctx, negs = walk_inputs(seed=s)
+            acc.train_walk(ctx, negs)
+        assert acc.saturation_events > 0
+        # two's-complement bounds are asymmetric: [-2^k, 2^k - step]
+        assert acc.B.max() <= spec.weight_format.max_value
+        assert acc.B.min() >= spec.weight_format.min_value
+
+    def test_empty_walk_free(self):
+        acc = FPGAAccelerator(40, paper_spec(32), seed=0)
+        ctx = contexts_from_walk(np.array([1, 2]), 8)
+        acc.train_walk(ctx, np.zeros((0, 10), dtype=np.int64))
+        assert acc.total_cycles == 0
+
+
+class TestTiming:
+    def test_cycles_accumulate(self):
+        spec = AcceleratorSpec(dim=8, window=4, ns=3, walk_length=20)
+        acc = FPGAAccelerator(40, spec, seed=0)
+        ctx, negs = walk_inputs()
+        acc.train_walk(ctx, negs)
+        one = acc.total_cycles
+        acc.train_walk(ctx, negs)
+        assert acc.total_cycles == pytest.approx(2 * one)
+
+    def test_elapsed_seconds_uses_200mhz(self):
+        spec = paper_spec(32)
+        acc = FPGAAccelerator(100, spec, seed=0)
+        acc.total_cycles = 200e6
+        assert acc.elapsed_seconds == pytest.approx(1.0)
+
+    def test_per_walk_ms_matches_paper(self):
+        acc = FPGAAccelerator(100, paper_spec(32), seed=0)
+        assert acc.walk_milliseconds() == pytest.approx(0.777, rel=0.01)
+
+    def test_dma_traffic_tracked(self):
+        spec = AcceleratorSpec(dim=8, window=4, ns=3, walk_length=20)
+        acc = FPGAAccelerator(40, spec, seed=0)
+        ctx, negs = walk_inputs()
+        acc.train_walk(ctx, negs)
+        assert acc.dma_bytes > 0
+        assert acc.dma_cycles_overlapped > 0
+
+    def test_resources_and_fit(self):
+        acc = FPGAAccelerator(100, paper_spec(64), seed=0)
+        assert acc.fits_device()
+        assert acc.resources().dsp > 1000
+
+
+class TestEndToEnd:
+    def test_trains_through_walktrainer(self):
+        g = ring_of_cliques(4, 8, seed=0)
+        spec = AcceleratorSpec(dim=16, window=4, ns=3, walk_length=20)
+        acc = FPGAAccelerator(g.n_nodes, spec, mu=0.05, seed=0)
+        trainer = WalkTrainer(acc, window=4, ns=3)
+        assert trainer.negative_reuse == "per_walk"  # FPGA policy
+        walker = Node2VecWalker(g, WalkParams(length=20, walks_per_node=2), seed=1)
+        walks = walker.simulate()
+        sampler = NegativeSampler.from_walks(walks, g.n_nodes, seed=2)
+        trainer.train_corpus(walks, sampler)
+        assert acc.n_walks_trained == len(walks)
+        assert acc.elapsed_seconds > 0
+        assert np.isfinite(acc.embedding).all()
+
+    def test_state_bytes_fixed_point(self):
+        acc = FPGAAccelerator(100, paper_spec(32), seed=0)
+        assert acc.state_bytes() == (100 * 32 + 32 * 32) * 4

@@ -1,0 +1,92 @@
+"""Tests for repro.fpga.bram and repro.fpga.dma."""
+
+import pytest
+
+from repro.fpga.bram import Buffer, BufferInventory, bram36_for
+from repro.fpga.dma import DMAModel
+from repro.fpga.spec import paper_spec
+
+
+class TestBram36For:
+    def test_zero_words(self):
+        assert bram36_for(0, 32, 4) == 0.0
+
+    def test_single_small_buffer_is_half_bram(self):
+        # 10 words × 32 bits unpartitioned → one 18Kb half
+        assert bram36_for(10, 32, 1) == 0.5
+
+    def test_partitioning_inflates(self):
+        small = bram36_for(1024, 32, 1)
+        partitioned = bram36_for(1024, 32, 32)
+        assert partitioned > small
+
+    def test_exact_fill(self):
+        # 18Kb exactly: 576 words × 32 bits in one bank
+        assert bram36_for(576, 32, 1) == 0.5
+        assert bram36_for(577, 32, 1) == 1.0
+
+    def test_buffer_object(self):
+        b = Buffer("x", 100, 32, 4)
+        assert b.bits == 3200
+        assert b.bram36 == 2.0  # 4 banks × 1 half each
+
+
+class TestBufferInventory:
+    def test_monotone_in_dim(self):
+        totals = [BufferInventory(paper_spec(d)).total_bram36 for d in (32, 64, 96)]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_fits_device_budget(self):
+        # structural inventory alone must fit XCZU7EV's 312 BRAM36
+        for d in (32, 64, 96):
+            assert BufferInventory(paper_spec(d)).total_bram36 < 312
+
+    def test_p_buffer_quadratic(self):
+        p32 = BufferInventory(paper_spec(32)).by_name("P")
+        p96 = BufferInventory(paper_spec(96)).by_name("P")
+        assert p96.bits == 9 * p32.bits
+
+    def test_double_buffer_toggle(self):
+        a = BufferInventory(paper_spec(32), double_buffer=True)
+        b = BufferInventory(paper_spec(32), double_buffer=False)
+        assert a.by_name("beta_tile").words == 2 * b.by_name("beta_tile").words
+
+    def test_unknown_buffer(self):
+        with pytest.raises(KeyError):
+            BufferInventory(paper_spec(32)).by_name("cache")
+
+    def test_report_covers_all(self):
+        inv = BufferInventory(paper_spec(32))
+        assert len(inv.report()) == len(inv.buffers)
+
+
+class TestDMA:
+    def test_zero_bytes(self):
+        assert DMAModel().transfer_cycles(0) == 0.0
+
+    def test_bandwidth_scaling(self):
+        m = DMAModel(bytes_per_cycle=16, burst_latency_cycles=0)
+        assert m.transfer_cycles(1600) == 100.0
+
+    def test_burst_latency_added(self):
+        m = DMAModel(bytes_per_cycle=16, burst_latency_cycles=50)
+        assert m.transfer_cycles(160, n_bursts=2) == 10 + 100
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DMAModel().transfer_cycles(-1)
+
+    def test_walk_transfer_accounting(self):
+        spec = paper_spec(32)
+        t = DMAModel().walk_transfer(spec)
+        wb = spec.weight_format.bytes
+        rows = (spec.walk_length + spec.ns) * spec.dim * wb
+        assert t.bytes_down == 4 * (spec.walk_length + spec.ns) + rows
+        assert t.bytes_up == rows + spec.dim * spec.dim * wb
+        assert t.total_cycles > 0
+
+    def test_walk_transfer_touched_override(self):
+        spec = paper_spec(32)
+        small = DMAModel().walk_transfer(spec, touched_nodes=10)
+        big = DMAModel().walk_transfer(spec, touched_nodes=90)
+        assert small.total_bytes < big.total_bytes

@@ -1,0 +1,75 @@
+"""Tests for repro.fpga.device and repro.fpga.spec."""
+
+import pytest
+
+from repro.fpga.device import DEVICES, XCZU7EV, FPGADevice
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+
+
+class TestDevice:
+    def test_xczu7ev_capacities_match_table6_percentages(self):
+        """Table 6 gives used counts and percentages — the implied
+        denominators pin down the device capacities."""
+        util = XCZU7EV.utilization({"bram36": 183, "dsp": 1379, "ff": 48609, "lut": 53330})
+        assert util["bram36"] == pytest.approx(58.65, abs=0.05)
+        assert util["dsp"] == pytest.approx(79.80, abs=0.05)
+        assert util["ff"] == pytest.approx(10.55, abs=0.05)
+        assert util["lut"] == pytest.approx(23.15, abs=0.05)
+
+    def test_11mb_bram(self):
+        # the paper: "11Mb BRAM and 1,728 DSP slices"
+        assert XCZU7EV.bram_kbits == pytest.approx(11 * 1024, rel=0.01)
+        assert XCZU7EV.dsp == 1728
+
+    def test_fits(self):
+        assert XCZU7EV.fits({"dsp": 1728})
+        assert not XCZU7EV.fits({"dsp": 1729})
+
+    def test_unknown_resource(self):
+        with pytest.raises(KeyError):
+            XCZU7EV.utilization({"uram": 1})
+
+    def test_device_registry(self):
+        assert "xczu7ev" in DEVICES
+        assert all(isinstance(d, FPGADevice) for d in DEVICES.values())
+
+
+class TestSpec:
+    def test_paper_lane_rule(self):
+        # §4.5: parallelism 32, "partially set to 48 and 64" for d=64/96
+        assert paper_spec(32).lanes_matrix == 32
+        assert paper_spec(64).lanes_matrix == 48
+        assert paper_spec(96).lanes_matrix == 64
+        assert all(paper_spec(d).lanes_sample == 32 for d in (32, 64, 96))
+
+    def test_paper_context_count(self):
+        assert paper_spec(32).n_contexts == 73
+
+    def test_samples_per_context(self):
+        # (w−1) windows × (1 + ns) samples = 7 × 11 = 77
+        assert paper_spec(32).samples_per_context == 77
+
+    def test_clock(self):
+        s = paper_spec(32)
+        assert s.clock_period_ns == pytest.approx(5.0)
+        assert s.cycles_to_seconds(200e6) == pytest.approx(1.0)
+
+    def test_non_paper_dim_rejected_by_helper(self):
+        with pytest.raises(ValueError):
+            paper_spec(48)
+
+    def test_custom_spec_allows_any_dim(self):
+        s = AcceleratorSpec(dim=48)
+        assert s.lanes_matrix == 40  # 32 + (48-32+1)//2
+
+    def test_matrix_parallelism_override(self):
+        s = AcceleratorSpec(dim=96, matrix_parallelism=96)
+        assert s.lanes_matrix == 96
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(window=1)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(dim=0)

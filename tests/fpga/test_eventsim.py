@@ -1,0 +1,120 @@
+"""Tests for repro.fpga.eventsim — the idealized-dataflow schedule model."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.eventsim import N_STAGES, simulate_walk_schedule
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.stages import stage_cycles
+from repro.fpga.timing import CALIBRATED_CONSTANTS
+
+
+class TestScheduleWellFormed:
+    @pytest.fixture()
+    def schedule(self):
+        return simulate_walk_schedule(paper_spec(32), n_contexts=20)
+
+    def test_dependencies_respected(self, schedule):
+        for c in range(schedule.n_contexts):
+            for k in range(1, N_STAGES):
+                assert schedule.task(c, k).start >= schedule.task(c, k - 1).end
+
+    def test_engines_never_overlap(self, schedule):
+        for k in range(N_STAGES):
+            tasks = sorted(schedule.stage_tasks(k), key=lambda t: t.start)
+            for a, b in zip(tasks, tasks[1:]):
+                assert b.start >= a.end
+
+    def test_durations_match_stage_model(self, schedule):
+        dur = stage_cycles(paper_spec(32)).as_tuple()
+        for c in range(schedule.n_contexts):
+            for k in range(N_STAGES):
+                assert schedule.task(c, k).duration == pytest.approx(dur[k])
+
+    def test_makespan_is_last_end(self, schedule):
+        assert schedule.makespan == max(t.end for t in schedule.tasks)
+
+    def test_single_context_makespan_is_stage_sum(self):
+        s = simulate_walk_schedule(paper_spec(32), n_contexts=1)
+        assert s.makespan == pytest.approx(stage_cycles(paper_spec(32)).total)
+
+    def test_steady_state_ii_is_bottleneck_stage(self):
+        s = simulate_walk_schedule(paper_spec(32), n_contexts=30)
+        cycles = stage_cycles(paper_spec(32))
+        assert s.steady_ii == pytest.approx(cycles.max_stage)
+
+    def test_makespan_recurrence(self):
+        """Classic pipeline formula: fill + (C−1)·II for a dominant stage."""
+        s = simulate_walk_schedule(paper_spec(32), n_contexts=40)
+        cycles = stage_cycles(paper_spec(32))
+        expected = cycles.total + (40 - 1) * cycles.max_stage
+        assert s.makespan == pytest.approx(expected)
+
+    def test_bottleneck_utilization_near_one(self):
+        s = simulate_walk_schedule(paper_spec(32), n_contexts=73)
+        # stage 3 dominates; its engine should be nearly always busy
+        assert s.utilization(2) > 0.9
+        # non-bottleneck engines idle most of the time
+        assert s.utilization(0) < 0.5
+
+    def test_gantt_renders(self, schedule):
+        g = schedule.gantt()
+        assert g.count("\n") == N_STAGES - 1
+        assert "#" in g
+
+    def test_invalid_args(self):
+        with pytest.raises((ValueError, TypeError)):
+            simulate_walk_schedule(paper_spec(32), n_contexts=0)
+        with pytest.raises((ValueError, TypeError)):
+            simulate_walk_schedule(paper_spec(32), fifo_depth=0)
+
+
+class TestBracketsCalibratedModel:
+    """The idealized schedule must lower-bound the calibrated model, and the
+    two must stay within a constant factor across the design space."""
+
+    @pytest.mark.parametrize("dim", [16, 32, 48, 64, 96, 128])
+    def test_bracket_over_dims(self, dim):
+        spec = AcceleratorSpec(dim=dim)
+        ideal = simulate_walk_schedule(spec, constants=CALIBRATED_CONSTANTS)
+        calibrated = PipelineModel(spec, CALIBRATED_CONSTANTS)
+        ii_ideal = ideal.steady_ii
+        ii_cal = calibrated.initiation_interval()
+        assert ii_ideal <= ii_cal + 1e-9
+        assert ii_cal <= ii_ideal * 1.4
+
+    @pytest.mark.parametrize("lanes", [8, 16, 32, 64])
+    def test_bracket_over_lanes(self, lanes):
+        spec = AcceleratorSpec(dim=64, base_parallelism=lanes)
+        ideal = simulate_walk_schedule(spec, constants=CALIBRATED_CONSTANTS)
+        ii_cal = PipelineModel(spec, CALIBRATED_CONSTANTS).initiation_interval()
+        assert ideal.steady_ii <= ii_cal + 1e-9
+        assert ii_cal <= ideal.steady_ii * 1.4
+
+    def test_paper_points_gap(self):
+        """The measured accelerator runs within ~25% of the ideal dataflow
+        bound at every paper design point — the serialization overhead the
+        calibration captures."""
+        for d in (32, 64, 96):
+            spec = paper_spec(d)
+            ideal = simulate_walk_schedule(spec, constants=CALIBRATED_CONSTANTS)
+            cal = PipelineModel(spec, CALIBRATED_CONSTANTS)
+            gap = cal.initiation_interval() / ideal.steady_ii
+            assert 1.0 <= gap < 1.3
+
+
+class TestFifoBackpressure:
+    def test_shallow_fifo_can_stall(self):
+        # make an early stage the bottleneck: tiny sample stage, fat matrix
+        spec = AcceleratorSpec(dim=96, window=2, ns=1, base_parallelism=128,
+                               matrix_parallelism=8)
+        deep = simulate_walk_schedule(spec, n_contexts=20, fifo_depth=8)
+        shallow = simulate_walk_schedule(spec, n_contexts=20, fifo_depth=1)
+        assert shallow.makespan >= deep.makespan
+
+    def test_depth_beyond_need_is_free(self):
+        spec = paper_spec(32)
+        a = simulate_walk_schedule(spec, n_contexts=20, fifo_depth=2)
+        b = simulate_walk_schedule(spec, n_contexts=20, fifo_depth=16)
+        assert a.makespan == pytest.approx(b.makespan)

@@ -1,0 +1,116 @@
+"""Tests for repro.fpga.stages / pipeline / timing (Table 3 FPGA row)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.pipeline import PipelineModel
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.stages import CycleConstants, stage_cycles
+from repro.fpga.timing import (
+    CALIBRATED_CONSTANTS,
+    PAPER_FPGA_MS,
+    calibrate_cycle_constants,
+    calibration_residuals,
+    fpga_walk_ms,
+)
+
+
+class TestStageCycles:
+    def test_all_positive(self):
+        s = stage_cycles(paper_spec(32))
+        assert all(v > 0 for v in s.as_tuple())
+
+    def test_stage3_dominates(self):
+        """The window/sample loop is the architectural bottleneck at every
+        paper design point — that's why its lanes set the base parallelism."""
+        for d in (32, 64, 96):
+            s = stage_cycles(paper_spec(d))
+            assert s.max_stage == s.stage3
+
+    def test_monotone_in_dim(self):
+        s32 = stage_cycles(paper_spec(32))
+        s96 = stage_cycles(paper_spec(96))
+        assert s96.stage1 > s32.stage1
+        assert s96.stage3 > s32.stage3
+
+    def test_total_is_sum(self):
+        s = stage_cycles(paper_spec(32))
+        assert s.total == pytest.approx(sum(s.as_tuple()))
+
+    def test_more_lanes_fewer_cycles(self):
+        slow = stage_cycles(AcceleratorSpec(dim=64, base_parallelism=16))
+        fast = stage_cycles(AcceleratorSpec(dim=64, base_parallelism=64))
+        assert fast.stage3 < slow.stage3
+
+
+class TestPipeline:
+    def test_ii_at_least_max_stage(self):
+        m = PipelineModel(paper_spec(32))
+        assert m.initiation_interval() >= m.stages().max_stage
+
+    def test_dataflow_beats_serial(self):
+        """Algorithm 2's raison d'être: pipelined II << serial stage sum."""
+        for d in (32, 64, 96):
+            df = PipelineModel(paper_spec(d), dataflow=True)
+            serial = PipelineModel(paper_spec(d), dataflow=False)
+            assert df.walk_cycles().total < serial.walk_cycles().total
+
+    def test_walk_cycles_linear_in_contexts(self):
+        m = PipelineModel(paper_spec(32))
+        c10 = m.walk_cycles(10).total
+        c20 = m.walk_cycles(20).total
+        c30 = m.walk_cycles(30).total
+        assert (c30 - c20) == pytest.approx(c20 - c10)
+
+    def test_zero_contexts(self):
+        m = PipelineModel(paper_spec(32))
+        wc = m.walk_cycles(0)
+        assert wc.total == wc.overhead
+
+    def test_negative_contexts_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel(paper_spec(32)).walk_cycles(-1)
+
+    def test_default_contexts_is_73(self):
+        m = PipelineModel(paper_spec(32))
+        assert m.walk_cycles().n_contexts == 73
+
+
+class TestCalibration:
+    def test_frozen_constants_match_rederivation(self):
+        fresh = calibrate_cycle_constants()
+        assert fresh.sample_overhead == pytest.approx(
+            CALIBRATED_CONSTANTS.sample_overhead, rel=1e-4
+        )
+        assert fresh.serial_matrix_factor == pytest.approx(
+            CALIBRATED_CONSTANTS.serial_matrix_factor, rel=1e-4
+        )
+        assert fresh.walk_overhead == pytest.approx(
+            CALIBRATED_CONSTANTS.walk_overhead, rel=1e-3
+        )
+
+    def test_table3_fpga_row_reproduced(self):
+        """The headline check: calibrated model within 1% of Table 3."""
+        for d, paper_ms in PAPER_FPGA_MS.items():
+            assert fpga_walk_ms(d) == pytest.approx(paper_ms, rel=0.01)
+
+    def test_residuals_small(self):
+        assert max(abs(r) for r in calibration_residuals().values()) < 0.01
+
+    def test_extrapolation_monotone(self):
+        """Sanity on non-calibrated dims: time grows with dim."""
+        times = [
+            PipelineModel(AcceleratorSpec(dim=d), CALIBRATED_CONSTANTS).walk_milliseconds()
+            for d in (16, 32, 48, 64, 80, 96, 128)
+        ]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_parallelism_sweep_improves_time(self):
+        """More sample lanes → shorter walks (the ablation bench's axis)."""
+        times = [
+            PipelineModel(
+                AcceleratorSpec(dim=64, base_parallelism=p), CALIBRATED_CONSTANTS
+            ).walk_milliseconds()
+            for p in (8, 16, 32, 64)
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,156 @@
+"""Tests for repro.fpga.{power, schedule, walker} — the future-work models."""
+
+import pytest
+
+from repro.fpga.power import (
+    EmbeddedGPUModel,
+    FPGAPowerModel,
+    PlatformEnergy,
+    energy_comparison,
+)
+from repro.fpga.schedule import balance_stages, derive_paper_parallelism
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.walker import BoardModel, WalkEngineModel
+from repro.fpga.device import XCZU3EG
+
+
+class TestFPGAPower:
+    def test_total_exceeds_static_floor(self):
+        m = FPGAPowerModel(paper_spec(32))
+        assert m.total_watts() > 2.0  # PS + PL static alone
+
+    def test_power_grows_with_dim(self):
+        p32 = FPGAPowerModel(paper_spec(32)).total_watts()
+        p96 = FPGAPowerModel(paper_spec(96)).total_watts()
+        assert p96 > p32
+
+    def test_board_envelope_plausible(self):
+        # a ZCU104-class board: a few watts, not tens
+        for d in (32, 64, 96):
+            w = FPGAPowerModel(paper_spec(d)).total_watts()
+            assert 2.0 < w < 15.0
+
+    def test_activity_scaling(self):
+        lo = FPGAPowerModel(paper_spec(32), activity=0.2).dynamic_watts()
+        hi = FPGAPowerModel(paper_spec(32), activity=0.9).dynamic_watts()
+        assert hi > lo
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            FPGAPowerModel(paper_spec(32), activity=1.5)
+
+    def test_platform_energy(self):
+        pe = FPGAPowerModel(paper_spec(32)).platform_energy()
+        assert pe.walk_ms == pytest.approx(0.777, rel=0.01)
+        assert pe.energy_mj_per_walk == pytest.approx(pe.walk_ms * pe.power_w)
+
+
+class TestEmbeddedGPU:
+    def test_algorithm1_launch_bound(self):
+        gpu = EmbeddedGPUModel()
+        t1 = gpu.walk_ms("proposed", 32)
+        t2 = gpu.walk_ms("dataflow", 32)
+        assert t1 > 5 * t2  # 292 launches vs 8
+
+    def test_compute_term_grows_with_dim(self):
+        gpu = EmbeddedGPUModel()
+        assert gpu.walk_ms("dataflow", 96) > gpu.walk_ms("dataflow", 32)
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            EmbeddedGPUModel().walk_ms("original", 32)
+
+    def test_energy(self):
+        pe = EmbeddedGPUModel().platform_energy("proposed", 32)
+        assert isinstance(pe, PlatformEnergy)
+        assert pe.walks_per_joule > 0
+
+
+class TestEnergyComparison:
+    def test_five_platforms(self):
+        rows = energy_comparison(32)
+        assert len(rows) == 5
+        assert rows[0].platform == "fpga"
+
+    def test_fpga_wins_vs_cpus(self):
+        rows = {(": ".join([p.platform, f"{p.walk_ms:.3f}"])): p for p in energy_comparison(32)}
+        fpga = next(p for p in rows.values() if p.platform == "fpga")
+        a53 = next(p for p in rows.values() if p.platform == "cortex_a53")
+        i7 = next(p for p in rows.values() if p.platform == "core_i7_11700")
+        assert fpga.energy_mj_per_walk < a53.energy_mj_per_walk
+        assert fpga.energy_mj_per_walk < i7.energy_mj_per_walk
+
+
+class TestScheduleSolver:
+    def test_reproduces_paper_choices(self):
+        """The headline: 32 -> 32, 64 -> 48, 96 -> 64 (§4.5)."""
+        assert derive_paper_parallelism() == {32: 32, 64: 48, 96: 64}
+
+    def test_returns_candidate_points(self):
+        choice, points = balance_stages(64)
+        assert choice == 48
+        assert len(points) >= 5
+        assert all(p.ii_cycles > 0 for p in points)
+
+    def test_ii_decreases_with_lanes(self):
+        _, points = balance_stages(96)
+        feasible = [p for p in points if p.fits]
+        iis = [p.ii_cycles for p in feasible]
+        assert all(a >= b for a, b in zip(iis, iis[1:]))
+
+    def test_tiny_device_unfeasible(self):
+        with pytest.raises(ValueError):
+            balance_stages(96, device=XCZU3EG)
+
+    def test_tolerance_zero_picks_fastest(self):
+        choice, points = balance_stages(64, tolerance=1e-9)
+        feasible = [p for p in points if p.fits]
+        best = min(feasible, key=lambda p: p.ii_cycles)
+        assert choice == best.matrix_lanes
+
+
+class TestWalkEngine:
+    def test_single_walker_latency_bound(self):
+        e = WalkEngineModel(slots=1)
+        assert e.steps_per_cycle(40.0) < 0.05
+
+    def test_slots_hide_latency(self):
+        lo = WalkEngineModel(slots=1).steps_per_cycle(40.0)
+        hi = WalkEngineModel(slots=32).steps_per_cycle(40.0)
+        assert hi > lo
+
+    def test_bandwidth_bound_kicks_in(self):
+        # enormous slot count cannot beat the AXI bandwidth bound
+        e = WalkEngineModel(slots=10_000)
+        assert e.steps_per_cycle(40.0) <= e.axi_bytes_per_cycle / (40.0 * 4.0) + 1e-12
+
+    def test_walk_ms_positive_and_monotone(self):
+        e = WalkEngineModel()
+        assert 0 < e.walk_ms(40, 40.0) < e.walk_ms(80, 40.0)
+
+    def test_invalid_args(self):
+        with pytest.raises((ValueError, TypeError)):
+            WalkEngineModel(slots=0)
+        with pytest.raises(ValueError):
+            WalkEngineModel().walk_ms(0, 40.0)
+
+
+class TestBoardModel:
+    def test_host_sampling_bottleneck(self):
+        board = BoardModel(paper_spec(32), host_step_us=5.0)
+        e2e = board.host_sampling(40.0)
+        # 80 steps x 5 us = 0.4 ms vs 0.777 ms training: training dominates
+        assert e2e.total_ms == pytest.approx(max(e2e.walk_sample_ms, e2e.training_ms))
+
+    def test_onchip_overlaps_fully(self):
+        board = BoardModel(paper_spec(32))
+        e2e = board.onchip_sampling(40.0)
+        assert e2e.total_ms == e2e.training_ms  # engine faster than trainer
+
+    def test_speedup_at_least_one(self):
+        board = BoardModel(paper_spec(32), host_step_us=20.0)
+        assert board.speedup(40.0) >= 1.0
+
+    def test_slow_host_gives_real_speedup(self):
+        board = BoardModel(paper_spec(32), host_step_us=50.0)
+        assert board.speedup(40.0) > 2.0

@@ -1,0 +1,65 @@
+"""Tests for repro.fpga.resources (Table 6 reproduction)."""
+
+import pytest
+
+from repro.fpga.device import XCZU3EG, XCZU7EV
+from repro.fpga.resources import (
+    PAPER_RESOURCES,
+    ResourceEstimator,
+    calibrate_resource_model,
+)
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+
+# fit tolerances established at calibration time (see module docstring)
+_TOLERANCE = {"bram36": 0.12, "dsp": 0.04, "ff": 0.10, "lut": 0.06}
+
+
+class TestTable6Reproduction:
+    @pytest.mark.parametrize("dim", [32, 64, 96])
+    def test_within_fit_tolerance(self, dim):
+        est = ResourceEstimator(paper_spec(dim)).estimate().as_dict()
+        for res, paper in PAPER_RESOURCES[dim].items():
+            rel = abs(est[res] - paper) / paper
+            assert rel <= _TOLERANCE[res], f"{res}@{dim}: {est[res]:.0f} vs {paper}"
+
+    @pytest.mark.parametrize("dim", [32, 64, 96])
+    def test_fits_xczu7ev(self, dim):
+        assert ResourceEstimator(paper_spec(dim)).estimate().fits()
+
+    def test_dsp_heaviest_resource(self):
+        """Table 6's qualitative shape: DSP utilization dominates (79–91%),
+        FF is the lightest."""
+        for dim in (32, 64, 96):
+            util = ResourceEstimator(paper_spec(dim)).estimate().utilization()
+            assert util["dsp"] == max(util.values())
+            assert util["ff"] == min(util.values())
+
+    def test_utilization_grows_with_dim(self):
+        u32 = ResourceEstimator(paper_spec(32)).estimate().utilization()
+        u96 = ResourceEstimator(paper_spec(96)).estimate().utilization()
+        for res in u32:
+            assert u96[res] > u32[res]
+
+    def test_frozen_coefficients_match_rederivation(self):
+        import repro.fpga.resources as R
+
+        fresh = calibrate_resource_model()
+        for res, coefs in fresh.items():
+            for name, val in coefs.items():
+                assert val == pytest.approx(R._COEF[res][name], rel=1e-3)
+
+
+class TestWhatIf:
+    def test_small_device_overflows(self):
+        """The design needs a mid-size part: it must NOT fit an XCZU3EG."""
+        est = ResourceEstimator(paper_spec(32), device=XCZU3EG)
+        assert not est.estimate().fits()
+
+    def test_report_rows_order(self):
+        rows = ResourceEstimator(paper_spec(32)).report_rows()
+        assert [r[0] for r in rows] == ["BRAM", "DSP", "FF", "LUT"]
+
+    def test_more_lanes_more_dsp(self):
+        lo = ResourceEstimator(AcceleratorSpec(dim=64, base_parallelism=16)).estimate()
+        hi = ResourceEstimator(AcceleratorSpec(dim=64, base_parallelism=64)).estimate()
+        assert hi.dsp > lo.dsp

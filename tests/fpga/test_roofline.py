@@ -1,0 +1,47 @@
+"""Tests for repro.fpga.roofline."""
+
+import pytest
+
+from repro.fpga.dma import DMAModel
+from repro.fpga.roofline import roofline_analysis
+from repro.fpga.spec import AcceleratorSpec, paper_spec
+
+
+class TestRoofline:
+    @pytest.mark.parametrize("dim", [32, 64, 96])
+    def test_paper_points_are_compute_bound(self, dim):
+        """The design's premise: β-tiling + negative reuse keep the per-walk
+        workload compute-bound, so parallel lanes (DSPs) are the right
+        spend — consistent with Table 6's DSP-dominated utilization."""
+        point = roofline_analysis(paper_spec(dim))
+        assert point.compute_bound
+        assert point.arithmetic_intensity > point.ridge_intensity
+
+    def test_intensity_grows_with_dim(self):
+        # MACs grow ~d², traffic ~d → intensity grows with width
+        i32 = roofline_analysis(paper_spec(32)).arithmetic_intensity
+        i96 = roofline_analysis(paper_spec(96)).arithmetic_intensity
+        assert i96 > i32
+
+    def test_achieved_below_roofline(self):
+        for dim in (32, 64, 96):
+            p = roofline_analysis(paper_spec(dim))
+            assert p.achieved_macs_per_cycle <= p.roofline_bound_macs_per_cycle
+            assert 0 < p.efficiency <= 1
+
+    def test_starved_dma_flips_to_memory_bound(self):
+        """With a 100x slower DMA the same workload becomes memory-bound —
+        the regime the paper's data-movement tricks are avoiding."""
+        slow = DMAModel(bytes_per_cycle=0.16)
+        point = roofline_analysis(paper_spec(32), dma=slow)
+        assert not point.compute_bound
+
+    def test_ridge_point_scales_with_lanes(self):
+        lo = roofline_analysis(AcceleratorSpec(dim=64, base_parallelism=8))
+        hi = roofline_analysis(AcceleratorSpec(dim=64, base_parallelism=64))
+        assert hi.ridge_intensity > lo.ridge_intensity
+
+    def test_bytes_match_dma_model(self):
+        spec = paper_spec(32)
+        p = roofline_analysis(spec)
+        assert p.bytes_per_walk == DMAModel().walk_transfer(spec).total_bytes

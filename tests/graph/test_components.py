@@ -1,0 +1,134 @@
+"""Tests for repro.graph.components (CC + spanning forest, the 'seq'
+scenario's initial-graph carve-out)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import (
+    connected_components,
+    forest_split,
+    n_connected_components,
+    spanning_forest_mask,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, random_tree, ring_of_cliques
+
+
+def to_networkx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n_nodes))
+    h.add_edges_from(map(tuple, g.edge_array()))
+    return h
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert n_connected_components(g) == 1
+
+    def test_isolated_nodes(self):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        assert n_connected_components(g) == 4
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, [])
+        assert n_connected_components(g) == 4
+
+    def test_component_ids_consistent(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[4] == comp[5]
+        assert len({comp[0], comp[2], comp[4]}) == 3
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(150, 0.01, seed=3)
+        assert n_connected_components(g) == nx.number_connected_components(
+            to_networkx(g)
+        )
+
+    def test_self_loop_does_not_merge(self):
+        g = CSRGraph.from_edges(2, [(0, 0)])
+        assert n_connected_components(g) == 2
+
+    def test_deep_path_no_recursion_limit(self):
+        n = 20000
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        g = CSRGraph.from_edges(n, edges)
+        assert n_connected_components(g) == 1
+
+
+class TestSpanningForestMask:
+    def test_tree_keeps_everything(self):
+        g = random_tree(30, seed=0)
+        mask = spanning_forest_mask(g, seed=0)
+        assert mask.all()
+
+    def test_forest_edge_count(self):
+        g = erdos_renyi(100, 0.05, seed=1)
+        mask = spanning_forest_mask(g, seed=0)
+        ncc = n_connected_components(g)
+        assert mask.sum() == g.n_nodes - ncc
+
+    def test_different_seeds_different_forests(self):
+        g = ring_of_cliques(4, 5, seed=0)
+        m1 = spanning_forest_mask(g, seed=1)
+        m2 = spanning_forest_mask(g, seed=2)
+        assert not np.array_equal(m1, m2)
+
+    def test_self_loops_never_selected(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 2)])
+        mask = spanning_forest_mask(g, seed=0)
+        ea = g.edge_array()
+        assert not mask[(ea[:, 0] == ea[:, 1])].any()
+
+
+class TestForestSplit:
+    @pytest.fixture()
+    def graph(self):
+        return ring_of_cliques(5, 6, seed=0)
+
+    def test_initial_is_forest(self, graph):
+        fs = forest_split(graph, seed=0)
+        assert nx.is_forest(to_networkx(fs.initial))
+
+    def test_component_count_preserved(self, graph):
+        fs = forest_split(graph, seed=0)
+        assert n_connected_components(fs.initial) == n_connected_components(graph)
+
+    def test_edge_partition(self, graph):
+        fs = forest_split(graph, seed=0)
+        orig = {tuple(e) for e in graph.edge_array()}
+        forest = {tuple(e) for e in fs.initial.edge_array()}
+        removed = {(min(u, v), max(u, v)) for u, v in fs.removed_edges}
+        assert forest | removed == orig
+        assert forest & removed == set()
+
+    def test_replay_order_randomized(self, graph):
+        a = forest_split(graph, seed=1).removed_edges
+        b = forest_split(graph, seed=2).removed_edges
+        assert not np.array_equal(a, b)
+
+    def test_labels_carried(self, graph):
+        fs = forest_split(graph, seed=0)
+        assert np.array_equal(fs.initial.node_labels, graph.node_labels)
+
+    def test_disconnected_input(self):
+        g = CSRGraph.from_edges(7, [(0, 1), (1, 2), (0, 2), (3, 4), (5, 6), (4, 5)])
+        fs = forest_split(g, seed=0)
+        assert n_connected_components(fs.initial) == n_connected_components(g)
+        assert fs.initial.n_edges == 7 - n_connected_components(g)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_forest_invariants(self, seed):
+        g = erdos_renyi(60, 0.08, seed=seed)
+        fs = forest_split(g, seed=seed)
+        ncc = n_connected_components(g)
+        assert fs.initial.n_edges == g.n_nodes - ncc
+        assert n_connected_components(fs.initial) == ncc
+        assert nx.is_forest(to_networkx(fs.initial))

@@ -1,0 +1,271 @@
+"""Tests for repro.graph.csr (CSRGraph core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+
+
+def triangle() -> CSRGraph:
+    return CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = triangle()
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+        assert g.n_arcs == 6
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, [])
+        assert g.n_nodes == 4
+        assert g.n_edges == 0
+        assert g.degree(2) == 0
+
+    def test_single_node(self):
+        g = CSRGraph.from_edges(1, [])
+        assert g.n_nodes == 1
+
+    def test_duplicate_edges_merged(self):
+        g = CSRGraph.from_edges(2, [(0, 1), (0, 1), (1, 0)])
+        assert g.n_edges == 1
+        # merged duplicates sum weights
+        assert g.neighbor_weights(0)[0] == 3.0
+
+    def test_self_loop_kept_once(self):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1)])
+        assert g.has_edge(0, 0)
+        assert g.n_edges == 2
+
+    def test_weights_preserved(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], weights=[2.5])
+        assert g.neighbor_weights(0)[0] == 2.5
+        assert g.neighbor_weights(1)[0] == 2.5
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 2)])
+
+    def test_negative_node_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    def test_bad_edge_shape_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, np.zeros((2, 3), dtype=np.int64))
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(0, [])
+
+    def test_node_labels_attached(self):
+        g = CSRGraph.from_edges(3, [(0, 1)], node_labels=np.array([0, 1, 1]))
+        assert np.array_equal(g.node_labels, [0, 1, 1])
+
+    def test_node_labels_wrong_length(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, [(0, 1)], node_labels=np.array([0, 1]))
+
+    def test_directed_graph_asymmetric(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.n_edges == 1
+
+
+class TestRawValidation:
+    def test_unsorted_row_rejected(self):
+        indptr = np.array([0, 2, 3, 3])
+        indices = np.array([2, 1, 0])
+        with pytest.raises(ValueError, match="sorted"):
+            CSRGraph(indptr, indices, directed=True)
+
+    def test_duplicate_in_row_rejected(self):
+        indptr = np.array([0, 2, 2])
+        indices = np.array([1, 1])
+        with pytest.raises(ValueError, match="duplicates"):
+            CSRGraph(indptr, indices, directed=True)
+
+    def test_asymmetric_undirected_rejected(self):
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(ValueError, match="symmetric"):
+            CSRGraph(indptr, indices, directed=False)
+
+    def test_indptr_not_starting_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))
+
+    def test_indices_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([1, 0]), directed=True)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 1)], weights=[-1.0])
+
+    def test_row_boundary_not_flagged_as_unsorted(self):
+        # descending across a row boundary is legal: row0=[2], row1=[0]
+        indptr = np.array([0, 1, 2, 2])
+        indices = np.array([2, 0])
+        g = CSRGraph(indptr, indices, directed=True)
+        assert g.n_arcs == 2
+
+
+class TestQueries:
+    def test_neighbors_sorted_view(self):
+        g = triangle()
+        assert np.array_equal(g.neighbors(0), [1, 2])
+        assert g.neighbors(0).base is not None  # zero-copy view
+
+    def test_degree_vector(self):
+        g = triangle()
+        assert np.array_equal(g.degree(), [2, 2, 2])
+
+    def test_degree_scalar(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert g.degree(0) == 1
+        assert g.degree(2) == 0
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 0)
+
+    def test_has_edges_vectorized(self):
+        g = triangle()
+        out = g.has_edges(0, np.array([0, 1, 2]))
+        assert np.array_equal(out, [False, True, True])
+
+    def test_has_edges_empty_targets(self):
+        g = triangle()
+        assert g.has_edges(0, np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_edge_array_undirected_once(self):
+        g = triangle()
+        ea = g.edge_array()
+        assert ea.shape == (3, 2)
+        assert np.all(ea[:, 0] <= ea[:, 1])
+
+    def test_edge_array_roundtrip(self):
+        g = triangle()
+        g2 = CSRGraph.from_edges(3, g.edge_array())
+        assert g == g2
+
+    def test_edge_array_with_weights(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
+        edges, w = g.edge_array(return_weights=True)
+        lookup = {tuple(e): wt for e, wt in zip(edges, w)}
+        assert lookup[(0, 1)] == 2.0 and lookup[(1, 2)] == 3.0
+
+    def test_iter_edges(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert list(g.iter_edges()) == [(0, 1)]
+
+    def test_n_edges_with_self_loop(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 2)])
+        assert g.n_edges == 3
+
+    def test_subgraph_edges(self):
+        g = triangle()
+        keep = np.array([True, False, True])
+        sub = g.subgraph_edges(keep)
+        assert sub.n_edges == 2
+        assert sub.n_nodes == 3
+
+    def test_subgraph_edges_bad_mask(self):
+        with pytest.raises(ValueError):
+            triangle().subgraph_edges(np.array([True]))
+
+    def test_repr(self):
+        assert "n_nodes=3" in repr(triangle())
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(triangle())
+
+    def test_eq_other_type(self):
+        assert triangle() != 42
+
+
+class TestImmutability:
+    def test_indices_frozen(self):
+        g = triangle()
+        with pytest.raises(ValueError):
+            g.indices[0] = 5
+
+    def test_weights_frozen(self):
+        g = triangle()
+        with pytest.raises(ValueError):
+            g.weights[0] = 2.0
+
+    def test_labels_frozen(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], node_labels=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            g.node_labels[0] = 9
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    m = draw(st.integers(min_value=0, max_value=30))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, edges
+
+
+class TestPropertyBased:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_invariant(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, np.asarray(edges).reshape(-1, 2))
+        for u, v in edges:
+            assert g.has_edge(u, v)
+            assert g.has_edge(v, u)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, np.asarray(edges).reshape(-1, 2))
+        loops = sum(1 for u, v in set((min(a, b), max(a, b)) for a, b in edges) if u == v)
+        assert g.degree().sum() == g.n_arcs
+        assert g.n_arcs == 2 * g.n_edges - loops
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_array_roundtrip_property(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, np.asarray(edges).reshape(-1, 2))
+        pairs, w = g.edge_array(return_weights=True)
+        g2 = CSRGraph.from_edges(n, pairs, weights=w)
+        assert g == g2
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_sorted_unique(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, np.asarray(edges).reshape(-1, 2))
+        for v in range(n):
+            row = g.neighbors(v)
+            assert np.all(np.diff(row) > 0) or row.size <= 1

@@ -1,0 +1,94 @@
+"""Tests for repro.graph.datasets (Table 1 surrogates)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    PAPER_DATASETS,
+    amazon_computers_like,
+    amazon_photo_like,
+    cora_like,
+    dataset_names,
+    load_dataset,
+)
+
+
+class TestSpecs:
+    def test_table1_values(self):
+        # exact Table 1 numbers
+        assert PAPER_DATASETS["cora"].n_nodes == 2708
+        assert PAPER_DATASETS["cora"].n_edges == 5429
+        assert PAPER_DATASETS["cora"].n_classes == 7
+        assert PAPER_DATASETS["amazon_photo"].n_nodes == 7650
+        assert PAPER_DATASETS["amazon_photo"].n_edges == 143663
+        assert PAPER_DATASETS["amazon_photo"].n_classes == 8
+        assert PAPER_DATASETS["amazon_computers"].n_nodes == 13752
+        assert PAPER_DATASETS["amazon_computers"].n_edges == 287209
+        assert PAPER_DATASETS["amazon_computers"].n_classes == 10
+
+    def test_dataset_names(self):
+        assert set(dataset_names()) == {"cora", "amazon_photo", "amazon_computers"}
+
+    def test_scaled_spec_density_preserved(self):
+        spec = PAPER_DATASETS["amazon_photo"]
+        small = spec.scaled(0.1)
+        assert abs(small.avg_degree - spec.avg_degree) / spec.avg_degree < 0.05
+
+    def test_scaled_identity(self):
+        spec = PAPER_DATASETS["cora"]
+        assert spec.scaled(1.0) is spec
+
+    def test_scale_out_of_range(self):
+        with pytest.raises(ValueError):
+            PAPER_DATASETS["cora"].scaled(0.0)
+        with pytest.raises(ValueError):
+            PAPER_DATASETS["cora"].scaled(1.5)
+
+    def test_scaled_keeps_classes(self):
+        small = PAPER_DATASETS["amazon_computers"].scaled(0.05)
+        assert small.n_classes == 10
+
+
+class TestGeneration:
+    def test_cora_like_small(self):
+        g = cora_like(scale=0.2, seed=0)
+        assert g.node_labels is not None
+        assert len(np.unique(g.node_labels)) == 7
+
+    def test_edge_count_tolerance_small_scale(self):
+        spec = PAPER_DATASETS["cora"].scaled(0.3)
+        g = spec.generate(seed=0)
+        assert abs(g.n_edges - spec.n_edges) < 0.05 * spec.n_edges
+
+    def test_amazon_photo_like(self):
+        g = amazon_photo_like(scale=0.05, seed=0)
+        assert len(np.unique(g.node_labels)) == 8
+
+    def test_amazon_computers_like(self):
+        g = amazon_computers_like(scale=0.04, seed=0)
+        assert len(np.unique(g.node_labels)) == 10
+
+    def test_homophily_high(self):
+        g = cora_like(scale=0.3, seed=0)
+        ea = g.edge_array()
+        intra = np.mean(g.node_labels[ea[:, 0]] == g.node_labels[ea[:, 1]])
+        assert intra > 0.6  # community structure recoverable
+
+    def test_deterministic(self):
+        assert cora_like(scale=0.2, seed=5) == cora_like(scale=0.2, seed=5)
+
+    def test_load_dataset_aliases(self):
+        g1 = load_dataset("ampt", scale=0.05, seed=0)
+        g2 = load_dataset("amazon_photo", scale=0.05, seed=0)
+        assert g1 == g2
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_dataset("citeseer")
+
+    @pytest.mark.slow
+    def test_full_scale_edge_counts(self):
+        for name, spec in PAPER_DATASETS.items():
+            g = load_dataset(name, seed=0)
+            assert g.n_nodes == spec.n_nodes
+            assert abs(g.n_edges - spec.n_edges) < 0.01 * spec.n_edges

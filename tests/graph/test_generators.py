@@ -1,0 +1,181 @@
+"""Tests for repro.graph.generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import connected_components, n_connected_components
+from repro.graph.generators import (
+    barabasi_albert,
+    degree_corrected_sbm,
+    erdos_renyi,
+    planted_partition,
+    random_tree,
+    ring_of_cliques,
+)
+
+
+def to_networkx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n_nodes))
+    h.add_edges_from(map(tuple, g.edge_array()))
+    return h
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        assert erdos_renyi(10, 0.0, seed=0).n_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(6, 1.0, seed=0)
+        assert g.n_edges == 15
+
+    def test_edge_count_near_expectation(self):
+        n, p = 300, 0.05
+        counts = [erdos_renyi(n, p, seed=s).n_edges for s in range(5)]
+        expected = p * n * (n - 1) / 2
+        assert abs(np.mean(counts) - expected) < 0.08 * expected
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(50, 0.2, seed=1)
+        ea = g.edge_array()
+        assert np.all(ea[:, 0] != ea[:, 1])
+
+    def test_deterministic(self):
+        assert erdos_renyi(40, 0.1, seed=7) == erdos_renyi(40, 0.1, seed=7)
+
+    def test_single_node(self):
+        assert erdos_renyi(1, 0.5, seed=0).n_edges == 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 120, 3
+        g = barabasi_albert(n, m, seed=0)
+        # star seed (m edges) + (n - m - 1) * m attachments
+        assert g.n_edges == m + (n - m - 1) * m
+
+    def test_min_degree(self):
+        g = barabasi_albert(100, 2, seed=0)
+        assert g.degree().min() >= 1
+
+    def test_connected(self):
+        g = barabasi_albert(200, 2, seed=3)
+        assert n_connected_components(g) == 1
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(800, 2, seed=0)
+        deg = g.degree()
+        assert deg.max() > 6 * np.median(deg)
+
+    def test_m_ge_n_raises(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        assert barabasi_albert(60, 2, seed=5) == barabasi_albert(60, 2, seed=5)
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 57])
+    def test_tree_invariants(self, n):
+        g = random_tree(n, seed=0)
+        assert g.n_edges == n - 1 if n > 1 else g.n_edges == 0
+        assert n_connected_components(g) == 1
+
+    def test_acyclic_via_networkx(self):
+        g = random_tree(40, seed=2)
+        assert nx.is_tree(to_networkx(g))
+
+    @given(st.integers(min_value=3, max_value=60), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_tree(self, n, seed):
+        g = random_tree(n, seed=seed)
+        assert g.n_edges == n - 1
+        assert n_connected_components(g) == 1
+
+
+class TestPlantedPartition:
+    def test_labels_present(self):
+        g = planted_partition(200, 4, avg_degree=8, seed=0)
+        assert g.node_labels is not None
+        assert set(np.unique(g.node_labels)) == set(range(4))
+
+    def test_every_class_nonempty(self):
+        g = planted_partition(64, 8, avg_degree=6, seed=1)
+        assert len(np.unique(g.node_labels)) == 8
+
+    def test_homophily_realized(self):
+        g = planted_partition(400, 4, avg_degree=12, homophily=0.9, seed=0)
+        ea = g.edge_array()
+        labels = g.node_labels
+        intra = np.mean(labels[ea[:, 0]] == labels[ea[:, 1]])
+        assert intra > 0.8
+
+    def test_low_homophily(self):
+        g = planted_partition(400, 4, avg_degree=12, homophily=0.1, seed=0)
+        ea = g.edge_array()
+        labels = g.node_labels
+        intra = np.mean(labels[ea[:, 0]] == labels[ea[:, 1]])
+        assert intra < 0.4
+
+    def test_more_classes_than_nodes_raises(self):
+        with pytest.raises(ValueError):
+            planted_partition(3, 10, avg_degree=2)
+
+
+class TestDegreeCorrectedSBM:
+    def test_edge_count_close_to_target(self):
+        n, d = 1000, 20
+        g = degree_corrected_sbm(n, 5, avg_degree=d, seed=0)
+        assert abs(g.n_edges - n * d / 2) < 0.02 * n * d / 2
+
+    def test_heavy_tail_with_exponent(self):
+        g = degree_corrected_sbm(2000, 4, avg_degree=20, degree_exponent=2.2, seed=0)
+        deg = g.degree()
+        assert deg.max() > 5 * np.median(deg)
+
+    def test_uniform_without_exponent(self):
+        g = degree_corrected_sbm(2000, 4, avg_degree=20, degree_exponent=None, seed=0)
+        deg = g.degree()
+        assert deg.max() < 4 * np.median(deg)
+
+    def test_deterministic(self):
+        a = degree_corrected_sbm(300, 3, avg_degree=10, seed=11)
+        b = degree_corrected_sbm(300, 3, avg_degree=10, seed=11)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = degree_corrected_sbm(300, 3, avg_degree=10, seed=1)
+        b = degree_corrected_sbm(300, 3, avg_degree=10, seed=2)
+        assert a != b
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(4, 5)
+        assert g.n_nodes == 20
+        # 4 cliques of C(5,2)=10 edges + 4 ring edges
+        assert g.n_edges == 44
+
+    def test_labels(self):
+        g = ring_of_cliques(3, 4)
+        assert np.array_equal(np.bincount(g.node_labels), [4, 4, 4])
+
+    def test_connected(self):
+        g = ring_of_cliques(6, 3)
+        assert n_connected_components(g) == 1
+
+    def test_single_clique(self):
+        g = ring_of_cliques(1, 4)
+        assert g.n_edges == 6
+
+    def test_min_clique_size(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(3, 1)

@@ -1,0 +1,64 @@
+"""Tests for repro.graph.io."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import planted_partition
+from repro.graph.io import load_cora, load_edge_list, save_edge_list
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = planted_partition(50, 3, avg_degree=6, seed=0)
+        path = str(tmp_path / "g.edges")
+        save_edge_list(g, path)
+        g2 = load_edge_list(path)
+        assert g == g2
+        assert np.array_equal(g.node_labels, g2.node_labels)
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        path = str(tmp_path / "g.edges")
+        save_edge_list(g, path)
+        g2 = load_edge_list(path)
+        assert g == g2
+        assert g2.node_labels is None
+
+    def test_isolated_node_preserved_via_header(self, tmp_path):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        path = str(tmp_path / "g.edges")
+        save_edge_list(g, path)
+        assert load_edge_list(path).n_nodes == 5
+
+    def test_no_header_infers_nodes(self, tmp_path):
+        path = str(tmp_path / "raw.edges")
+        with open(path, "w") as fh:
+            fh.write("0 1\n2 3\n")
+        g = load_edge_list(path)
+        assert g.n_nodes == 4
+
+
+class TestCoraLoader:
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_cora(str(tmp_path))
+
+    def test_parses_synthetic_cora_files(self, tmp_path):
+        # fabricate a miniature cora.content/cora.cites pair
+        content = tmp_path / "cora.content"
+        cites = tmp_path / "cora.cites"
+        papers = [("p1", "ML"), ("p2", "ML"), ("p3", "DB")]
+        with open(content, "w") as fh:
+            for pid, cls in papers:
+                feats = " ".join(["0"] * 5)
+                fh.write(f"{pid} {feats} {cls}\n")
+        with open(cites, "w") as fh:
+            fh.write("p1 p2\np2 p3\nunknown p1\n")  # unknown ids skipped
+        g = load_cora(str(tmp_path))
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+        assert g.node_labels is not None
+        assert len(np.unique(g.node_labels)) == 2

@@ -1,0 +1,93 @@
+"""Tests for repro.graph.stats."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import PAPER_DATASETS
+from repro.graph.generators import planted_partition, ring_of_cliques
+from repro.graph.stats import (
+    clustering_coefficient,
+    degree_statistics,
+    edge_homophily,
+    summarize,
+)
+
+
+class TestEdgeHomophily:
+    def test_perfect_homophily(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], node_labels=np.array([0, 0, 1, 1]))
+        assert edge_homophily(g) == 1.0
+
+    def test_zero_homophily(self):
+        g = CSRGraph.from_edges(4, [(0, 2), (1, 3)], node_labels=np.array([0, 0, 1, 1]))
+        assert edge_homophily(g) == 0.0
+
+    def test_no_labels_raises(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            edge_homophily(g)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [], node_labels=np.array([0, 1, 2]))
+        assert edge_homophily(g) == 0.0
+
+    def test_surrogate_matches_spec(self):
+        spec = PAPER_DATASETS["cora"]
+        g = spec.scaled(0.3).generate(seed=0)
+        assert edge_homophily(g) == pytest.approx(spec.homophily, abs=0.05)
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        g = ring_of_cliques(4, 5)
+        stats = degree_statistics(g)
+        assert stats["mean"] == pytest.approx(g.degree().mean())
+        assert stats["tail_ratio"] < 2.0
+
+    def test_heavy_tail_detected(self):
+        spec = PAPER_DATASETS["amazon_photo"].scaled(0.2)
+        g = spec.generate(seed=0)
+        assert degree_statistics(g)["tail_ratio"] > 3.0
+
+
+class TestClusteringCoefficient:
+    def test_clique_is_one(self):
+        g = ring_of_cliques(1, 5)
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert clustering_coefficient(g) == 0.0
+
+    def test_matches_networkx(self):
+        g = planted_partition(60, 3, avg_degree=8, seed=0)
+        ours = clustering_coefficient(g)
+        h = nx.Graph()
+        h.add_nodes_from(range(g.n_nodes))
+        h.add_edges_from(map(tuple, g.edge_array()))
+        theirs = nx.average_clustering(h)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_sampling_close_to_exact(self):
+        g = planted_partition(200, 4, avg_degree=10, seed=1)
+        exact = clustering_coefficient(g)
+        sampled = clustering_coefficient(g, sample=150, seed=0)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+
+class TestSummarize:
+    def test_fields(self):
+        g = planted_partition(80, 4, avg_degree=6, seed=0)
+        s = summarize(g)
+        assert s.n_nodes == 80
+        assert s.n_classes == 4
+        assert 0 <= s.homophily <= 1
+        assert s.clustering >= 0
+
+    def test_unlabeled(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2)])
+        s = summarize(g)
+        assert s.n_classes is None
+        assert s.homophily is None

@@ -1,0 +1,114 @@
+"""Tests for repro.hw.cpu — the Table 3/4 timing models."""
+
+import pytest
+
+from repro.hw.cpu import (
+    CORE_I7_11700,
+    CORTEX_A53,
+    PAPER_CPU_MS,
+    calibrate_cpu_profiles,
+    cpu_walk_ms,
+)
+
+DIMS = (32, 64, 96)
+
+
+class TestTable3Reproduction:
+    """Cortex-A53 rows: the calibrated model within 1%."""
+
+    @pytest.mark.parametrize("model", ["original", "proposed"])
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_a53_times(self, model, dim):
+        paper = PAPER_CPU_MS["cortex_a53"][model][dim]
+        ours = CORTEX_A53.walk_ms(model, dim)
+        assert ours == pytest.approx(paper, rel=0.01)
+
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_a53_speedup_shape(self, dim):
+        """Table 3's software claim: the proposed model is 1.89–2.79x faster
+        than the original skip-gram on the A53."""
+        speedup = CORTEX_A53.walk_ms("original", dim) / CORTEX_A53.walk_ms(
+            "proposed", dim
+        )
+        paper = (
+            PAPER_CPU_MS["cortex_a53"]["original"][dim]
+            / PAPER_CPU_MS["cortex_a53"]["proposed"][dim]
+        )
+        assert speedup == pytest.approx(paper, rel=0.03)
+        assert 1.8 < speedup < 2.9
+
+
+class TestTable4Reproduction:
+    """Core i7-11700 rows: within 3%."""
+
+    @pytest.mark.parametrize("model", ["original", "proposed"])
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_i7_times(self, model, dim):
+        paper = PAPER_CPU_MS["core_i7_11700"][model][dim]
+        ours = CORE_I7_11700.walk_ms(model, dim)
+        assert ours == pytest.approx(paper, rel=0.03)
+
+    def test_i7_much_faster_than_a53(self):
+        for dim in DIMS:
+            assert CORE_I7_11700.walk_ms("original", dim) < 0.1 * CORTEX_A53.walk_ms(
+                "original", dim
+            )
+
+
+class TestCacheModel:
+    def test_no_penalty_inside_cache(self):
+        assert CORTEX_A53.cache_penalty(512 * 1024) == 1.0
+
+    def test_penalty_grows_outside(self):
+        p1 = CORTEX_A53.cache_penalty(2 * 1024 * 1024)
+        p2 = CORTEX_A53.cache_penalty(4 * 1024 * 1024)
+        assert 1.0 < p1 < p2
+
+    def test_a53_superlinear_in_dim(self):
+        """The A53's Table 3 signature: original-model time grows faster
+        than linearly in d (cache-capacity effect)."""
+        t32 = CORTEX_A53.walk_ms("original", 32)
+        t96 = CORTEX_A53.walk_ms("original", 96)
+        assert t96 > 3.5 * t32
+
+    def test_i7_roughly_linear_in_dim(self):
+        t32 = CORE_I7_11700.walk_ms("original", 32)
+        t96 = CORE_I7_11700.walk_ms("original", 96)
+        assert t96 < 3.0 * t32
+
+    def test_small_graph_faster_on_a53(self):
+        small = CORTEX_A53.walk_ms("original", 96, n_nodes=500)
+        cora = CORTEX_A53.walk_ms("original", 96, n_nodes=2708)
+        assert small < cora
+
+
+class TestInterface:
+    def test_cpu_walk_ms_lookup(self):
+        assert cpu_walk_ms("cortex_a53", "original", 32) == pytest.approx(
+            35.357, rel=0.01
+        )
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            cpu_walk_ms("m1_max", "original", 32)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            cpu_walk_ms("cortex_a53", "transformer", 32)
+
+    def test_dataflow_uses_proposed_coefficients(self):
+        # Algorithm 2 on CPU: same coefficient family, slightly different ops
+        t = CORTEX_A53.walk_ms("dataflow", 32)
+        assert t == pytest.approx(CORTEX_A53.walk_ms("proposed", 32), rel=0.15)
+
+
+class TestCalibration:
+    def test_frozen_profiles_match_rederivation(self):
+        fresh = calibrate_cpu_profiles()
+        for name, frozen in (("cortex_a53", CORTEX_A53), ("core_i7_11700", CORE_I7_11700)):
+            f = fresh[name]
+            for m in ("original", "proposed"):
+                assert f.compute_ns[m] == pytest.approx(frozen.compute_ns[m], rel=0.01)
+                assert f.overhead_ns[m] == pytest.approx(
+                    frozen.overhead_ns[m], rel=0.01
+                )

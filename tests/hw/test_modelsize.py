@@ -1,0 +1,70 @@
+"""Tests for repro.hw.modelsize (Table 5)."""
+
+import pytest
+
+from repro.hw.modelsize import (
+    PAPER_MODEL_SIZES_MB,
+    dataset_n_nodes,
+    model_size_bytes,
+    model_size_mb,
+    size_ratio,
+)
+
+DIMS = (32, 64, 96)
+SHORTS = ("cora", "ampt", "amcp")
+
+
+class TestFormulas:
+    def test_original_two_float64_matrices(self):
+        assert model_size_bytes("original", 100, 32) == 2 * 100 * 32 * 8
+
+    def test_proposed_beta_plus_p_fixed_point(self):
+        assert model_size_bytes("proposed", 100, 32) == (100 * 32 + 32 * 32) * 4
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            model_size_bytes("quantum", 10, 4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            model_size_bytes("original", 0, 4)
+
+
+class TestTable5Reproduction:
+    @pytest.mark.parametrize("dim", DIMS)
+    @pytest.mark.parametrize("short", SHORTS)
+    def test_sizes_within_tolerance(self, dim, short):
+        n = dataset_n_nodes(short)
+        for model in ("original", "proposed"):
+            paper = PAPER_MODEL_SIZES_MB[dim][model][short]
+            ours = model_size_mb(model, n, dim)
+            assert ours == pytest.approx(paper, rel=0.11)
+
+    def test_amcp_96_proposed_exact(self):
+        """One entry pins the accounting exactly: Amazon Computers, d=96."""
+        n = dataset_n_nodes("amcp")
+        assert model_size_mb("proposed", n, 96) == pytest.approx(5.318, abs=0.001)
+
+    def test_headline_ratio(self):
+        """'up to 3.82 times smaller' — achieved at amcp d=96."""
+        ratios = [
+            size_ratio(dataset_n_nodes(s), d) for s in SHORTS for d in DIMS
+        ]
+        assert max(ratios) == pytest.approx(3.9, abs=0.15)
+        assert min(ratios) > 3.0
+
+    def test_ratio_grows_with_n(self):
+        # the d²/n overhead of P fades on bigger graphs
+        assert size_ratio(13752, 96) > size_ratio(2708, 96)
+
+    def test_proposed_always_smaller(self):
+        for s in SHORTS:
+            n = dataset_n_nodes(s)
+            for d in DIMS:
+                assert model_size_bytes("proposed", n, d) < model_size_bytes(
+                    "original", n, d
+                )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_n_nodes("citeseer")

@@ -1,0 +1,38 @@
+"""Tests for repro.hw.opcount."""
+
+import pytest
+
+from repro.hw.opcount import OpCount
+
+
+class TestOpCount:
+    def test_defaults_zero(self):
+        assert OpCount().mac == 0
+
+    def test_add(self):
+        a = OpCount(mac=10, div=1)
+        b = OpCount(mac=5, exp=2)
+        c = a + b
+        assert (c.mac, c.div, c.exp) == (15, 1, 2)
+
+    def test_scalar_multiply(self):
+        a = OpCount(mac=10, ctx=2)
+        b = 3 * a
+        assert b.mac == 30 and b.ctx == 6
+        assert (a * 3).mac == 30
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            OpCount().mac = 5
+
+    def test_as_dict_keys(self):
+        d = OpCount().as_dict()
+        assert set(d) == {"mac", "div", "exp", "rng", "mem", "ctx", "win", "walk"}
+
+    def test_total_arithmetic(self):
+        assert OpCount(mac=10, div=2, exp=3, rng=100).total_arithmetic == 15
+
+    def test_add_identity(self):
+        a = OpCount(mac=7, win=2)
+        z = a + OpCount()
+        assert z == a

@@ -1,0 +1,133 @@
+"""Tests for repro.sampling.alias (Walker's alias method [17])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.alias import AliasTable
+
+
+class TestConstruction:
+    def test_uniform(self):
+        t = AliasTable([1, 1, 1, 1])
+        assert np.allclose(t.probabilities(), 0.25)
+
+    def test_single_outcome(self):
+        t = AliasTable([5.0])
+        assert t.sample(seed=0) == 0
+        assert np.allclose(t.probabilities(), [1.0])
+
+    def test_unnormalized_ok(self):
+        a = AliasTable([2, 4, 6])
+        b = AliasTable([1, 2, 3])
+        assert np.allclose(a.probabilities(), b.probabilities())
+
+    def test_zero_weight_outcome_never_sampled(self):
+        t = AliasTable([1, 0, 1])
+        draws = t.sample(5000, seed=0)
+        assert not np.any(draws == 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            AliasTable([1, -1])
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            AliasTable([0, 0])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            AliasTable([1, float("nan")])
+
+    def test_inf_raises(self):
+        with pytest.raises(ValueError):
+            AliasTable([1, float("inf")])
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_table_immutable(self):
+        t = AliasTable([1, 2])
+        with pytest.raises(ValueError):
+            t.prob[0] = 0.5
+
+    def test_len(self):
+        assert len(AliasTable([1, 2, 3])) == 3
+
+
+class TestSampling:
+    def test_scalar_sample(self):
+        out = AliasTable([1, 1]).sample(seed=0)
+        assert isinstance(out, int)
+
+    def test_shape(self):
+        t = AliasTable([1, 2, 3])
+        assert t.sample(10, seed=0).shape == (10,)
+        assert t.sample((2, 3), seed=0).shape == (2, 3)
+
+    def test_dtype_int64(self):
+        assert AliasTable([1, 2]).sample(4, seed=0).dtype == np.int64
+
+    def test_deterministic_with_seed(self):
+        t = AliasTable([1, 2, 3])
+        assert np.array_equal(t.sample(20, seed=5), t.sample(20, seed=5))
+
+    def test_generator_stream_advances(self):
+        t = AliasTable([1, 2, 3])
+        g = np.random.default_rng(0)
+        a = t.sample(10, seed=g)
+        b = t.sample(10, seed=g)
+        assert not np.array_equal(a, b)
+
+    def test_empirical_distribution_matches(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        t = AliasTable(w)
+        draws = t.sample(200_000, seed=0)
+        emp = np.bincount(draws, minlength=4) / draws.size
+        assert np.allclose(emp, w / w.sum(), atol=0.01)
+
+    def test_skewed_distribution(self):
+        w = np.array([1000.0, 1.0])
+        t = AliasTable(w)
+        draws = t.sample(50_000, seed=1)
+        assert np.mean(draws == 0) > 0.99
+
+
+class TestExactness:
+    """probabilities() must reconstruct the input distribution exactly
+    (up to float rounding), for any weights — the core alias invariant."""
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ).filter(lambda w: sum(w) > 0)
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_probabilities_match_weights(self, weights):
+        w = np.asarray(weights)
+        t = AliasTable(w)
+        assert np.allclose(t.probabilities(), w / w.sum(), atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_sum_to_one(self, n):
+        rng = np.random.default_rng(n)
+        t = AliasTable(rng.random(n) + 1e-12)
+        assert np.isclose(t.probabilities().sum(), 1.0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_samples_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 50))
+        t = AliasTable(rng.random(n) + 0.01)
+        draws = t.sample(100, seed=seed)
+        assert draws.min() >= 0 and draws.max() < n

@@ -1,0 +1,118 @@
+"""Tests for repro.sampling.batched (lockstep vectorized walker)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, erdos_renyi, ring_of_cliques
+from repro.sampling.batched import BatchedWalker
+from repro.sampling.walks import Node2VecWalker, WalkParams
+
+
+class TestGuards:
+    def test_rejects_q_not_one(self):
+        g = ring_of_cliques(3, 4, seed=0)
+        with pytest.raises(ValueError, match="q == 1"):
+            BatchedWalker(g, WalkParams(q=2.0))
+
+    def test_rejects_weighted_graph(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 1.0])
+        with pytest.raises(ValueError, match="unweighted"):
+            BatchedWalker(g, WalkParams())
+
+
+class TestWalkBatch:
+    @pytest.fixture()
+    def graph(self):
+        return erdos_renyi(50, 0.12, seed=1)
+
+    def test_shape_and_starts(self, graph):
+        w = BatchedWalker(graph, WalkParams(length=15), seed=0)
+        starts = np.array([0, 3, 7, 7])
+        batch = w.walk_batch(starts)
+        assert batch.shape == (4, 15)
+        assert np.array_equal(batch[:, 0], starts)
+
+    def test_walks_respect_edges(self, graph):
+        w = BatchedWalker(graph, WalkParams(length=20), seed=0)
+        batch = w.walk_batch(np.arange(20))
+        for row in batch:
+            for a, b in zip(row[:-1], row[1:]):
+                if a < 0 or b < 0:
+                    break
+                assert graph.has_edge(int(a), int(b))
+
+    def test_isolated_node_truncates_with_padding(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        w = BatchedWalker(g, WalkParams(length=5), seed=0)
+        batch = w.walk_batch(np.array([2]))
+        assert batch[0, 0] == 2
+        assert np.all(batch[0, 1:] == -1)
+
+    def test_as_walk_list_strips_padding(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        w = BatchedWalker(g, WalkParams(length=5), seed=0)
+        walks = w.as_walk_list(w.walk_batch(np.array([2, 0])))
+        assert np.array_equal(walks[0], [2])
+        assert len(walks[1]) == 5  # 0-1-0-1-0 bouncing
+
+    def test_length_one(self):
+        g = ring_of_cliques(3, 4, seed=0)
+        w = BatchedWalker(g, WalkParams(length=1), seed=0)
+        batch = w.walk_batch(np.array([3]))
+        assert np.array_equal(batch, [[3]])
+
+    def test_simulate_corpus_size(self):
+        g = ring_of_cliques(3, 4, seed=0)
+        w = BatchedWalker(g, WalkParams(length=6, walks_per_node=2), seed=0)
+        walks = w.simulate()
+        assert len(walks) == 2 * g.n_nodes
+
+
+class TestDistributionalEquivalence:
+    """Batched and reference walkers must realize the same step law."""
+
+    def test_step_distribution_matches_reference(self):
+        g = erdos_renyi(30, 0.25, seed=5)
+        t = int(g.neighbors(0)[0])
+        n = 20_000
+        ref = Node2VecWalker(g, WalkParams(p=0.3, q=1.0), seed=11)
+        ref_draws = np.bincount(
+            [ref.step(t, 0) for _ in range(n)], minlength=g.n_nodes
+        ) / n
+        bat = BatchedWalker(g, WalkParams(p=0.3, q=1.0), seed=12)
+        prev = np.full(n, t)
+        cur = np.zeros(n, dtype=np.int64)
+        bat_draws = np.bincount(bat.step_batch(prev, cur), minlength=g.n_nodes) / n
+        assert np.allclose(ref_draws, bat_draws, atol=0.02)
+
+    def test_return_bias_realized(self):
+        # p << 1 → strong backtracking, measurable in the batch
+        g = erdos_renyi(30, 0.25, seed=5)
+        t = int(g.neighbors(0)[0])
+        bat = BatchedWalker(g, WalkParams(p=0.05, q=1.0), seed=0)
+        n = 10_000
+        draws = bat.step_batch(np.full(n, t), np.zeros(n, dtype=np.int64))
+        assert np.mean(draws == t) > 0.5
+
+    def test_first_step_uniform(self):
+        g = ring_of_cliques(1, 5, seed=0)  # K5: node 0 has 4 neighbors
+        bat = BatchedWalker(g, WalkParams(length=2), seed=0)
+        batch = bat.walk_batch(np.zeros(20_000, dtype=np.int64))
+        freqs = np.bincount(batch[:, 1], minlength=5)[1:] / 20_000
+        assert np.allclose(freqs, 0.25, atol=0.02)
+
+
+class TestPerformance:
+    def test_faster_than_reference_walker(self):
+        """The point of the batch: a real speedup on corpus generation."""
+        import time
+
+        g = erdos_renyi(400, 0.05, seed=0)
+        params = WalkParams(length=40, walks_per_node=2)
+        t0 = time.perf_counter()
+        Node2VecWalker(g, params, seed=0).simulate()
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        BatchedWalker(g, params, seed=0).simulate()
+        t_bat = time.perf_counter() - t0
+        assert t_bat < t_ref  # typically 5-15x; assert direction only

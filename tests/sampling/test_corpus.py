@@ -1,0 +1,99 @@
+"""Tests for repro.sampling.corpus (window partitioning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.corpus import (
+    WalkContexts,
+    contexts_from_walk,
+    corpus_contexts,
+    n_contexts,
+)
+
+
+class TestNContexts:
+    def test_paper_dimensions(self):
+        # l=80, w=8 → "73 iterations of the outermost loop" (§4.2)
+        assert n_contexts(80, 8) == 73
+
+    def test_walk_equal_to_window(self):
+        assert n_contexts(8, 8) == 1
+
+    def test_too_short(self):
+        assert n_contexts(5, 8) == 0
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative(self, l, w):
+        assert n_contexts(l, w) >= 0
+
+
+class TestContextsFromWalk:
+    def test_simple_window(self):
+        walk = np.array([10, 11, 12, 13, 14])
+        ctx = contexts_from_walk(walk, 3)
+        assert ctx.n == 3
+        assert np.array_equal(ctx.centers, [10, 11, 12])
+        assert np.array_equal(ctx.positives, [[11, 12], [12, 13], [13, 14]])
+
+    def test_window_property(self):
+        ctx = contexts_from_walk(np.arange(10), 4)
+        assert ctx.window == 4
+
+    def test_paper_shape(self):
+        ctx = contexts_from_walk(np.arange(80), 8)
+        assert ctx.n == 73
+        assert ctx.positives.shape == (73, 7)
+
+    def test_short_walk_empty(self):
+        ctx = contexts_from_walk(np.array([1, 2]), 8)
+        assert ctx.n == 0
+        assert ctx.positives.shape == (0, 7)
+
+    def test_window_two(self):
+        ctx = contexts_from_walk(np.array([5, 6, 7]), 2)
+        assert np.array_equal(ctx.centers, [5, 6])
+        assert np.array_equal(ctx.positives, [[6], [7]])
+
+    def test_window_one_rejected(self):
+        with pytest.raises(ValueError):
+            contexts_from_walk(np.arange(5), 1)
+
+    def test_iteration(self):
+        ctx = contexts_from_walk(np.array([0, 1, 2, 3]), 3)
+        pairs = list(ctx)
+        assert pairs[0][0] == 0
+        assert np.array_equal(pairs[0][1], [1, 2])
+
+    def test_output_owned_not_view(self):
+        walk = np.arange(6)
+        ctx = contexts_from_walk(walk, 3)
+        ctx.centers[0] = 99  # mutating outputs must not touch the walk
+        assert walk[0] == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=40),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_counts_and_content(self, walk, window):
+        walk = np.asarray(walk)
+        ctx = contexts_from_walk(walk, window)
+        assert ctx.n == max(0, len(walk) - window + 1)
+        for i in range(ctx.n):
+            assert ctx.centers[i] == walk[i]
+            assert np.array_equal(ctx.positives[i], walk[i + 1 : i + window])
+
+
+class TestCorpusContexts:
+    def test_skips_empty(self):
+        walks = [np.arange(10), np.array([1]), np.arange(5)]
+        out = list(corpus_contexts(walks, 4))
+        assert len(out) == 2
+
+    def test_total_contexts(self):
+        walks = [np.arange(10), np.arange(8)]
+        total = sum(c.n for c in corpus_contexts(walks, 4))
+        assert total == 7 + 5

@@ -1,0 +1,100 @@
+"""Tests for repro.sampling.negative."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import ring_of_cliques
+from repro.sampling.negative import NegativeSampler, walk_frequencies
+
+
+class TestWalkFrequencies:
+    def test_basic_counts(self):
+        walks = [np.array([0, 1, 1]), np.array([2])]
+        freq = walk_frequencies(walks, 4)
+        assert np.array_equal(freq, [1, 2, 1, 0])
+
+    def test_empty_corpus(self):
+        assert np.array_equal(walk_frequencies([], 3), [0, 0, 0])
+
+    def test_repeated_node_in_walk(self):
+        freq = walk_frequencies([np.array([1, 1, 1])], 2)
+        assert freq[1] == 3
+
+
+class TestNegativeSampler:
+    def test_zero_frequency_gets_floor(self):
+        s = NegativeSampler([0, 100], power=1.0, seed=0)
+        draws = s.sample(20_000)
+        # node 0 floored to weight 1 → tiny but nonzero probability
+        assert 0 < np.mean(draws == 0) < 0.05
+
+    def test_power_one_proportional(self):
+        s = NegativeSampler([1, 3], power=1.0, seed=0)
+        assert np.allclose(s.probabilities(), [0.25, 0.75])
+
+    def test_power_flattens(self):
+        skew = np.array([1.0, 100.0])
+        flat = NegativeSampler(skew, power=0.5, seed=0).probabilities()
+        steep = NegativeSampler(skew, power=1.0, seed=0).probabilities()
+        assert flat[0] > steep[0]
+
+    def test_power_zero_uniform(self):
+        s = NegativeSampler([5, 50, 500], power=0.0, seed=0)
+        assert np.allclose(s.probabilities(), 1 / 3)
+
+    def test_from_walks(self):
+        walks = [np.array([0, 1]), np.array([1, 2])]
+        s = NegativeSampler.from_walks(walks, 3, power=1.0, seed=0)
+        probs = s.probabilities()
+        assert probs[1] > probs[0]
+
+    def test_from_degrees(self):
+        g = ring_of_cliques(3, 4)
+        s = NegativeSampler.from_degrees(g, seed=0)
+        assert s.n_nodes == g.n_nodes
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(ValueError):
+            NegativeSampler([-1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            NegativeSampler([])
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ValueError):
+            NegativeSampler([1, 2], power=-0.5)
+
+    def test_deterministic(self):
+        a = NegativeSampler([1, 2, 3], seed=7).sample(10)
+        b = NegativeSampler([1, 2, 3], seed=7).sample(10)
+        assert np.array_equal(a, b)
+
+
+class TestSampleForWalk:
+    @pytest.fixture()
+    def sampler(self):
+        return NegativeSampler(np.ones(50), seed=0)
+
+    def test_per_walk_rows_identical(self, sampler):
+        out = sampler.sample_for_walk(73, 10, reuse="per_walk")
+        assert out.shape == (73, 10)
+        assert np.all(out == out[0])
+
+    def test_per_context_rows_differ(self, sampler):
+        out = sampler.sample_for_walk(73, 10, reuse="per_context")
+        assert out.shape == (73, 10)
+        assert not np.all(out == out[0])
+
+    def test_per_walk_output_writable(self, sampler):
+        out = sampler.sample_for_walk(5, 3, reuse="per_walk")
+        out[0, 0] = 99  # must be an owned copy, not a broadcast view
+
+    def test_invalid_reuse(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample_for_walk(5, 3, reuse="sometimes")
+
+    def test_paper_dimensions(self, sampler):
+        # l=80, w=8 → 73 contexts, ns=10
+        out = sampler.sample_for_walk(73, 10)
+        assert out.shape == (73, 10)

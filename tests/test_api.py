@@ -1,0 +1,51 @@
+"""Tests for the top-level convenience API (repro.api)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import quick_embedding, train_embedding
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import ring_of_cliques
+
+HP = Node2VecParams(r=1, l=10, w=4, ns=2)
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_public_names(self):
+        assert set(repro.__all__) >= {"train_embedding", "quick_embedding"}
+
+
+class TestTrainEmbedding:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return ring_of_cliques(3, 6, seed=0)
+
+    def test_default_model_is_proposed(self, graph):
+        from repro.embedding import OSELMSkipGram
+
+        res = train_embedding(graph, dim=8, hyper=HP, seed=0)
+        assert type(res.model) is OSELMSkipGram
+
+    @pytest.mark.parametrize("name", ["original", "proposed", "dataflow", "block"])
+    def test_all_registry_models(self, graph, name):
+        res = train_embedding(graph, dim=8, model=name, hyper=HP, seed=0)
+        assert res.embedding.shape == (graph.n_nodes, 8)
+
+    def test_unknown_model(self, graph):
+        with pytest.raises(ValueError):
+            train_embedding(graph, model="gnn", hyper=HP, seed=0)
+
+    def test_ops_telemetry_attached(self, graph):
+        res = train_embedding(graph, dim=8, hyper=HP, seed=0)
+        assert res.ops.mac > 0
+        assert res.ops.walk == res.n_walks
+
+    def test_quick_embedding_matches_train(self, graph):
+        a = quick_embedding(graph, dim=8, seed=4)
+        b = train_embedding(graph, dim=8, model="proposed", seed=4).embedding
+        assert np.array_equal(a, b)

@@ -1,0 +1,83 @@
+"""Tests for repro.checkpoint (model persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import load_model, save_model
+from repro.embedding import (
+    DataflowOSELMSkipGram,
+    OSELM,
+    OSELMSkipGram,
+    SkipGramSGD,
+)
+from repro.sampling.corpus import contexts_from_walk
+
+
+def trained_proposed(cls=OSELMSkipGram, **kw):
+    m = cls(20, 8, mu=0.05, seed=3, **kw)
+    rng = np.random.default_rng(0)
+    for s in range(5):
+        walk = rng.integers(0, 20, size=10)
+        ctx = contexts_from_walk(walk, 4)
+        m.train_walk(ctx, rng.integers(0, 20, size=(ctx.n, 3)))
+    return m
+
+
+class TestRoundTrip:
+    def test_proposed_roundtrip(self, tmp_path):
+        m = trained_proposed()
+        path = str(tmp_path / "m.npz")
+        save_model(m, path)
+        m2 = load_model(path)
+        assert type(m2) is OSELMSkipGram
+        assert np.array_equal(m.B, m2.B)
+        assert np.array_equal(m.P, m2.P)
+        assert m2.mu == m.mu
+        assert m2.n_walks_trained == m.n_walks_trained
+
+    def test_dataflow_kind_preserved(self, tmp_path):
+        m = trained_proposed(cls=DataflowOSELMSkipGram)
+        path = str(tmp_path / "m.npz")
+        save_model(m, path)
+        assert type(load_model(path)) is DataflowOSELMSkipGram
+
+    def test_alpha_mode_roundtrip(self, tmp_path):
+        m = trained_proposed(weight_tying="alpha")
+        path = str(tmp_path / "m.npz")
+        save_model(m, path)
+        m2 = load_model(path)
+        assert np.array_equal(m._alpha, m2._alpha)
+
+    def test_original_roundtrip(self, tmp_path):
+        m = SkipGramSGD(15, 6, lr=0.02, seed=0)
+        m.train_pair(0, np.array([1, 2]), np.array([1.0, 0.0]))
+        path = str(tmp_path / "sg.npz")
+        save_model(m, path)
+        m2 = load_model(path)
+        assert np.array_equal(m.w_in, m2.w_in)
+        assert np.array_equal(m.w_out, m2.w_out)
+        assert m2.lr == 0.02
+
+    def test_training_resumes_identically(self, tmp_path):
+        """Checkpoint/restore mid-stream must not perturb the trajectory."""
+        a = trained_proposed()
+        path = str(tmp_path / "mid.npz")
+        save_model(a, path)
+        b = load_model(path)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        for rng, m in ((rng_a, a), (rng_b, b)):
+            walk = rng.integers(0, 20, size=10)
+            ctx = contexts_from_walk(walk, 4)
+            m.train_walk(ctx, rng.integers(0, 20, size=(ctx.n, 3)))
+        assert np.array_equal(a.B, b.B)
+        assert np.array_equal(a.P, b.P)
+
+    def test_unsupported_model(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(OSELM(3, 4, 2, seed=0), str(tmp_path / "x.npz"))
+
+    def test_forgetting_factor_preserved(self, tmp_path):
+        m = trained_proposed(forgetting_factor=0.999)
+        path = str(tmp_path / "f.npz")
+        save_model(m, path)
+        assert load_model(path).forgetting_factor == 0.999

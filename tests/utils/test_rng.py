@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(8)
+        b = as_generator(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(8), as_generator(2).random(8))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seedsequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        g = as_generator(np.int64(5))
+        assert isinstance(g, np.random.Generator)
+
+    def test_invalid_seed_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_float_seed_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator(3.14)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_streams_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_deterministic_across_calls(self):
+        a1, _ = spawn_generators(9, 2)
+        a2, _ = spawn_generators(9, 2)
+        assert np.array_equal(a1.random(4), a2.random(4))
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestRngMixin:
+    class Thing(RngMixin):
+        def __init__(self, seed=None):
+            self._init_rng(seed)
+
+    def test_seeded_stream(self):
+        t1, t2 = self.Thing(3), self.Thing(3)
+        assert np.array_equal(t1.rng.random(4), t2.rng.random(4))
+
+    def test_lazy_default_rng(self):
+        t = RngMixin()
+        assert isinstance(t.rng, np.random.Generator)
+
+    def test_reseed_replays(self):
+        t = self.Thing(1)
+        first = t.rng.random(4)
+        t.reseed(1)
+        assert np.array_equal(t.rng.random(4), first)

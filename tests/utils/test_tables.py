@@ -1,0 +1,74 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_float
+
+
+class TestFormatFloat:
+    def test_none_is_dash(self):
+        assert format_float(None) == "-"
+
+    def test_float_digits(self):
+        assert format_float(3.14159, digits=2) == "3.14"
+
+    def test_int_passthrough(self):
+        assert format_float(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_tiny_value_scientific(self):
+        out = format_float(1.2e-9, digits=3)
+        assert "e" in out
+
+    def test_huge_value_scientific(self):
+        assert "e" in format_float(1.23e9)
+
+    def test_bool_not_float_formatted(self):
+        assert format_float(True) == "True"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0.000"
+
+
+class TestTextTable:
+    def test_render_contains_cells(self):
+        t = TextTable(["a", "b"])
+        t.add_row([1, 2.5])
+        out = t.render()
+        assert "1" in out and "2.500" in out
+
+    def test_title_rendered(self):
+        t = TextTable(["x"], title="My Title")
+        t.add_row([0])
+        assert t.render().splitlines()[0] == "My Title"
+
+    def test_row_width_mismatch_raises(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_raises(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_add_rows_bulk(self):
+        t = TextTable(["a"])
+        t.add_rows([[1], [2], [3]])
+        assert t.n_rows == 3
+
+    def test_alignment_consistent(self):
+        t = TextTable(["col"])
+        t.add_row(["longer-cell-content"])
+        lines = t.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # box edges align
+
+    def test_none_cell(self):
+        t = TextTable(["a"])
+        t.add_row([None])
+        assert "-" in t.render()

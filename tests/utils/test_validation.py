@@ -1,0 +1,76 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_set,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_nonstrict(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_integer_flag(self):
+        with pytest.raises(TypeError):
+            check_positive("x", 1.5, integer=True)
+
+    def test_numpy_integer_ok(self):
+        assert check_positive("x", np.int32(2), integer=True) == 2
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "5")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, v):
+        assert check_probability("p", v) == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ValueError):
+            check_probability("p", v)
+
+
+class TestCheckInSet:
+    def test_accepts_member(self):
+        assert check_in_set("mode", "a", ["a", "b"]) == "a"
+
+    def test_rejects_nonmember(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in_set("mode", "c", ["a", "b"])
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        a = np.zeros((2, 3))
+        assert check_shape("a", a, (2, 3)) is not None
+
+    def test_wildcard(self):
+        a = np.zeros((5, 3))
+        check_shape("a", a, (None, 3))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros(3), (1, 3))
+
+    def test_wrong_axis(self):
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((2, 4)), (2, 3))
