@@ -1,0 +1,129 @@
+"""Pipeline overlap: streamed walk→train vs buffer-then-train.
+
+The paper's board hides walk sampling behind training (§3.2).  This bench
+measures how much of that overlap the host-side pipeline realizes: the same
+workload runs with ``negative_source="corpus"`` (buffer the whole corpus,
+then train — the pre-streaming behavior and the memory-unbounded baseline)
+and with ``negative_source="degree"`` (training starts on the first chunk).
+
+Like the board needs both a PS and a PL, the host needs ≥ 2 cores before
+walk generation can physically run *while* training runs; on a single-core
+host the two stages time-slice and the best possible outcome is wall-clock
+parity.  The assertions adapt: with ≥ 2 cores the streamed run must beat
+the buffered baseline on wall-clock outright; on one core it must stay
+within a small parity band.  The structural wins — less stall, higher
+overlap efficiency, and peak buffered walks capped by the prefetch window
+instead of the corpus — hold on any core count and are always asserted.
+
+Each variant is timed ``REPEATS`` times and scored by its minimum (the
+scheduler-noise-free estimate of the deterministic work).
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.hyper import Node2VecParams
+from repro.experiments.report import ExperimentReport
+from repro.graph import amazon_photo_like
+from repro.parallel import train_parallel
+
+N_WORKERS = 2
+CHUNK_SIZE = 256
+PREFETCH = 2
+REPEATS = 2
+
+
+def test_pipeline_overlap(benchmark, emit_report, profile):
+    scale = 0.30 if profile == "paper" else 0.08
+    graph = amazon_photo_like(scale=scale, seed=0)
+    hyper = Node2VecParams(r=2, l=40, w=8, ns=5)
+    multicore = (os.cpu_count() or 1) >= 2
+
+    def measure(source):
+        best = None
+        for _ in range(REPEATS):
+            res = train_parallel(
+                graph,
+                dim=32,
+                hyper=hyper,
+                n_workers=N_WORKERS,
+                chunk_size=CHUNK_SIZE,
+                prefetch=PREFETCH,
+                negative_source=source,
+                seed=7,
+            )
+            t = res.telemetry
+            if best is None or t.total_s < best["total_s"]:
+                best = {
+                    "total_s": t.total_s,
+                    "train_s": t.train_s,
+                    "wait_s": t.wait_s,
+                    "overlap": t.overlap_efficiency,
+                    "peak": t.peak_buffered_walks,
+                    "n_walks": res.n_walks,
+                    "embedding": res.embedding,
+                }
+        return best
+
+    def run():
+        report = ExperimentReport(
+            name="Pipeline overlap",
+            title=f"streamed vs buffered walk→train ({graph.n_nodes} nodes, "
+            f"{N_WORKERS} workers, {os.cpu_count()} core(s))",
+            columns=[
+                "negative_source", "total (s)", "train (s)", "stall (s)",
+                "overlap", "peak buffered walks",
+            ],
+        )
+        rows = {}
+        for source in ("corpus", "degree"):
+            best = measure(source)
+            report.add_row(
+                source,
+                round(best["total_s"], 2),
+                round(best["train_s"], 2),
+                round(best["wait_s"], 2),
+                f"{best['overlap']:.0%}",
+                best["peak"],
+            )
+            rows[source] = best
+        report.data = rows
+        report.add_note(
+            "corpus = buffer-then-train (paper-exact sampler, O(corpus) "
+            "memory); degree = degree-bootstrapped sampler, streaming from "
+            "the first chunk; min of %d runs each" % REPEATS
+        )
+        if not multicore:
+            report.add_note(
+                "single-core host: generation and training time-slice, so "
+                "wall-clock parity is the ceiling — the streamed win here "
+                "is stall and memory, not time"
+            )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(report)
+    rows = report.data
+
+    if multicore:
+        # ≥2 cores: generation genuinely overlaps training — the streamed
+        # pipeline must beat buffer-then-train on wall-clock outright
+        assert rows["degree"]["total_s"] < rows["corpus"]["total_s"]
+    else:
+        # 1 core: the stages time-slice; streaming must not cost more than
+        # a small scheduling overhead over the buffered baseline
+        assert rows["degree"]["total_s"] < rows["corpus"]["total_s"] * 1.25
+    # the streamed run hides generation behind training: less stall,
+    # higher overlap efficiency — on any core count
+    assert rows["degree"]["wait_s"] < rows["corpus"]["wait_s"]
+    assert rows["degree"]["overlap"] > rows["corpus"]["overlap"]
+    # bounded memory: peak buffered walks ≤ the prefetch window, while the
+    # buffered baseline holds the entire corpus
+    assert rows["degree"]["peak"] <= PREFETCH * CHUNK_SIZE
+    assert rows["corpus"]["peak"] == rows["corpus"]["n_walks"]
+    # both train the same corpus (the sampler differs, the walks do not)
+    assert rows["degree"]["n_walks"] == rows["corpus"]["n_walks"]
+    assert not np.array_equal(
+        rows["degree"]["embedding"], rows["corpus"]["embedding"]
+    )

@@ -23,7 +23,11 @@ def train_embedding(
     model: str = "proposed",
     hyper=None,
     epochs: int = 1,
+    n_workers: int | None = None,
+    negative_source: str | None = None,
+    negative_power: float = 0.75,
     seed=None,
+    **model_kwargs,
 ):
     """Train a node embedding on ``graph``.
 
@@ -44,18 +48,57 @@ def train_embedding(
         paper's Table 2 values (p=0.5, q=1.0, r=10, l=80, w=8, ns=10).
     epochs:
         number of passes over the walk corpus.
+    n_workers:
+        ``None`` (default) — the sequential trainer.  Any integer routes
+        through the streaming pipeline (:func:`repro.parallel.train_parallel`):
+        0/1 inline, ≥2 a fork pool overlapping walk generation with training.
+    negative_source:
+        pipeline-only knob: ``"corpus"`` (paper-exact, buffers the first
+        epoch), ``"degree"`` (streams immediately, bounded memory) or
+        ``"two_pass"`` (paper-exact and bounded, double generation cost).
+        Setting it implies the pipelined path even when ``n_workers`` is None.
+    negative_power:
+        smoothing exponent on the negative-sampling frequencies (word2vec
+        default 0.75).
     seed:
         deterministic seed for walks, sampling and initialization.
+    model_kwargs:
+        forwarded to the model constructor (e.g. ``mu=0.05``); only valid
+        when ``model`` is a registry name.
 
     Returns
     -------
     :class:`repro.embedding.trainer.TrainingResult` with ``.embedding``
-    (n_nodes × dim), the trained model, and op-count telemetry.
+    (n_nodes × dim), the trained model, op-count telemetry, and — on the
+    pipelined path — per-stage ``telemetry``.
     """
-    from repro.embedding.trainer import train_on_graph
+    if n_workers is None and negative_source is None:
+        from repro.embedding.trainer import train_on_graph
 
-    return train_on_graph(
-        graph, dim=dim, model=model, hyper=hyper, epochs=epochs, seed=seed
+        return train_on_graph(
+            graph,
+            dim=dim,
+            model=model,
+            hyper=hyper,
+            epochs=epochs,
+            negative_power=negative_power,
+            seed=seed,
+            **model_kwargs,
+        )
+
+    from repro.parallel import train_parallel
+
+    return train_parallel(
+        graph,
+        dim=dim,
+        model=model,
+        hyper=hyper,
+        epochs=epochs,
+        n_workers=0 if n_workers is None else int(n_workers),
+        negative_source=negative_source or "corpus",
+        negative_power=negative_power,
+        seed=seed,
+        **model_kwargs,
     )
 
 

@@ -22,7 +22,7 @@ from repro.hw.opcount import OpCount
 from repro.sampling.corpus import contexts_from_walk
 from repro.sampling.negative import NegativeSampler
 from repro.sampling.walks import Node2VecWalker, WalkParams
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, draw_seed
 from repro.utils.validation import check_in_set, check_positive
 
 __all__ = ["TrainingResult", "WalkTrainer", "make_model", "train_on_graph"]
@@ -46,7 +46,12 @@ def make_model(
 
 @dataclass
 class TrainingResult:
-    """Outcome of a training run."""
+    """Outcome of a training run.
+
+    ``telemetry`` is ``None`` for the sequential path; the pipelined
+    :func:`repro.parallel.train_parallel` attaches its per-stage
+    :class:`repro.parallel.PipelineTelemetry` here.
+    """
 
     model: EmbeddingModel
     embedding: np.ndarray
@@ -54,6 +59,7 @@ class TrainingResult:
     n_contexts: int
     ops: OpCount
     hyper: "object" = None
+    telemetry: "object" = None
 
     def __repr__(self) -> str:
         return (
@@ -118,11 +124,20 @@ class WalkTrainer:
         )
         return ctx.n
 
-    def train_corpus(self, walks, sampler: NegativeSampler) -> None:
-        for walk in walks:
-            self.train_walk(walk, sampler)
+    def train_corpus(self, walks, sampler: NegativeSampler) -> int:
+        """Train on any iterable of walks — a full buffered corpus, one
+        pipeline chunk, or a lazy stream; returns the contexts trained.
 
-    def result(self, hyper=None) -> TrainingResult:
+        The trainer keeps no per-corpus state, so callers may invoke this
+        once per streamed chunk and the result is identical to one call
+        over the concatenation.
+        """
+        total = 0
+        for walk in walks:
+            total += self.train_walk(walk, sampler)
+        return total
+
+    def result(self, hyper=None, telemetry=None) -> TrainingResult:
         return TrainingResult(
             model=self.model,
             embedding=self.model.embedding,
@@ -130,6 +145,7 @@ class WalkTrainer:
             n_contexts=self.n_contexts,
             ops=self.ops,
             hyper=hyper,
+            telemetry=telemetry,
         )
 
 
@@ -158,12 +174,12 @@ def train_on_graph(
 
     if isinstance(model, str):
         model = make_model(
-            model, graph.n_nodes, dim, seed=rng.integers(2**63), **model_kwargs
+            model, graph.n_nodes, dim, seed=draw_seed(rng), **model_kwargs
         )
     elif model_kwargs:
         raise ValueError("model_kwargs only apply when model is a registry name")
 
-    walker = Node2VecWalker(graph, hp.walk_params(), seed=rng.integers(2**63))
+    walker = Node2VecWalker(graph, hp.walk_params(), seed=draw_seed(rng))
     trainer = WalkTrainer(model, window=hp.w, ns=hp.ns)
     sampler: NegativeSampler | None = None
     for _ in range(epochs):
@@ -171,7 +187,7 @@ def train_on_graph(
         if sampler is None:
             # frequency over the entire RW, as in §3.1
             sampler = NegativeSampler.from_walks(
-                walks, graph.n_nodes, power=negative_power, seed=rng.integers(2**63)
+                walks, graph.n_nodes, power=negative_power, seed=draw_seed(rng)
             )
         trainer.train_corpus(walks, sampler)
     return trainer.result(hyper=hp)

@@ -1,6 +1,16 @@
-"""Host-side parallelism: multiprocess walk generation and the pipelined
-training loop mirroring the board's PS/PL overlap."""
+"""Host-side parallelism: multiprocess walk generation and the streaming
+pipelined training loop mirroring the board's PS/PL overlap."""
 
-from repro.parallel.pipeline import ParallelWalkGenerator, train_parallel
+from repro.parallel.pipeline import (
+    NEGATIVE_SOURCES,
+    ParallelWalkGenerator,
+    PipelineTelemetry,
+    train_parallel,
+)
 
-__all__ = ["ParallelWalkGenerator", "train_parallel"]
+__all__ = [
+    "NEGATIVE_SOURCES",
+    "ParallelWalkGenerator",
+    "PipelineTelemetry",
+    "train_parallel",
+]

@@ -1,40 +1,95 @@
-"""Parallel walk generation + pipelined training.
+"""Parallel walk generation + a genuinely streaming pipelined trainer.
 
 The board's division of labor (§3.2) is a two-stage pipeline: the PS samples
-random walks while the PL trains on the previous ones.  On a multicore host
+random walks *while* the PL trains on the previous ones.  On a multicore host
 the same structure applies: walk sampling is Python/RNG-bound and
 embarrassingly parallel across start nodes, while training is NumPy-bound.
 This module provides
 
 * :class:`ParallelWalkGenerator` — walk corpus generation fanned out over a
   ``multiprocessing`` pool (fork start method; the CSR arrays are shared
-  copy-on-write, so workers carry no pickling cost for the graph);
+  copy-on-write, so workers carry no pickling cost for the graph).  Jobs
+  go out through a consumer-driven bounded prefetch window (submit one as
+  one is consumed, FIFO), so at most ``prefetch`` chunks are ever buffered
+  ahead of the consumer — peak memory is set by the queue depth, not the
+  corpus size.
 * :func:`train_parallel` — the full pipeline: chunks of start nodes →
-  worker walks → in-order training, overlapping generation with training.
+  worker walks → in-order training, with the main process training chunk
+  *i* while workers generate chunks *i+1 … i+prefetch*.
+* :class:`PipelineTelemetry` — per-stage timing (generation / stall / train)
+  and buffering telemetry, attached to the returned ``TrainingResult``.
 
-Determinism: every chunk derives its own seed from (base seed, chunk index)
-and results are consumed in chunk order, so the trained embedding is
-**bit-identical for any worker count** — the invariant the tests pin down.
+Negative-sampling sources (``negative_source``)
+-----------------------------------------------
+The paper builds its negative table from node frequencies over the *entire*
+walk corpus (§3.1), which fundamentally conflicts with streaming: you cannot
+know the final frequencies before the last walk exists.  Three strategies
+trade fidelity against memory and overlap:
+
+``"corpus"`` (default)
+    The paper's construction, verbatim: buffer the whole first-epoch corpus,
+    count frequencies, build the sampler, then train.  Exact semantics, but
+    peak memory is O(corpus) and no walk/train overlap happens during the
+    first epoch (later epochs stream).
+``"degree"``
+    Bootstrap the table from node degrees (:meth:`NegativeSampler.from_degrees`)
+    — the stationary visit distribution of an unbiased walk, a close proxy
+    for corpus frequency.  Training starts on the very first chunk, memory
+    stays bounded by the prefetch window, overlap is maximal.  The sampling
+    distribution differs slightly from the paper's.
+``"two_pass"``
+    A cheap counting pass streams the corpus once (walks discarded after
+    counting), builds the exact corpus-frequency sampler, then a second
+    identically-seeded pass streams the same walks into training.  Exact
+    semantics *and* bounded memory, at the price of generating the corpus
+    twice — bit-identical to ``"corpus"``.
+
+Determinism: every chunk derives its own seed from (base seed, chunk
+namespace, chunk index), the start list from a disjoint (base seed, starts
+namespace) stream, and results are consumed in chunk order — so the trained
+embedding is **bit-identical for any worker count and prefetch depth** under
+every ``negative_source``.  The tests pin this invariant down.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
+from collections import deque
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
+from repro.embedding.base import EmbeddingModel
 from repro.embedding.trainer import TrainingResult, WalkTrainer, make_model
 from repro.graph.csr import CSRGraph
 from repro.sampling.negative import NegativeSampler, walk_frequencies
 from repro.sampling.walks import Node2VecWalker, WalkParams
-from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive
+from repro.utils.rng import as_generator, draw_seed
+from repro.utils.validation import check_in_set, check_positive
 
-__all__ = ["ParallelWalkGenerator", "train_parallel"]
+__all__ = [
+    "NEGATIVE_SOURCES",
+    "ParallelWalkGenerator",
+    "PipelineTelemetry",
+    "train_parallel",
+]
 
-# worker globals (populated by the pool initializer via fork)
+#: Valid ``negative_source`` strategies (see module docstring).
+NEGATIVE_SOURCES = ("corpus", "degree", "two_pass")
+
+# Seed namespaces: chunk i draws from SeedSequence([seed, _CHUNK_NS, i]),
+# the start list from SeedSequence([seed, _STARTS_NS]).  The two streams
+# live in tuples of different shape *and* different second element, so no
+# chunk index can ever collide with the start-list stream (the old scheme
+# used [seed, 0xC0FFEE] for starts, which chunk i = 0xC0FFEE reaches).
+_CHUNK_NS = 0
+_STARTS_NS = 1
+
+# Worker globals, populated by the pool initializer via fork.  Only pool
+# worker processes ever write these; the inline path passes state explicitly.
 _WORKER_GRAPH: CSRGraph | None = None
 _WORKER_PARAMS: WalkParams | None = None
 
@@ -45,11 +100,77 @@ def _init_worker(graph: CSRGraph, params: WalkParams) -> None:
     _WORKER_PARAMS = params
 
 
-def _walk_chunk(job: tuple) -> list:
-    """Run one chunk of walks inside a worker (or inline)."""
+def _run_chunk(
+    graph: CSRGraph, params: WalkParams, starts: np.ndarray, seed
+) -> tuple[list, float]:
+    """Walk one chunk; returns ``(walks, generation_seconds)``."""
+    t0 = time.perf_counter()
+    walker = Node2VecWalker(graph, params, seed=seed)
+    walks = [walker.walk(int(s)) for s in starts]
+    return walks, time.perf_counter() - t0
+
+
+def _walk_chunk(job: tuple) -> tuple[list, float]:
+    """Pool entry point: run one chunk against the worker globals."""
     starts, seed = job
-    walker = Node2VecWalker(_WORKER_GRAPH, _WORKER_PARAMS, seed=seed)
-    return [walker.walk(int(s)) for s in starts]
+    return _run_chunk(_WORKER_GRAPH, _WORKER_PARAMS, starts, seed)
+
+
+class _FlowStats:
+    """In-flight walk accounting for one generation pass.
+
+    ``peak_in_flight`` is the high-water mark of walks submitted to workers
+    but not yet handed to the consumer, i.e. the quantity the bounded
+    prefetch window is supposed to cap.  Both hooks run on the consumer
+    thread (submission is consumer-driven), so no locking is needed.
+    """
+
+    def __init__(self):
+        self.submitted_walks = 0
+        self.consumed_walks = 0
+        self.peak_in_flight = 0
+
+    def on_submit(self, n: int) -> None:
+        self.submitted_walks += n
+        in_flight = self.submitted_walks - self.consumed_walks
+        if in_flight > self.peak_in_flight:
+            self.peak_in_flight = in_flight
+
+    def on_consume(self, n: int) -> None:
+        self.consumed_walks += n
+
+
+@dataclass
+class PipelineTelemetry:
+    """Per-stage timing + buffering telemetry of one :func:`train_parallel`.
+
+    ``generation_s`` sums the worker-side walk time (it may be fully hidden
+    behind training); ``wait_s`` is the consumer's observable stall waiting
+    for the next chunk; ``train_s`` is time inside the trainer.  A perfect
+    pipeline hides all generation: ``wait_s ≈ 0``, ``overlap_efficiency ≈ 1``.
+
+    ``n_chunks`` counts every chunk *consumed*, so per-chunk averages like
+    ``generation_s / n_chunks`` stay meaningful for every source — for
+    ``"two_pass"`` that includes the counting pass (≈ 2× the trained
+    chunks, matching its doubled generation cost).
+    """
+
+    negative_source: str
+    n_workers: int
+    epochs: int
+    n_chunks: int = 0
+    generation_s: float = 0.0
+    wait_s: float = 0.0
+    train_s: float = 0.0
+    total_s: float = 0.0
+    peak_buffered_walks: int = 0
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of generation cost hidden behind training, in [0, 1]."""
+        if self.generation_s <= 0.0:
+            return 1.0
+        return max(0.0, min(1.0, 1.0 - self.wait_s / self.generation_s))
 
 
 class ParallelWalkGenerator:
@@ -65,7 +186,13 @@ class ParallelWalkGenerator:
         start nodes per work item; larger chunks amortize IPC, smaller
         chunks pipeline better.
     seed:
-        base seed; chunk ``i`` uses ``SeedSequence([seed, i])``.
+        base seed; chunk ``i`` uses ``SeedSequence([seed, 0, i])`` and the
+        start list ``SeedSequence([seed, 1])`` — disjoint namespaces, so the
+        streams can never collide for any chunk index.
+    prefetch:
+        maximum chunks in flight ahead of the consumer (default
+        ``max(2, 2 * n_workers)``).  Bounds peak buffered walks at
+        ``prefetch * chunk_size`` regardless of corpus size.
     """
 
     def __init__(
@@ -76,51 +203,111 @@ class ParallelWalkGenerator:
         n_workers: int = 0,
         chunk_size: int = 256,
         seed: int = 0,
+        prefetch: int | None = None,
     ):
         check_positive("chunk_size", chunk_size, integer=True)
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
+        if prefetch is None:
+            prefetch = max(2, 2 * int(n_workers))
+        check_positive("prefetch", prefetch, integer=True)
         self.graph = graph
         self.params = params or WalkParams()
         self.n_workers = int(n_workers)
         self.chunk_size = int(chunk_size)
         self.seed = int(seed)
+        self.prefetch = int(prefetch)
+        #: flow accounting of the most recent generation pass
+        self.last_stats = _FlowStats()
+
+    # ------------------------------------------------------------------ #
+    # Seeding
+    # ------------------------------------------------------------------ #
+
+    def chunk_seed(self, i: int) -> np.random.SeedSequence:
+        """The walk stream of chunk ``i``."""
+        return np.random.SeedSequence([self.seed, _CHUNK_NS, int(i)])
+
+    def starts_seed(self) -> np.random.SeedSequence:
+        """The start-list shuffle stream (disjoint from every chunk)."""
+        return np.random.SeedSequence([self.seed, _STARTS_NS])
 
     def _jobs(self, starts: np.ndarray) -> list[tuple]:
-        jobs = []
-        for i, lo in enumerate(range(0, starts.shape[0], self.chunk_size)):
-            chunk = starts[lo : lo + self.chunk_size]
-            chunk_seed = np.random.SeedSequence([self.seed, i])
-            jobs.append((chunk, chunk_seed))
-        return jobs
+        return [
+            (starts[lo : lo + self.chunk_size], self.chunk_seed(i))
+            for i, lo in enumerate(range(0, starts.shape[0], self.chunk_size))
+        ]
 
     def corpus_starts(self) -> np.ndarray:
         """The r-walks-per-node start list (shuffled per repetition, matching
         :meth:`Node2VecWalker.simulate`)."""
-        rng = as_generator(np.random.SeedSequence([self.seed, 0xC0FFEE]))
+        rng = as_generator(self.starts_seed())
         n = self.graph.n_nodes
         reps = [rng.permutation(n) for _ in range(self.params.walks_per_node)]
         return np.concatenate(reps)
 
-    def generate(self, starts: np.ndarray | None = None) -> Iterator[list]:
-        """Yield walk chunks in deterministic chunk order."""
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def generate_timed(
+        self, starts: np.ndarray | None = None
+    ) -> Iterator[tuple[list, float]]:
+        """Yield ``(walk_chunk, generation_seconds)`` in deterministic chunk
+        order, keeping at most ``prefetch`` chunks in flight.
+
+        The prefetch window is driven entirely from the consumer side: jobs
+        are submitted with ``apply_async`` and consumed FIFO, one fresh
+        submission per consumed chunk.  Workers therefore never run more
+        than ``prefetch`` chunks ahead — the property the streaming
+        trainer's memory bound rests on — and no pool-internal thread ever
+        blocks on caller state (throttling the lazy ``imap`` job feed
+        instead can strand the pool's task-handler thread at shutdown,
+        which ``Pool.terminate`` then joins forever).  ``self.last_stats``
+        records the realized high-water mark.
+        """
         if starts is None:
             starts = self.corpus_starts()
         starts = np.asarray(starts, dtype=np.int64)
         jobs = self._jobs(starts)
+        stats = self.last_stats = _FlowStats()
+
         if self.n_workers <= 1:
-            _init_worker(self.graph, self.params)
-            for job in jobs:
-                yield _walk_chunk(job)
+            for chunk_starts, chunk_seed in jobs:
+                stats.on_submit(len(chunk_starts))
+                result = _run_chunk(self.graph, self.params, chunk_starts, chunk_seed)
+                stats.on_consume(len(result[0]))
+                yield result
             return
+
         ctx = mp.get_context("fork" if os.name == "posix" else "spawn")
         with ctx.Pool(
             self.n_workers,
             initializer=_init_worker,
             initargs=(self.graph, self.params),
         ) as pool:
-            # imap preserves submission order → deterministic consumption
-            yield from pool.imap(_walk_chunk, jobs)
+            pending: deque = deque()
+            job_iter = iter(jobs)
+
+            def _submit_next() -> None:
+                job = next(job_iter, None)
+                if job is not None:
+                    stats.on_submit(len(job[0]))
+                    pending.append(pool.apply_async(_walk_chunk, (job,)))
+
+            for _ in range(self.prefetch):
+                _submit_next()
+            # FIFO consumption of the submission order → deterministic
+            while pending:
+                walks, gen_s = pending.popleft().get()
+                stats.on_consume(len(walks))
+                _submit_next()
+                yield walks, gen_s
+
+    def generate(self, starts: np.ndarray | None = None) -> Iterator[list]:
+        """Yield walk chunks in deterministic chunk order (timing stripped)."""
+        for walks, _ in self.generate_timed(starts):
+            yield walks
 
     def all_walks(self, starts: np.ndarray | None = None) -> list:
         return [w for chunk in self.generate(starts) for w in chunk]
@@ -130,43 +317,126 @@ def train_parallel(
     graph: CSRGraph,
     *,
     dim: int = 32,
-    model: str = "proposed",
+    model: str | EmbeddingModel = "proposed",
     hyper=None,
+    epochs: int = 1,
     n_workers: int = 0,
     chunk_size: int = 256,
+    prefetch: int | None = None,
+    negative_source: str = "corpus",
     negative_power: float = 0.75,
-    seed: int = 0,
+    seed=0,
     **model_kwargs,
 ) -> TrainingResult:
-    """Pipelined counterpart of :func:`repro.embedding.train_on_graph`.
+    """Streaming pipelined counterpart of :func:`repro.embedding.train_on_graph`.
 
-    Walk chunks stream out of the worker pool while the main process trains
-    on them, mirroring the PS/PL overlap of the board.  The result is
-    bit-identical across ``n_workers`` settings (chunk-seeded generation,
-    in-order consumption) — and bit-identical to itself run twice.
+    Walk chunks stream out of the worker pool through a bounded prefetch
+    window while the main process trains on them — chunk *i* trains while
+    workers generate chunks *i+1 … i+prefetch*, mirroring the PS/PL overlap
+    of the board.  How soon training can start is governed by
+    ``negative_source`` (see the module docstring for the trade-offs):
 
-    Note the negative sampler is built from the first pass's frequencies
-    exactly like the sequential trainer: we buffer one full corpus, build
-    the sampler, then train — generation still overlaps the (later) walk
-    chunks' transport, and determinism is preserved.
+    * ``"corpus"`` — the paper's exact construction; buffers the entire
+      first-epoch corpus before training (no first-epoch overlap, O(corpus)
+      memory), later epochs stream.
+    * ``"degree"`` — degree-bootstrapped sampler; streams from the first
+      chunk with memory bounded by ``prefetch * chunk_size`` walks.
+    * ``"two_pass"`` — one streamed counting pass, then streamed training
+      over an identically-seeded regeneration; bit-identical to ``"corpus"``
+      with bounded memory, at twice the generation cost.
+
+    The result is bit-identical across ``n_workers`` and ``prefetch``
+    settings for every ``negative_source`` (chunk-seeded generation,
+    in-order consumption) — and bit-identical to itself run twice.  Seeds
+    derive from the same 63-bit stream as the sequential trainer
+    (:func:`repro.utils.rng.draw_seed`).
+
+    Returns a :class:`TrainingResult` whose ``telemetry`` field carries the
+    per-stage :class:`PipelineTelemetry`.
     """
     from repro.experiments.hyper import Node2VecParams
 
+    check_positive("epochs", epochs, integer=True)
+    check_in_set("negative_source", negative_source, NEGATIVE_SOURCES)
     hp = hyper or Node2VecParams()
     rng = as_generator(seed)
-    mdl = make_model(model, graph.n_nodes, dim, seed=int(rng.integers(2**62)), **model_kwargs)
 
-    generator = ParallelWalkGenerator(
-        graph,
-        hp.walk_params(),
-        n_workers=n_workers,
-        chunk_size=chunk_size,
-        seed=int(rng.integers(2**31)),
-    )
-    walks = generator.all_walks()
-    sampler = NegativeSampler.from_walks(
-        walks, graph.n_nodes, power=negative_power, seed=int(rng.integers(2**62))
-    )
+    if isinstance(model, str):
+        mdl = make_model(model, graph.n_nodes, dim, seed=draw_seed(rng), **model_kwargs)
+    elif model_kwargs:
+        raise ValueError("model_kwargs only apply when model is a registry name")
+    else:
+        mdl = model
+
+    # Draw every seed up front, independent of negative_source, so that
+    # "corpus" and "two_pass" (same sampler distribution, same walk order)
+    # consume identical streams and stay bit-identical to each other.
+    sampler_seed = draw_seed(rng)
+    epoch_seeds = [draw_seed(rng) for _ in range(epochs)]
+
+    def _generator(epoch: int) -> ParallelWalkGenerator:
+        return ParallelWalkGenerator(
+            graph,
+            hp.walk_params(),
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            seed=epoch_seeds[epoch],
+            prefetch=prefetch,
+        )
+
     trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns)
-    trainer.train_corpus(walks, sampler)
-    return trainer.result(hyper=hp)
+    tele = PipelineTelemetry(
+        negative_source=negative_source, n_workers=int(n_workers), epochs=int(epochs)
+    )
+    t_total = time.perf_counter()
+
+    sampler: NegativeSampler | None = None
+    if negative_source == "degree":
+        sampler = NegativeSampler.from_degrees(
+            graph, power=negative_power, seed=sampler_seed
+        )
+
+    def _consume(gen: ParallelWalkGenerator, on_chunk) -> None:
+        """Drain one generation pass, folding stall/generation times, the
+        chunk count and the buffering high-water mark into the telemetry."""
+        t_wait = time.perf_counter()
+        for walks, gen_s in gen.generate_timed():
+            tele.wait_s += time.perf_counter() - t_wait
+            tele.generation_s += gen_s
+            tele.n_chunks += 1
+            on_chunk(walks)
+            t_wait = time.perf_counter()
+        tele.peak_buffered_walks = max(
+            tele.peak_buffered_walks, gen.last_stats.peak_in_flight
+        )
+
+    def _train_chunk(walks: list) -> None:
+        t0 = time.perf_counter()
+        trainer.train_corpus(walks, sampler)
+        tele.train_s += time.perf_counter() - t0
+
+    for epoch in range(epochs):
+        gen = _generator(epoch)
+        if sampler is None and negative_source == "corpus":
+            # buffer-then-train: the paper's exact first-epoch semantics
+            buffered: list = []
+            _consume(gen, buffered.extend)
+            tele.peak_buffered_walks = max(tele.peak_buffered_walks, len(buffered))
+            sampler = NegativeSampler.from_walks(
+                buffered, graph.n_nodes, power=negative_power, seed=sampler_seed
+            )
+            _train_chunk(buffered)
+            continue
+        if sampler is None and negative_source == "two_pass":
+            # counting pass: same seed → the identical corpus, walks discarded
+            freq = np.zeros(graph.n_nodes, dtype=np.int64)
+
+            def _count_chunk(walks: list, _freq=freq) -> None:
+                _freq += walk_frequencies(walks, graph.n_nodes)
+
+            _consume(_generator(epoch), _count_chunk)
+            sampler = NegativeSampler(freq, power=negative_power, seed=sampler_seed)
+        _consume(gen, _train_chunk)
+
+    tele.total_s = time.perf_counter() - t_total
+    return trainer.result(hyper=hp, telemetry=tele)

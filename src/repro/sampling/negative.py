@@ -38,9 +38,11 @@ class NegativeSampler:
     ----------
     frequencies:
         per-node appearance counts (e.g. from :func:`walk_frequencies`), or
-        any non-negative weight vector.  Nodes with zero frequency get a
-        floor of 1 so every node remains sample-able (the corpus may not have
-        visited isolated nodes yet in the dynamic scenario).
+        any non-negative weight vector.  Nodes with *exactly zero* frequency
+        get a floor of 1 so every node remains sample-able (the corpus may
+        not have visited isolated nodes yet in the dynamic scenario); all
+        positive weights — including fractional ones below 1 — are used
+        as given.
     power:
         smoothing exponent on the frequencies.  1.0 follows the paper's text
         literally; 0.75 is the word2vec default [16] and ours.
@@ -57,7 +59,9 @@ class NegativeSampler:
         check_positive("power", power, strict=False)
         self.n_nodes = freq.size
         self.power = float(power)
-        weights = np.maximum(freq, 1.0) ** self.power
+        # floor only exact zeros: np.maximum(freq, 1.0) would silently lift
+        # every fractional weight below 1 and distort user-supplied vectors
+        weights = np.where(freq > 0.0, freq, 1.0) ** self.power
         self.table = AliasTable(weights)
         self.rng = as_generator(seed)
 

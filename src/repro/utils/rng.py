@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators", "RngMixin"]
+__all__ = ["as_generator", "draw_seed", "spawn_generators", "RngMixin"]
 
 SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
 
@@ -39,6 +39,19 @@ def as_generator(seed=None) -> np.random.Generator:
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
     raise TypeError(f"cannot interpret {type(seed).__name__!r} as a random seed")
+
+
+def draw_seed(rng) -> int:
+    """Draw one 63-bit integer seed from ``rng``.
+
+    The single seed-derivation rule shared by the sequential and pipelined
+    trainers: every component seed (model init, walker, negative sampler,
+    per-epoch generators) is one draw from the caller's stream, in a fixed
+    documented order, so the two training paths stay comparable and no
+    component accidentally narrows the stream (the old parallel path drew
+    from ``2**31``/``2**62`` while the sequential path used ``2**63``).
+    """
+    return int(as_generator(rng).integers(2**63))
 
 
 def spawn_generators(seed, n: int) -> list[np.random.Generator]:

@@ -75,6 +75,16 @@ class TestParallelWalkGenerator:
             ParallelWalkGenerator(graph, n_workers=-1)
         with pytest.raises((ValueError, TypeError)):
             ParallelWalkGenerator(graph, chunk_size=0)
+        with pytest.raises((ValueError, TypeError)):
+            ParallelWalkGenerator(graph, prefetch=0)
+
+    def test_generate_timed_reports_positive_times(self, graph):
+        gen = ParallelWalkGenerator(
+            graph, WalkParams(length=8, walks_per_node=1), chunk_size=10, seed=0
+        )
+        timed = list(gen.generate_timed())
+        assert sum(len(c) for c, _ in timed) == graph.n_nodes
+        assert all(dt > 0 for _, dt in timed)
 
 
 class TestTrainParallel:
@@ -92,6 +102,23 @@ class TestTrainParallel:
         a = train_parallel(graph, dim=8, hyper=HP, n_workers=2, seed=9)
         b = train_parallel(graph, dim=8, hyper=HP, n_workers=2, seed=9)
         assert np.array_equal(a.embedding, b.embedding)
+
+    def test_telemetry_attached_by_default(self, graph):
+        res = train_parallel(graph, dim=8, hyper=HP, seed=0)
+        assert res.telemetry is not None
+        assert res.telemetry.negative_source == "corpus"
+        assert res.telemetry.total_s > 0
+
+    def test_epochs_supported(self, graph):
+        res = train_parallel(graph, dim=8, hyper=HP, epochs=2, seed=0)
+        assert res.n_walks == 2 * HP.r * graph.n_nodes
+
+    def test_model_instance_accepted(self, graph):
+        from repro.embedding.trainer import make_model
+
+        mdl = make_model("proposed", graph.n_nodes, 8, seed=1)
+        res = train_parallel(graph, model=mdl, hyper=HP, seed=0)
+        assert res.model is mdl
 
     def test_model_kwargs_forwarded(self, graph):
         res = train_parallel(graph, dim=8, hyper=HP, seed=0, mu=0.123)

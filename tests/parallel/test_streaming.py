@@ -1,0 +1,270 @@
+"""Streaming-pipeline tests: bounded buffering, seed namespaces, telemetry,
+negative_source strategies, epochs — the invariants of the walk→train
+overlap rewrite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import ring_of_cliques
+from repro.parallel import (
+    NEGATIVE_SOURCES,
+    ParallelWalkGenerator,
+    PipelineTelemetry,
+    train_parallel,
+)
+from repro.parallel import pipeline as pipeline_mod
+from repro.experiments.hyper import Node2VecParams
+from repro.sampling.walks import WalkParams
+
+HP = Node2VecParams(r=2, l=12, w=4, ns=3)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(4, 8, seed=0)
+
+
+class TestSeedNamespaces:
+    def test_starts_stream_disjoint_from_every_chunk(self, graph):
+        gen = ParallelWalkGenerator(graph, WalkParams(length=8), seed=5)
+        starts_state = gen.starts_seed().generate_state(4)
+        # includes the index the old scheme collided at ([seed, 0xC0FFEE])
+        for i in (0, 1, 49374, 0xC0FFEE):
+            chunk_state = gen.chunk_seed(i).generate_state(4)
+            assert not np.array_equal(starts_state, chunk_state)
+
+    def test_regression_old_scheme_collides(self):
+        # documents the bug being fixed: the old flat namespace used
+        # [seed, 0xC0FFEE] for the start list and [seed, i] for chunk i,
+        # so chunk index i = 0xC0FFEE replayed the start-shuffle stream
+        seed, i = 5, 0xC0FFEE
+        old_starts = np.random.SeedSequence([seed, 0xC0FFEE])
+        old_chunk = np.random.SeedSequence([seed, i])
+        assert np.array_equal(
+            old_starts.generate_state(4), old_chunk.generate_state(4)
+        )
+
+    def test_chunk_streams_distinct(self, graph):
+        gen = ParallelWalkGenerator(graph, WalkParams(length=8), seed=5)
+        a = gen.chunk_seed(0).generate_state(4)
+        b = gen.chunk_seed(1).generate_state(4)
+        assert not np.array_equal(a, b)
+
+
+class TestBoundedBuffering:
+    def test_peak_buffered_bounded_by_prefetch_not_corpus(self, graph):
+        params = WalkParams(length=8, walks_per_node=8)  # 256-walk corpus
+        gen = ParallelWalkGenerator(
+            graph, params, n_workers=2, chunk_size=8, prefetch=2, seed=1
+        )
+        n_walks = sum(len(c) for c in gen.generate())
+        assert n_walks == 8 * graph.n_nodes
+        peak = gen.last_stats.peak_in_flight
+        assert 0 < peak <= 2 * 8  # prefetch * chunk_size
+        assert peak < n_walks
+
+    def test_inline_peak_is_one_chunk(self, graph):
+        gen = ParallelWalkGenerator(
+            graph, WalkParams(length=8, walks_per_node=4), chunk_size=8, seed=1
+        )
+        list(gen.generate())
+        assert gen.last_stats.peak_in_flight == 8
+
+    def test_streamed_training_memory_bounded(self, graph):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, chunk_size=8, prefetch=2,
+            negative_source="degree", seed=3,
+        )
+        assert res.n_walks == HP.r * graph.n_nodes
+        assert res.telemetry.peak_buffered_walks <= 2 * 8
+        assert res.telemetry.peak_buffered_walks < res.n_walks
+
+    def test_corpus_source_buffers_everything(self, graph):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, chunk_size=8,
+            negative_source="corpus", seed=3,
+        )
+        assert res.telemetry.peak_buffered_walks == res.n_walks
+
+    def test_abandoned_iterator_shuts_pool_down(self, graph):
+        gen = ParallelWalkGenerator(
+            graph, WalkParams(length=8, walks_per_node=8),
+            n_workers=2, chunk_size=8, prefetch=2, seed=1,
+        )
+        it = gen.generate()
+        next(it)
+        it.close()  # must not hang on the throttled task-handler thread
+
+    def test_early_consumption_partial(self, graph):
+        gen = ParallelWalkGenerator(
+            graph, WalkParams(length=8, walks_per_node=4),
+            n_workers=2, chunk_size=8, prefetch=2, seed=1,
+        )
+        chunks = []
+        for chunk in gen.generate():
+            chunks.append(chunk)
+            if len(chunks) == 3:
+                break
+        assert len(chunks) == 3
+
+
+class TestNegativeSources:
+    @pytest.mark.parametrize("source", NEGATIVE_SOURCES)
+    def test_bit_identical_across_worker_counts(self, graph, source):
+        """The acceptance invariant: identical embedding for n_workers
+        ∈ {0, 2, 4} under every negative_source."""
+        embs = [
+            train_parallel(
+                graph, dim=8, hyper=HP, n_workers=nw, chunk_size=16,
+                negative_source=source, seed=5,
+            ).embedding
+            for nw in (0, 2, 4)
+        ]
+        assert np.array_equal(embs[0], embs[1])
+        assert np.array_equal(embs[0], embs[2])
+
+    def test_two_pass_matches_corpus_exactly(self, graph):
+        """two_pass rebuilds the corpus-frequency sampler from a counting
+        pass — bit-identical result with bounded memory."""
+        a = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, negative_source="corpus", seed=5
+        )
+        b = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, negative_source="two_pass", seed=5
+        )
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_degree_source_differs_but_learns_same_corpus(self, graph):
+        a = train_parallel(
+            graph, dim=8, hyper=HP, negative_source="corpus", seed=5
+        )
+        b = train_parallel(
+            graph, dim=8, hyper=HP, negative_source="degree", seed=5
+        )
+        assert a.n_walks == b.n_walks
+        assert not np.array_equal(a.embedding, b.embedding)
+
+    def test_prefetch_does_not_change_result(self, graph):
+        a = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, prefetch=1,
+            negative_source="degree", seed=5,
+        )
+        b = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, prefetch=8,
+            negative_source="degree", seed=5,
+        )
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_invalid_source(self, graph):
+        with pytest.raises(ValueError):
+            train_parallel(graph, hyper=HP, negative_source="oracle")
+
+
+class TestEpochs:
+    def test_epochs_multiply_walks(self, graph):
+        res = train_parallel(graph, dim=8, hyper=HP, epochs=3, seed=5)
+        assert res.n_walks == 3 * HP.r * graph.n_nodes
+
+    def test_epochs_use_fresh_walks(self, graph):
+        one = train_parallel(graph, dim=8, hyper=HP, epochs=1, seed=5)
+        two = train_parallel(graph, dim=8, hyper=HP, epochs=2, seed=5)
+        assert not np.array_equal(one.embedding, two.embedding)
+
+    @pytest.mark.parametrize("source", NEGATIVE_SOURCES)
+    def test_epochs_deterministic_across_workers(self, graph, source):
+        a = train_parallel(
+            graph, dim=8, hyper=HP, epochs=2, n_workers=0,
+            negative_source=source, seed=5,
+        )
+        b = train_parallel(
+            graph, dim=8, hyper=HP, epochs=2, n_workers=2,
+            negative_source=source, seed=5,
+        )
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_invalid_epochs(self, graph):
+        with pytest.raises((ValueError, TypeError)):
+            train_parallel(graph, hyper=HP, epochs=0)
+
+
+class TestTelemetry:
+    def test_telemetry_attached_and_consistent(self, graph):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, chunk_size=16,
+            negative_source="degree", seed=5,
+        )
+        t = res.telemetry
+        assert isinstance(t, PipelineTelemetry)
+        assert t.negative_source == "degree"
+        assert t.n_workers == 2
+        assert t.epochs == 1
+        expected_chunks = -(-HP.r * graph.n_nodes // 16)
+        assert t.n_chunks == expected_chunks
+        assert t.total_s > 0
+        assert t.train_s > 0
+        assert t.generation_s > 0
+        assert 0.0 <= t.overlap_efficiency <= 1.0
+
+    def test_sequential_result_has_no_telemetry(self, graph):
+        from repro.embedding.trainer import train_on_graph
+
+        res = train_on_graph(graph, dim=8, hyper=HP, seed=0)
+        assert res.telemetry is None
+
+
+class TestInlineStateIsolation:
+    def test_inline_generate_leaves_globals_alone(self, graph):
+        """The inline path passes state explicitly; the worker globals stay
+        untouched in the parent process."""
+        gen = ParallelWalkGenerator(graph, WalkParams(length=8), seed=0)
+        list(gen.generate())
+        assert pipeline_mod._WORKER_GRAPH is None
+        assert pipeline_mod._WORKER_PARAMS is None
+
+    def test_two_generators_do_not_interfere(self, graph):
+        p1 = WalkParams(length=6, walks_per_node=1)
+        p2 = WalkParams(length=10, walks_per_node=1)
+        g1 = ParallelWalkGenerator(graph, p1, seed=0)
+        g2 = ParallelWalkGenerator(graph, p2, seed=0)
+        it1, it2 = g1.generate(), g2.generate()
+        c1, c2 = next(it1), next(it2)
+        assert max(len(w) for w in c1) <= 6
+        assert max(len(w) for w in c2) <= 10
+
+
+class TestApiIntegration:
+    def test_api_routes_to_pipeline(self, graph):
+        from repro import train_embedding
+
+        res = train_embedding(
+            graph, dim=8, hyper=HP, n_workers=2, negative_source="degree", seed=5
+        )
+        assert res.telemetry is not None
+        direct = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, negative_source="degree", seed=5
+        )
+        assert np.array_equal(res.embedding, direct.embedding)
+
+    def test_api_negative_source_alone_implies_pipeline(self, graph):
+        from repro import train_embedding
+
+        res = train_embedding(graph, dim=8, hyper=HP, negative_source="degree", seed=5)
+        assert res.telemetry is not None
+        assert res.telemetry.n_workers == 0
+
+    def test_api_default_stays_sequential(self, graph):
+        from repro import train_embedding
+        from repro.embedding.trainer import train_on_graph
+
+        a = train_embedding(graph, dim=8, hyper=HP, seed=4)
+        b = train_on_graph(graph, dim=8, hyper=HP, seed=4)
+        assert a.telemetry is None
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_api_forwards_model_kwargs(self, graph):
+        from repro import train_embedding
+
+        seq = train_embedding(graph, dim=8, hyper=HP, seed=0, mu=0.123)
+        par = train_embedding(graph, dim=8, hyper=HP, n_workers=2, seed=0, mu=0.123)
+        assert seq.model.mu == 0.123
+        assert par.model.mu == 0.123

@@ -71,6 +71,34 @@ class TestNegativeSampler:
         assert np.array_equal(a, b)
 
 
+class TestFractionalWeights:
+    """Only exact zeros are floored; user-supplied fractional weights are
+    taken at face value (regression: np.maximum(freq, 1) lifted everything
+    below 1, equalizing any sub-unit weight vector)."""
+
+    def test_fractional_weights_preserved(self):
+        s = NegativeSampler([0.5, 0.25, 0.25], power=1.0, seed=0)
+        assert np.allclose(s.probabilities(), [0.5, 0.25, 0.25])
+
+    def test_fractional_weights_not_equalized(self):
+        s = NegativeSampler([0.9, 0.1], power=1.0, seed=0)
+        assert np.allclose(s.probabilities(), [0.9, 0.1])
+
+    def test_zero_still_floored_to_one(self):
+        s = NegativeSampler([0.0, 2.0], power=1.0, seed=0)
+        assert np.allclose(s.probabilities(), [1 / 3, 2 / 3])
+
+    def test_fractional_below_one_beats_zero_floor_scaling(self):
+        # a 0.5 weight must stay half of a 1.0 weight, not be lifted to it
+        s = NegativeSampler([0.5, 1.0], power=1.0, seed=0)
+        probs = s.probabilities()
+        assert np.allclose(probs, [1 / 3, 2 / 3])
+
+    def test_power_applies_after_floor(self):
+        s = NegativeSampler([0.0, 4.0], power=0.5, seed=0)
+        assert np.allclose(s.probabilities(), [1 / 3, 2 / 3])
+
+
 class TestSampleForWalk:
     @pytest.fixture()
     def sampler(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RngMixin, as_generator, spawn_generators
+from repro.utils.rng import RngMixin, as_generator, draw_seed, spawn_generators
 
 
 class TestAsGenerator:
@@ -38,6 +38,27 @@ class TestAsGenerator:
     def test_float_seed_rejected(self):
         with pytest.raises(TypeError):
             as_generator(3.14)
+
+
+class TestDrawSeed:
+    def test_returns_python_int_in_63_bit_range(self):
+        s = draw_seed(as_generator(0))
+        assert type(s) is int
+        assert 0 <= s < 2**63
+
+    def test_matches_the_sequential_trainer_derivation(self):
+        # the shared rule: one integers(2**63) draw per component seed
+        assert draw_seed(as_generator(11)) == int(
+            as_generator(11).integers(2**63)
+        )
+
+    def test_advances_the_stream(self):
+        rng = as_generator(0)
+        assert draw_seed(rng) != draw_seed(rng)
+
+    def test_accepts_any_seed_like(self):
+        assert draw_seed(7) == draw_seed(7)
+        assert isinstance(draw_seed(None), int)
 
 
 class TestSpawnGenerators:
