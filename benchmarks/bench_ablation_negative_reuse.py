@@ -8,7 +8,6 @@ saving (large).
 
 import numpy as np
 
-from repro.dynamic import run_all_scenario
 from repro.embedding import DataflowOSELMSkipGram, WalkTrainer
 from repro.evaluation import evaluate_embedding
 from repro.experiments.hyper import Node2VecParams

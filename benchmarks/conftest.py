@@ -4,16 +4,24 @@ Every paper table/figure has one module here; running
 
     pytest benchmarks/ --benchmark-only
 
-regenerates all of them (reports are printed and written to
-``benchmarks/reports/``).  Accuracy experiments run the "quick" profile —
-scaled-down Table 1 surrogates — so the suite finishes in minutes; pass
+regenerates all of them.  Each report is printed, written as a text table
+to ``benchmarks/reports/<name>.txt``, and — for machines rather than humans
+— as ``benchmarks/reports/BENCH_<name>.json`` carrying the same columns,
+rows, notes and the raw ``report.data`` payload (NumPy scalars converted,
+large arrays summarized).  The JSON files are what the CI bench-smoke job
+uploads, so the perf trajectory of the pipeline can be tracked PR over PR.
+
+Accuracy experiments run the "quick" profile — scaled-down Table 1
+surrogates — so the suite finishes in minutes; pass
 ``--repro-profile paper`` for the full (hours-long) workload.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
+import numpy as np
 import pytest
 
 
@@ -38,9 +46,42 @@ def report_dir() -> str:
     return path
 
 
+#: arrays up to this many elements are inlined into the JSON; bigger ones
+#: (embeddings, …) are summarized by shape/dtype so files stay diffable
+_JSON_ARRAY_LIMIT = 32
+
+
+def _jsonable(obj):
+    """Best-effort conversion of a report payload to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        if obj.size <= _JSON_ARRAY_LIMIT:
+            return _jsonable(obj.tolist())
+        return {"ndarray": {"shape": list(obj.shape), "dtype": str(obj.dtype)}}
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def report_json_path(report_dir: str, report_name: str) -> str:
+    """Canonical path of a report's machine-readable twin."""
+    slug = report_name.lower().replace(" ", "_")
+    return os.path.join(report_dir, f"BENCH_{slug}.json")
+
+
 @pytest.fixture()
 def emit_report(report_dir, capsys):
-    """Print an ExperimentReport and persist it under benchmarks/reports/."""
+    """Print an ExperimentReport and persist it (text + JSON) under
+    ``benchmarks/reports/``."""
 
     def _emit(report):
         text = report.render()
@@ -49,6 +90,18 @@ def emit_report(report_dir, capsys):
         fname = report.name.lower().replace(" ", "") + ".txt"
         with open(os.path.join(report_dir, fname), "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
+        payload = {
+            "name": report.name,
+            "title": report.title,
+            "columns": _jsonable(list(report.columns)),
+            "rows": _jsonable(list(report.rows)),
+            "notes": _jsonable(list(report.notes)),
+            "data": _jsonable(report.data),
+        }
+        json_path = report_json_path(report_dir, report.name)
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
         return report
 
     return _emit

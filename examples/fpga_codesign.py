@@ -16,7 +16,6 @@ from repro.fpga import (
     CALIBRATED_CONSTANTS,
     PipelineModel,
     ResourceEstimator,
-    XCZU7EV,
     paper_spec,
 )
 from repro.hw import CORE_I7_11700, CORTEX_A53

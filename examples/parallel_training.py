@@ -13,8 +13,11 @@ Knobs demonstrated below:
 * ``negative_source`` — ``"corpus"`` (paper-exact, buffers the first epoch),
   ``"degree"`` (streams from the first chunk, bounded memory),
   ``"two_pass"`` (paper-exact and bounded, double generation cost);
-* ``prefetch`` / ``chunk_size`` — depth and granularity of the pipeline;
-* ``result.telemetry`` — per-stage timing and the realized overlap.
+* ``prefetch`` / ``chunk_size`` — depth and granularity of the pipeline
+  (``chunk_size="auto"`` lets telemetry rebalance it between epochs);
+* ``transport`` — ``"shm"`` (zero-copy shared-memory ring) vs ``"pickle"``
+  (serialized through the pool result pipe);
+* ``result.telemetry`` — per-stage timing, IPC bytes and realized overlap.
 
 Run:  python examples/parallel_training.py
 """
@@ -59,14 +62,28 @@ def main() -> None:
             f"peak buffered walks {t.peak_buffered_walks}"
         )
 
-    # -- determinism across worker counts ------------------------------ #
+    # -- walk transport: zero-copy shm vs pickled chunks ---------------- #
+    for transport in ("pickle", "shm"):
+        res = train_parallel(
+            graph, dim=32, hyper=hyper, n_workers=4, chunk_size=128,
+            transport=transport, negative_source="degree", seed=7,
+        )
+        t = res.telemetry
+        print(
+            f"transport={t.transport:7s}: total {t.total_s:5.2f}s  "
+            f"stall {t.wait_s:5.2f}s  "
+            f"walk bytes over pickle channel {t.ipc_walk_bytes:>9,}"
+        )
+
+    # -- determinism across worker counts, transports, chunk sizes ------ #
     a = train_parallel(
         graph, dim=32, hyper=hyper, n_workers=0, negative_source="degree", seed=7
     )
     b = train_parallel(
-        graph, dim=32, hyper=hyper, n_workers=4, negative_source="degree", seed=7
+        graph, dim=32, hyper=hyper, n_workers=4, chunk_size="auto",
+        transport="shm", negative_source="degree", seed=7,
     )
-    print(f"embedding identical across worker counts: "
+    print(f"embedding identical across workers/transport/chunking: "
           f"{np.array_equal(a.embedding, b.embedding)}")
 
     # -- batched lockstep sampler --------------------------------------- #

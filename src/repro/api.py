@@ -26,6 +26,8 @@ def train_embedding(
     n_workers: int | None = None,
     negative_source: str | None = None,
     negative_power: float = 0.75,
+    transport: str | None = None,
+    chunk_size: int | str | None = None,
     seed=None,
     **model_kwargs,
 ):
@@ -60,6 +62,16 @@ def train_embedding(
     negative_power:
         smoothing exponent on the negative-sampling frequencies (word2vec
         default 0.75).
+    transport:
+        pipeline-only knob: ``"shm"`` (zero-copy shared-memory ring, the
+        pipeline default) or ``"pickle"`` (portable result-pipe baseline).
+        Setting it implies the pipelined path even when ``n_workers`` is
+        None.
+    chunk_size:
+        pipeline-only knob: start nodes per work item (int), or ``"auto"``
+        to let telemetry rebalance it between epochs.  Chunking never
+        changes the trained embedding (walks are seeded by global walk
+        index).  Setting it implies the pipelined path.
     seed:
         deterministic seed for walks, sampling and initialization.
     model_kwargs:
@@ -72,7 +84,13 @@ def train_embedding(
     (n_nodes × dim), the trained model, op-count telemetry, and — on the
     pipelined path — per-stage ``telemetry``.
     """
-    if n_workers is None and negative_source is None:
+    pipelined = (
+        n_workers is not None
+        or negative_source is not None
+        or transport is not None
+        or chunk_size is not None
+    )
+    if not pipelined:
         from repro.embedding.trainer import train_on_graph
 
         return train_on_graph(
@@ -86,7 +104,7 @@ def train_embedding(
             **model_kwargs,
         )
 
-    from repro.parallel import train_parallel
+    from repro.parallel import DEFAULT_CHUNK_SIZE, train_parallel
 
     return train_parallel(
         graph,
@@ -95,6 +113,8 @@ def train_embedding(
         hyper=hyper,
         epochs=epochs,
         n_workers=0 if n_workers is None else int(n_workers),
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        transport=transport or "shm",
         negative_source=negative_source or "corpus",
         negative_power=negative_power,
         seed=seed,

@@ -52,7 +52,6 @@ class DataflowOSELMSkipGram(OSELMSkipGram):
         centers = contexts.centers
         positives = contexts.positives  # (C, J)
         C, J = positives.shape
-        ns = negatives.shape[1]
 
         # Stage 1: H for every context from the walk-start B (line 3)
         if self.weight_tying == "beta":

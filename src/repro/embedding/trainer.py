@@ -8,7 +8,7 @@ CPU timing models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import contexts_from_walk
 from repro.sampling.negative import NegativeSampler
-from repro.sampling.walks import Node2VecWalker, WalkParams
+from repro.sampling.walks import Node2VecWalker
 from repro.utils.rng import as_generator, draw_seed
 from repro.utils.validation import check_in_set, check_positive
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.fpga.spec import AcceleratorSpec
 from repro.utils.validation import check_positive

@@ -22,7 +22,7 @@ import numpy as np
 from scipy.optimize import least_squares
 
 from repro.fpga.pipeline import PipelineModel
-from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.spec import paper_spec
 from repro.fpga.stages import CycleConstants
 
 __all__ = [

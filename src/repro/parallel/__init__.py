@@ -1,16 +1,33 @@
-"""Host-side parallelism: multiprocess walk generation and the streaming
-pipelined training loop mirroring the board's PS/PL overlap."""
+"""Host-side parallelism: multiprocess walk generation, the zero-copy walk
+transport and the streaming pipelined training loop mirroring the board's
+PS/PL overlap."""
 
+from repro.parallel.chunking import (
+    DEFAULT_CHUNK_SIZE,
+    MAX_CHUNK_SIZE,
+    MIN_CHUNK_SIZE,
+    AdaptiveChunkController,
+    EpochStats,
+)
 from repro.parallel.pipeline import (
     NEGATIVE_SOURCES,
+    TRANSPORTS,
     ParallelWalkGenerator,
     PipelineTelemetry,
     train_parallel,
 )
+from repro.parallel.shm_ring import ShmWalkRing
 
 __all__ = [
+    "AdaptiveChunkController",
+    "DEFAULT_CHUNK_SIZE",
+    "EpochStats",
+    "MAX_CHUNK_SIZE",
+    "MIN_CHUNK_SIZE",
     "NEGATIVE_SOURCES",
     "ParallelWalkGenerator",
     "PipelineTelemetry",
+    "ShmWalkRing",
+    "TRANSPORTS",
     "train_parallel",
 ]

@@ -1,0 +1,144 @@
+"""Telemetry-driven chunk sizing for the streaming pipeline.
+
+Chunk size is the pipeline's IPC-granularity knob: larger chunks amortize
+the per-chunk fixed costs (job dispatch, walker construction, the control
+round-trip) over more walks, smaller chunks pipeline finer — training can
+start sooner, the prefetch window buffers less, and the tail (the last
+chunks, which nothing overlaps) is shorter.  The right setting depends on
+the graph, the walk length and the host, so ``chunk_size="auto"`` lets the
+measured generation/stall/train split pick it.
+
+The controller is a deliberately simple multiplicative hill-climb over the
+*stall fraction* — the share of wall-clock the trainer spent waiting on
+workers (:attr:`PipelineTelemetry.wait_s` / total):
+
+* stall above ``high_stall`` → generation is the visible bottleneck; double
+  the chunk size so fewer, larger dispatches spend less of the workers'
+  time on per-chunk overhead.
+* stall below ``low_stall`` → generation is fully hidden; halve the chunk
+  size to shrink buffered memory and pipeline latency for free.
+* in between → leave it alone (hysteresis band, prevents oscillation).
+
+Re-sizing is only sound because walk streams are seeded by **global walk
+index**, not by chunk index (see ``repro.parallel.pipeline``): the corpus —
+and therefore the trained embedding — is bit-identical under any chunking,
+so the controller can rebalance between epochs without touching results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "AdaptiveChunkController",
+    "EpochStats",
+    "DEFAULT_CHUNK_SIZE",
+    "MIN_CHUNK_SIZE",
+    "MAX_CHUNK_SIZE",
+]
+
+#: Fixed-size default (the PR-1 value) and the auto-controller's clamp range.
+DEFAULT_CHUNK_SIZE = 256
+MIN_CHUNK_SIZE = 32
+MAX_CHUNK_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One epoch's telemetry deltas, as fed back to the controller."""
+
+    chunk_size: int
+    n_chunks: int
+    generation_s: float
+    wait_s: float
+    train_s: float
+    elapsed_s: float
+
+    @property
+    def stall_fraction(self) -> float:
+        """Share of the epoch's wall-clock spent stalled on workers."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return max(0.0, min(1.0, self.wait_s / self.elapsed_s))
+
+
+class AdaptiveChunkController:
+    """Between-epoch chunk-size controller (``chunk_size="auto"``).
+
+    Parameters
+    ----------
+    n_walks:
+        walks per epoch (sets the initial size and the upper clamp — a
+        chunk larger than the per-worker share serializes the pool).
+    n_workers:
+        pipeline worker count (0/1 → inline).
+    initial:
+        explicit starting size; default aims for ~4 chunks per worker so
+        the pool is load-balanced from the first epoch.
+    low_stall / high_stall:
+        hysteresis band on the stall fraction (see module docstring).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_walks: int,
+        n_workers: int,
+        initial: int | None = None,
+        min_size: int = MIN_CHUNK_SIZE,
+        max_size: int = MAX_CHUNK_SIZE,
+        low_stall: float = 0.02,
+        high_stall: float = 0.10,
+    ):
+        check_positive("n_walks", n_walks, integer=True)
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        check_positive("min_size", min_size, integer=True)
+        check_positive("max_size", max_size, integer=True)
+        if min_size > max_size:
+            raise ValueError("min_size must be <= max_size")
+        if not 0.0 <= low_stall < high_stall <= 1.0:
+            raise ValueError("need 0 <= low_stall < high_stall <= 1")
+        self.n_walks = int(n_walks)
+        self.n_workers = int(n_workers)
+        self.min_size = int(min_size)
+        self.max_size = int(max_size)
+        self.low_stall = float(low_stall)
+        self.high_stall = float(high_stall)
+        self.history: list[EpochStats] = []
+        if initial is None:
+            lanes = max(1, self.n_workers)
+            initial = self.n_walks if lanes == 1 else -(-self.n_walks // (4 * lanes))
+        check_positive("initial", initial, integer=True)
+        self._size = self._clamp(int(initial))
+
+    def _clamp(self, size: int) -> int:
+        # never a chunk bigger than the per-worker share of the corpus (a
+        # larger one would serialize the pool and the hill-climb could
+        # never recover), never outside the configured range
+        lanes = max(1, self.n_workers)
+        share = -(-self.n_walks // lanes)
+        size = min(size, max(self.min_size, share))
+        return max(self.min_size, min(self.max_size, size))
+
+    def next_chunk_size(self) -> int:
+        """The size the next epoch should use."""
+        return self._size
+
+    def observe(self, stats: EpochStats) -> None:
+        """Fold one epoch's telemetry in and re-decide the size."""
+        self.history.append(stats)
+        stall = stats.stall_fraction
+        if stall > self.high_stall:
+            self._size = self._clamp(self._size * 2)
+        elif stall < self.low_stall:
+            self._size = self._clamp(self._size // 2)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveChunkController(size={self._size}, "
+            f"band=[{self.low_stall}, {self.high_stall}], "
+            f"epochs_observed={len(self.history)})"
+        )

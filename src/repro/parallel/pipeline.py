@@ -16,8 +16,40 @@ This module provides
 * :func:`train_parallel` — the full pipeline: chunks of start nodes →
   worker walks → in-order training, with the main process training chunk
   *i* while workers generate chunks *i+1 … i+prefetch*.
-* :class:`PipelineTelemetry` — per-stage timing (generation / stall / train)
-  and buffering telemetry, attached to the returned ``TrainingResult``.
+* :class:`PipelineTelemetry` — per-stage timing (generation / stall / train),
+  transport and buffering telemetry, attached to the ``TrainingResult``.
+
+Walk transport (``transport``)
+------------------------------
+The board keeps walk traffic on-chip; the host-side analogue of that
+bottleneck is the worker→trainer channel:
+
+``"shm"`` (default)
+    zero-copy: workers write each chunk into a slot of a fixed-capacity
+    shared-memory ring (:class:`repro.parallel.shm_ring.ShmWalkRing`) and
+    the trainer reads NumPy views out of it; only a three-int control tuple
+    crosses the pickle channel per chunk.  Falls back to pickling
+    automatically — per run when the segment cannot be created, per chunk
+    when a chunk is ragged beyond the slot shape.
+``"pickle"``
+    the classic pool result path: every chunk serialized in the worker,
+    copied through a pipe, deserialized in the trainer.  O(walks·length)
+    bytes of IPC per chunk; kept as the portable fallback and the baseline
+    the benchmarks compare against.
+
+Both transports move bit-identical walks, so the trained embedding does not
+depend on the transport; ``PipelineTelemetry.ipc_walk_bytes`` records how
+many walk-payload bytes actually crossed the pickle channel.
+
+Chunk sizing (``chunk_size``)
+-----------------------------
+Walk streams are seeded by **global walk index** (walk *j* always draws from
+``SeedSequence([seed, 0, j])`` no matter which chunk carries it), so the
+corpus — and the trained embedding — is invariant to how the start list is
+partitioned into chunks.  That makes chunk size a pure performance knob:
+pass an int to fix it, or ``chunk_size="auto"`` to let an
+:class:`~repro.parallel.chunking.AdaptiveChunkController` rebalance the
+stall-vs-IPC-overhead trade-off between epochs from the measured telemetry.
 
 Negative-sampling sources (``negative_source``)
 -----------------------------------------------
@@ -44,11 +76,12 @@ trade fidelity against memory and overlap:
     semantics *and* bounded memory, at the price of generating the corpus
     twice — bit-identical to ``"corpus"``.
 
-Determinism: every chunk derives its own seed from (base seed, chunk
-namespace, chunk index), the start list from a disjoint (base seed, starts
-namespace) stream, and results are consumed in chunk order — so the trained
-embedding is **bit-identical for any worker count and prefetch depth** under
-every ``negative_source``.  The tests pin this invariant down.
+Determinism: walk *j* derives its stream from (base seed, walk namespace,
+global walk index *j*), the start list from a disjoint (base seed, starts
+namespace) stream, and results are consumed in order — so the trained
+embedding is **bit-identical for any worker count, prefetch depth, chunk
+size (fixed or "auto") and transport** under every ``negative_source``.
+The tests pin this invariant down.
 """
 
 from __future__ import annotations
@@ -57,7 +90,7 @@ import multiprocessing as mp
 import os
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -65,6 +98,12 @@ import numpy as np
 from repro.embedding.base import EmbeddingModel
 from repro.embedding.trainer import TrainingResult, WalkTrainer, make_model
 from repro.graph.csr import CSRGraph
+from repro.parallel.chunking import (
+    DEFAULT_CHUNK_SIZE,
+    AdaptiveChunkController,
+    EpochStats,
+)
+from repro.parallel.shm_ring import ShmWalkRing
 from repro.sampling.negative import NegativeSampler, walk_frequencies
 from repro.sampling.walks import Node2VecWalker, WalkParams
 from repro.utils.rng import as_generator, draw_seed
@@ -72,6 +111,7 @@ from repro.utils.validation import check_in_set, check_positive
 
 __all__ = [
     "NEGATIVE_SOURCES",
+    "TRANSPORTS",
     "ParallelWalkGenerator",
     "PipelineTelemetry",
     "train_parallel",
@@ -80,40 +120,71 @@ __all__ = [
 #: Valid ``negative_source`` strategies (see module docstring).
 NEGATIVE_SOURCES = ("corpus", "degree", "two_pass")
 
-# Seed namespaces: chunk i draws from SeedSequence([seed, _CHUNK_NS, i]),
+#: Valid ``transport`` settings (see module docstring).
+TRANSPORTS = ("shm", "pickle")
+
+# Seed namespaces: walk j draws from SeedSequence([seed, _WALK_NS, j]) where
+# j is the *global* walk index — chunking-invariant by construction — and
 # the start list from SeedSequence([seed, _STARTS_NS]).  The two streams
 # live in tuples of different shape *and* different second element, so no
-# chunk index can ever collide with the start-list stream (the old scheme
-# used [seed, 0xC0FFEE] for starts, which chunk i = 0xC0FFEE reaches).
-_CHUNK_NS = 0
+# walk index can ever collide with the start-list stream.
+_WALK_NS = 0
 _STARTS_NS = 1
 
-# Worker globals, populated by the pool initializer via fork.  Only pool
-# worker processes ever write these; the inline path passes state explicitly.
+# Worker globals, populated by the pool initializer via fork/spawn.  Only
+# pool worker processes ever write these; the inline path passes state
+# explicitly.
 _WORKER_GRAPH: CSRGraph | None = None
 _WORKER_PARAMS: WalkParams | None = None
+_WORKER_SEED: int | None = None
+_WORKER_RING: ShmWalkRing | None = None
 
 
-def _init_worker(graph: CSRGraph, params: WalkParams) -> None:
-    global _WORKER_GRAPH, _WORKER_PARAMS
+def _init_worker(
+    graph: CSRGraph, params: WalkParams, seed: int, ring_spec: dict | None
+) -> None:
+    global _WORKER_GRAPH, _WORKER_PARAMS, _WORKER_SEED, _WORKER_RING
     _WORKER_GRAPH = graph
     _WORKER_PARAMS = params
+    _WORKER_SEED = seed
+    _WORKER_RING = ShmWalkRing.attach(ring_spec) if ring_spec is not None else None
 
 
 def _run_chunk(
-    graph: CSRGraph, params: WalkParams, starts: np.ndarray, seed
+    graph: CSRGraph, params: WalkParams, starts: np.ndarray, seed: int, lo: int
 ) -> tuple[list, float]:
-    """Walk one chunk; returns ``(walks, generation_seconds)``."""
+    """Walk one chunk; returns ``(walks, generation_seconds)``.
+
+    ``lo`` is the chunk's global walk offset: walk ``lo + k`` reseeds the
+    walker from its own per-walk stream, making the corpus independent of
+    how the start list was chunked.
+    """
     t0 = time.perf_counter()
-    walker = Node2VecWalker(graph, params, seed=seed)
-    walks = [walker.walk(int(s)) for s in starts]
+    walker = Node2VecWalker(graph, params, seed=0)
+    walks = []
+    for k, s in enumerate(starts):
+        walker.rng = as_generator(np.random.SeedSequence([seed, _WALK_NS, lo + k]))
+        walks.append(walker.walk(int(s)))
     return walks, time.perf_counter() - t0
 
 
-def _walk_chunk(job: tuple) -> tuple[list, float]:
-    """Pool entry point: run one chunk against the worker globals."""
-    starts, seed = job
-    return _run_chunk(_WORKER_GRAPH, _WORKER_PARAMS, starts, seed)
+def _walk_chunk_pickle(job: tuple) -> tuple:
+    """Pool entry point, pickle transport: the chunk rides the result pipe."""
+    starts, lo = job
+    walks, gen_s = _run_chunk(_WORKER_GRAPH, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
+    return ("pickle", walks, gen_s)
+
+
+def _walk_chunk_shm(job: tuple) -> tuple:
+    """Pool entry point, shm transport: the chunk lands in a ring slot and
+    only a control tuple rides the result pipe.  Chunks ragged beyond the
+    slot shape degrade to the pickle payload for that chunk alone."""
+    slot, starts, lo = job
+    t0 = time.perf_counter()
+    walks, _ = _run_chunk(_WORKER_GRAPH, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
+    if _WORKER_RING is not None and _WORKER_RING.write(slot, walks):
+        return ("shm", slot, len(walks), time.perf_counter() - t0)
+    return ("pickle", walks, time.perf_counter() - t0)
 
 
 class _FlowStats:
@@ -121,14 +192,17 @@ class _FlowStats:
 
     ``peak_in_flight`` is the high-water mark of walks submitted to workers
     but not yet handed to the consumer, i.e. the quantity the bounded
-    prefetch window is supposed to cap.  Both hooks run on the consumer
-    thread (submission is consumer-driven), so no locking is needed.
+    prefetch window is supposed to cap.  ``ipc_walk_bytes`` counts the walk
+    payload bytes that crossed the pickle channel (zero for chunks moved
+    through the shm ring).  All hooks run on the consumer thread
+    (submission is consumer-driven), so no locking is needed.
     """
 
     def __init__(self):
         self.submitted_walks = 0
         self.consumed_walks = 0
         self.peak_in_flight = 0
+        self.ipc_walk_bytes = 0
 
     def on_submit(self, n: int) -> None:
         self.submitted_walks += n
@@ -142,12 +216,18 @@ class _FlowStats:
 
 @dataclass
 class PipelineTelemetry:
-    """Per-stage timing + buffering telemetry of one :func:`train_parallel`.
+    """Per-stage timing + transport telemetry of one :func:`train_parallel`.
 
     ``generation_s`` sums the worker-side walk time (it may be fully hidden
     behind training); ``wait_s`` is the consumer's observable stall waiting
     for the next chunk; ``train_s`` is time inside the trainer.  A perfect
     pipeline hides all generation: ``wait_s ≈ 0``, ``overlap_efficiency ≈ 1``.
+
+    ``transport`` is the transport the last generation pass actually used
+    (``"inline"`` when no worker pool ran, else ``"shm"``/``"pickle"`` after
+    any availability fallback); ``ipc_walk_bytes`` the walk payload bytes
+    that crossed the pickle channel; ``chunk_sizes`` the per-epoch chunk
+    size (one entry per epoch — informative under ``chunk_size="auto"``).
 
     ``n_chunks`` counts every chunk *consumed*, so per-chunk averages like
     ``generation_s / n_chunks`` stay meaningful for every source — for
@@ -164,6 +244,9 @@ class PipelineTelemetry:
     train_s: float = 0.0
     total_s: float = 0.0
     peak_buffered_walks: int = 0
+    transport: str = ""
+    ipc_walk_bytes: int = 0
+    chunk_sizes: list = field(default_factory=list)
 
     @property
     def overlap_efficiency(self) -> float:
@@ -183,16 +266,23 @@ class ParallelWalkGenerator:
     n_workers:
         0 or 1 → inline generation (no processes); ≥2 → a fork pool.
     chunk_size:
-        start nodes per work item; larger chunks amortize IPC, smaller
-        chunks pipeline better.
+        start nodes per work item; larger chunks amortize per-chunk
+        overhead, smaller chunks pipeline better.  Chunking never changes
+        the walks themselves (per-walk seeding), only the schedule.
     seed:
-        base seed; chunk ``i`` uses ``SeedSequence([seed, 0, i])`` and the
-        start list ``SeedSequence([seed, 1])`` — disjoint namespaces, so the
-        streams can never collide for any chunk index.
+        base seed; walk ``j`` (global index) uses
+        ``SeedSequence([seed, 0, j])`` and the start list
+        ``SeedSequence([seed, 1])`` — disjoint namespaces, so the streams
+        can never collide for any walk index.
     prefetch:
         maximum chunks in flight ahead of the consumer (default
         ``max(2, 2 * n_workers)``).  Bounds peak buffered walks at
         ``prefetch * chunk_size`` regardless of corpus size.
+    transport:
+        ``"shm"`` (default) — chunks travel through a shared-memory ring,
+        zero-copy; ``"pickle"`` — chunks ride the pool's result pipe.
+        Ignored on the inline path (no IPC).  ``effective_transport``
+        records what the last pass actually used after fallback.
     """
 
     def __init__(
@@ -201,11 +291,13 @@ class ParallelWalkGenerator:
         params: WalkParams | None = None,
         *,
         n_workers: int = 0,
-        chunk_size: int = 256,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
         seed: int = 0,
         prefetch: int | None = None,
+        transport: str = "shm",
     ):
         check_positive("chunk_size", chunk_size, integer=True)
+        check_in_set("transport", transport, TRANSPORTS)
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
         if prefetch is None:
@@ -217,6 +309,10 @@ class ParallelWalkGenerator:
         self.chunk_size = int(chunk_size)
         self.seed = int(seed)
         self.prefetch = int(prefetch)
+        self.transport = transport
+        #: transport the most recent pass actually used
+        #: ("inline" | "shm" | "pickle"; None before the first pass)
+        self.effective_transport: str | None = None
         #: flow accounting of the most recent generation pass
         self.last_stats = _FlowStats()
 
@@ -224,18 +320,19 @@ class ParallelWalkGenerator:
     # Seeding
     # ------------------------------------------------------------------ #
 
-    def chunk_seed(self, i: int) -> np.random.SeedSequence:
-        """The walk stream of chunk ``i``."""
-        return np.random.SeedSequence([self.seed, _CHUNK_NS, int(i)])
+    def walk_seed(self, j: int) -> np.random.SeedSequence:
+        """The stream of global walk ``j`` — independent of chunking."""
+        return np.random.SeedSequence([self.seed, _WALK_NS, int(j)])
 
     def starts_seed(self) -> np.random.SeedSequence:
-        """The start-list shuffle stream (disjoint from every chunk)."""
+        """The start-list shuffle stream (disjoint from every walk)."""
         return np.random.SeedSequence([self.seed, _STARTS_NS])
 
     def _jobs(self, starts: np.ndarray) -> list[tuple]:
+        """``(chunk_starts, global_walk_offset)`` work items, in order."""
         return [
-            (starts[lo : lo + self.chunk_size], self.chunk_seed(i))
-            for i, lo in enumerate(range(0, starts.shape[0], self.chunk_size))
+            (starts[lo : lo + self.chunk_size], lo)
+            for lo in range(0, starts.shape[0], self.chunk_size)
         ]
 
     def corpus_starts(self) -> np.ndarray:
@@ -265,6 +362,13 @@ class ParallelWalkGenerator:
         instead can strand the pool's task-handler thread at shutdown,
         which ``Pool.terminate`` then joins forever).  ``self.last_stats``
         records the realized high-water mark.
+
+        Under the shm transport the yielded walk arrays are *views* into a
+        ring slot, valid only until the next chunk is requested; consume
+        them before advancing the iterator, or copy (this is what makes
+        the transport zero-copy on the streaming train path).  The ring
+        carries ``prefetch + 1`` slots so a fresh job can be dispatched
+        while the consumer still reads the chunk just handed over.
         """
         if starts is None:
             starts = self.corpus_starts()
@@ -273,44 +377,114 @@ class ParallelWalkGenerator:
         stats = self.last_stats = _FlowStats()
 
         if self.n_workers <= 1:
-            for chunk_starts, chunk_seed in jobs:
+            self.effective_transport = "inline"
+            for chunk_starts, lo in jobs:
                 stats.on_submit(len(chunk_starts))
-                result = _run_chunk(self.graph, self.params, chunk_starts, chunk_seed)
+                result = _run_chunk(
+                    self.graph, self.params, chunk_starts, self.seed, lo
+                )
                 stats.on_consume(len(result[0]))
                 yield result
             return
 
+        ring: ShmWalkRing | None = None
+        transport = self.transport
+        if transport == "shm":
+            try:
+                # one slot more than the window: a new job is dispatched
+                # while the consumer still holds views of the chunk it was
+                # just handed, so full prefetch depth stays in flight
+                ring = ShmWalkRing.create(
+                    self.prefetch + 1, self.chunk_size, self.params.length
+                )
+            except Exception:  # no /dev/shm, size limits, … → portable path
+                ring = None
+                transport = "pickle"
+        self.effective_transport = transport
+
         ctx = mp.get_context("fork" if os.name == "posix" else "spawn")
-        with ctx.Pool(
-            self.n_workers,
-            initializer=_init_worker,
-            initargs=(self.graph, self.params),
-        ) as pool:
-            pending: deque = deque()
-            job_iter = iter(jobs)
+        try:
+            with ctx.Pool(
+                self.n_workers,
+                initializer=_init_worker,
+                initargs=(
+                    self.graph,
+                    self.params,
+                    self.seed,
+                    ring.spec if ring is not None else None,
+                ),
+            ) as pool:
+                pending: deque = deque()
+                free_slots: deque = deque(range(ring.n_slots)) if ring else deque()
+                job_iter = iter(jobs)
 
-            def _submit_next() -> None:
-                job = next(job_iter, None)
-                if job is not None:
-                    stats.on_submit(len(job[0]))
-                    pending.append(pool.apply_async(_walk_chunk, (job,)))
+                def _submit_next() -> None:
+                    job = next(job_iter, None)
+                    if job is None:
+                        return
+                    chunk_starts, lo = job
+                    stats.on_submit(len(chunk_starts))
+                    if ring is not None:
+                        slot = free_slots.popleft()
+                        pending.append(
+                            (slot, pool.apply_async(
+                                _walk_chunk_shm, ((slot, chunk_starts, lo),)
+                            ))
+                        )
+                    else:
+                        pending.append(
+                            (None, pool.apply_async(
+                                _walk_chunk_pickle, ((chunk_starts, lo),)
+                            ))
+                        )
 
-            for _ in range(self.prefetch):
-                _submit_next()
-            # FIFO consumption of the submission order → deterministic
-            while pending:
-                walks, gen_s = pending.popleft().get()
-                stats.on_consume(len(walks))
-                _submit_next()
-                yield walks, gen_s
+                for _ in range(self.prefetch):
+                    _submit_next()
+                # FIFO consumption of the submission order → deterministic
+                while pending:
+                    slot, fut = pending.popleft()
+                    result = fut.get()
+                    if result[0] == "shm":
+                        _, slot_idx, _count, gen_s = result
+                        walks = ring.read(slot_idx)
+                        stats.on_consume(len(walks))
+                        _submit_next()
+                        yield walks, gen_s
+                        # consumer is done with the slot's views: recycle,
+                        # and drop our own frame's view ref so the ring can
+                        # unmap cleanly at shutdown
+                        free_slots.append(slot_idx)
+                        walks = None
+                    else:
+                        _, walks, gen_s = result
+                        stats.on_consume(len(walks))
+                        stats.ipc_walk_bytes += sum(w.nbytes for w in walks)
+                        if slot is not None:  # ragged fallback: slot unused
+                            free_slots.append(slot)
+                        _submit_next()
+                        yield walks, gen_s
+        finally:
+            if ring is not None:
+                ring.close()
+                ring.unlink()
 
     def generate(self, starts: np.ndarray | None = None) -> Iterator[list]:
-        """Yield walk chunks in deterministic chunk order (timing stripped)."""
+        """Yield walk chunks in deterministic chunk order (timing stripped).
+
+        Shm-transport chunks are views with the same lifetime contract as
+        :meth:`generate_timed`."""
         for walks, _ in self.generate_timed(starts):
             yield walks
 
     def all_walks(self, starts: np.ndarray | None = None) -> list:
-        return [w for chunk in self.generate(starts) for w in chunk]
+        """The whole corpus as a list (chunks materialized, safe to keep)."""
+        out: list = []
+        for chunk in self.generate(starts):
+            if self.effective_transport == "shm":
+                out.extend(w.copy() for w in chunk)
+            else:
+                out.extend(chunk)
+        return out
 
 
 def train_parallel(
@@ -321,8 +495,9 @@ def train_parallel(
     hyper=None,
     epochs: int = 1,
     n_workers: int = 0,
-    chunk_size: int = 256,
+    chunk_size: int | str = DEFAULT_CHUNK_SIZE,
     prefetch: int | None = None,
+    transport: str = "shm",
     negative_source: str = "corpus",
     negative_power: float = 0.75,
     seed=0,
@@ -333,8 +508,11 @@ def train_parallel(
     Walk chunks stream out of the worker pool through a bounded prefetch
     window while the main process trains on them — chunk *i* trains while
     workers generate chunks *i+1 … i+prefetch*, mirroring the PS/PL overlap
-    of the board.  How soon training can start is governed by
-    ``negative_source`` (see the module docstring for the trade-offs):
+    of the board.  Chunks move through the ``transport`` of choice
+    (``"shm"`` zero-copy ring, default, falling back to ``"pickle"`` when
+    shared memory is unavailable or a chunk outgrows its slot).  How soon
+    training can start is governed by ``negative_source`` (see the module
+    docstring for the trade-offs):
 
     * ``"corpus"`` — the paper's exact construction; buffers the entire
       first-epoch corpus before training (no first-epoch overlap, O(corpus)
@@ -345,11 +523,15 @@ def train_parallel(
       over an identically-seeded regeneration; bit-identical to ``"corpus"``
       with bounded memory, at twice the generation cost.
 
-    The result is bit-identical across ``n_workers`` and ``prefetch``
-    settings for every ``negative_source`` (chunk-seeded generation,
-    in-order consumption) — and bit-identical to itself run twice.  Seeds
-    derive from the same 63-bit stream as the sequential trainer
-    (:func:`repro.utils.rng.draw_seed`).
+    ``chunk_size`` may be a fixed int or ``"auto"``, which lets an
+    :class:`~repro.parallel.chunking.AdaptiveChunkController` pick the
+    initial size from the workload shape and re-balance it between epochs
+    from the measured stall fraction.  Because walks are seeded by global
+    walk index, the result is bit-identical across ``n_workers``,
+    ``prefetch``, ``transport`` and ``chunk_size`` (fixed or ``"auto"``)
+    settings for every ``negative_source`` — and bit-identical to itself
+    run twice.  Seeds derive from the same 63-bit stream as the sequential
+    trainer (:func:`repro.utils.rng.draw_seed`).
 
     Returns a :class:`TrainingResult` whose ``telemetry`` field carries the
     per-stage :class:`PipelineTelemetry`.
@@ -358,8 +540,19 @@ def train_parallel(
 
     check_positive("epochs", epochs, integer=True)
     check_in_set("negative_source", negative_source, NEGATIVE_SOURCES)
+    check_in_set("transport", transport, TRANSPORTS)
     hp = hyper or Node2VecParams()
     rng = as_generator(seed)
+
+    controller: AdaptiveChunkController | None = None
+    if isinstance(chunk_size, str):
+        check_in_set("chunk_size", chunk_size, ("auto",))
+        controller = AdaptiveChunkController(
+            n_walks=hp.walk_params().walks_per_node * graph.n_nodes,
+            n_workers=int(n_workers),
+        )
+    else:
+        check_positive("chunk_size", chunk_size, integer=True)
 
     if isinstance(model, str):
         mdl = make_model(model, graph.n_nodes, dim, seed=draw_seed(rng), **model_kwargs)
@@ -374,14 +567,15 @@ def train_parallel(
     sampler_seed = draw_seed(rng)
     epoch_seeds = [draw_seed(rng) for _ in range(epochs)]
 
-    def _generator(epoch: int) -> ParallelWalkGenerator:
+    def _generator(epoch: int, cs: int) -> ParallelWalkGenerator:
         return ParallelWalkGenerator(
             graph,
             hp.walk_params(),
             n_workers=n_workers,
-            chunk_size=chunk_size,
+            chunk_size=cs,
             seed=epoch_seeds[epoch],
             prefetch=prefetch,
+            transport=transport,
         )
 
     trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns)
@@ -398,7 +592,8 @@ def train_parallel(
 
     def _consume(gen: ParallelWalkGenerator, on_chunk) -> None:
         """Drain one generation pass, folding stall/generation times, the
-        chunk count and the buffering high-water mark into the telemetry."""
+        chunk count, transport and the buffering high-water mark into the
+        telemetry."""
         t_wait = time.perf_counter()
         for walks, gen_s in gen.generate_timed():
             tele.wait_s += time.perf_counter() - t_wait
@@ -409,6 +604,8 @@ def train_parallel(
         tele.peak_buffered_walks = max(
             tele.peak_buffered_walks, gen.last_stats.peak_in_flight
         )
+        tele.ipc_walk_bytes += gen.last_stats.ipc_walk_bytes
+        tele.transport = gen.effective_transport
 
     def _train_chunk(walks: list) -> None:
         t0 = time.perf_counter()
@@ -416,27 +613,58 @@ def train_parallel(
         tele.train_s += time.perf_counter() - t0
 
     for epoch in range(epochs):
-        gen = _generator(epoch)
+        cs = controller.next_chunk_size() if controller else int(chunk_size)
+        tele.chunk_sizes.append(cs)
+        t_epoch = time.perf_counter()
+        before = (tele.n_chunks, tele.generation_s, tele.wait_s, tele.train_s)
+        # corpus buffering / two_pass counting stall by construction (no
+        # training runs behind them), so their epochs carry no chunk-size
+        # signal and must not steer the controller
+        bootstrap_epoch = sampler is None and negative_source in ("corpus", "two_pass")
+
+        gen = _generator(epoch, cs)
         if sampler is None and negative_source == "corpus":
-            # buffer-then-train: the paper's exact first-epoch semantics
+            # buffer-then-train: the paper's exact first-epoch semantics.
+            # shm chunks are slot views that die on slot reuse, so buffering
+            # (the one path that retains walks) must materialize them.
             buffered: list = []
-            _consume(gen, buffered.extend)
+
+            def _buffer_chunk(walks: list, _buf=buffered, _gen=gen) -> None:
+                if _gen.effective_transport == "shm":
+                    _buf.extend(w.copy() for w in walks)
+                else:
+                    _buf.extend(walks)
+
+            _consume(gen, _buffer_chunk)
             tele.peak_buffered_walks = max(tele.peak_buffered_walks, len(buffered))
             sampler = NegativeSampler.from_walks(
                 buffered, graph.n_nodes, power=negative_power, seed=sampler_seed
             )
             _train_chunk(buffered)
-            continue
-        if sampler is None and negative_source == "two_pass":
-            # counting pass: same seed → the identical corpus, walks discarded
-            freq = np.zeros(graph.n_nodes, dtype=np.int64)
+        else:
+            if sampler is None and negative_source == "two_pass":
+                # counting pass: same seed → the identical corpus, walks
+                # discarded right after counting
+                freq = np.zeros(graph.n_nodes, dtype=np.int64)
 
-            def _count_chunk(walks: list, _freq=freq) -> None:
-                _freq += walk_frequencies(walks, graph.n_nodes)
+                def _count_chunk(walks: list, _freq=freq) -> None:
+                    _freq += walk_frequencies(walks, graph.n_nodes)
 
-            _consume(_generator(epoch), _count_chunk)
-            sampler = NegativeSampler(freq, power=negative_power, seed=sampler_seed)
-        _consume(gen, _train_chunk)
+                _consume(_generator(epoch, cs), _count_chunk)
+                sampler = NegativeSampler(freq, power=negative_power, seed=sampler_seed)
+            _consume(gen, _train_chunk)
+
+        if controller is not None and not bootstrap_epoch:
+            controller.observe(
+                EpochStats(
+                    chunk_size=cs,
+                    n_chunks=tele.n_chunks - before[0],
+                    generation_s=tele.generation_s - before[1],
+                    wait_s=tele.wait_s - before[2],
+                    train_s=tele.train_s - before[3],
+                    elapsed_s=time.perf_counter() - t_epoch,
+                )
+            )
 
     tele.total_s = time.perf_counter() - t_total
     return trainer.result(hyper=hp, telemetry=tele)

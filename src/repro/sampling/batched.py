@@ -73,16 +73,35 @@ class BatchedWalker:
             pending = pending[~accept]
         return nxt
 
-    def walk_batch(self, starts: np.ndarray) -> np.ndarray:
+    def walk_batch(self, starts: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Walks from every start, as an (n_walks, length) array.
 
         Truncated walks (dangling nodes) are padded with −1 from the
         truncation point on; :meth:`as_walk_list` strips the padding.
+
+        ``out`` lets the caller provide the destination buffer instead of
+        allocating one per batch — e.g. a reused scratch array, or a view
+        into caller-owned shared storage so the batch lands where a
+        consumer will read it with no extra copy.  (The streaming
+        pipeline's shm transport currently writes per-walk via
+        ``ShmWalkRing.write``; this is the batched-producer counterpart
+        for q = 1 workloads.)  It must be an int64 array of shape
+        ``(len(starts), length)``; it is returned (fully overwritten,
+        padding included).
         """
         starts = np.asarray(starts, dtype=np.int64)
         W = starts.shape[0]
         length = self.params.length
-        out = np.full((W, length), -1, dtype=np.int64)
+        if out is None:
+            out = np.full((W, length), -1, dtype=np.int64)
+        else:
+            if out.shape != (W, length):
+                raise ValueError(
+                    f"out must have shape {(W, length)}, got {out.shape}"
+                )
+            if out.dtype != np.int64:
+                raise ValueError(f"out must be int64, got {out.dtype}")
+            out[:] = -1
         out[:, 0] = starts
         if length == 1:
             return out

@@ -84,7 +84,6 @@ class TestForgettingFactor:
     def test_dataflow_p_rescaled_per_walk(self):
         m = DataflowOSELMSkipGram(30, 8, forgetting_factor=0.99, seed=0)
         ctx, negs = ctx_negs()
-        tr0 = np.trace(m.P)
         m.train_walk(ctx, negs)
         # deflation shrinks P, the λ^-C rescale pushes back up; net effect
         # must differ from the λ=1 run

@@ -140,7 +140,6 @@ class TestBetaUpdate:
         m1 = OSELMSkipGram(20, 8, mu=0.05, init_scale=0.5, duplicate_policy="sequential", seed=3)
         m2 = OSELMSkipGram(20, 8, mu=0.05, init_scale=0.5, duplicate_policy="sequential", seed=3)
         m1.train_context(0, np.array([1]), np.array([9]))
-        d1 = np.linalg.norm(m1.B[9] - m2.B[9])
         m2.train_context(0, np.array([1, 2]), np.array([9]))
         d2 = np.linalg.norm(m2.B[9] - m1.B[9])
         assert d2 > 0  # second window trained the same negative again

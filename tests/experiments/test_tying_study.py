@@ -1,7 +1,6 @@
 """Tests for repro.experiments.tying_study (corpus machinery)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.tying_study import make_corpus
 

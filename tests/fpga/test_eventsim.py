@@ -1,6 +1,5 @@
 """Tests for repro.fpga.eventsim — the idealized-dataflow schedule model."""
 
-import numpy as np
 import pytest
 
 from repro.fpga.eventsim import N_STAGES, simulate_walk_schedule

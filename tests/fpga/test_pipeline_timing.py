@@ -5,7 +5,7 @@ import pytest
 
 from repro.fpga.pipeline import PipelineModel
 from repro.fpga.spec import AcceleratorSpec, paper_spec
-from repro.fpga.stages import CycleConstants, stage_cycles
+from repro.fpga.stages import stage_cycles
 from repro.fpga.timing import (
     CALIBRATED_CONSTANTS,
     PAPER_FPGA_MS,

@@ -9,7 +9,7 @@ from repro.fpga.power import (
     energy_comparison,
 )
 from repro.fpga.schedule import balance_stages, derive_paper_parallelism
-from repro.fpga.spec import AcceleratorSpec, paper_spec
+from repro.fpga.spec import paper_spec
 from repro.fpga.walker import BoardModel, WalkEngineModel
 from repro.fpga.device import XCZU3EG
 

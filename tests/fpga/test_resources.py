@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fpga.device import XCZU3EG, XCZU7EV
+from repro.fpga.device import XCZU3EG
 from repro.fpga.resources import (
     PAPER_RESOURCES,
     ResourceEstimator,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.components import forest_split, n_connected_components
+from repro.graph.components import forest_split
 from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph, EdgeEvent, edge_stream
 from repro.graph.generators import ring_of_cliques

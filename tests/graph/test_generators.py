@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.components import connected_components, n_connected_components
+from repro.graph.components import n_connected_components
 from repro.graph.generators import (
     barabasi_albert,
     degree_corrected_sbm,

@@ -1,6 +1,5 @@
 """Tests for repro.graph.io."""
 
-import os
 
 import numpy as np
 import pytest

@@ -25,18 +25,18 @@ def graph():
 
 
 class TestSeedNamespaces:
-    def test_starts_stream_disjoint_from_every_chunk(self, graph):
+    def test_starts_stream_disjoint_from_every_walk(self, graph):
         gen = ParallelWalkGenerator(graph, WalkParams(length=8), seed=5)
         starts_state = gen.starts_seed().generate_state(4)
         # includes the index the old scheme collided at ([seed, 0xC0FFEE])
-        for i in (0, 1, 49374, 0xC0FFEE):
-            chunk_state = gen.chunk_seed(i).generate_state(4)
-            assert not np.array_equal(starts_state, chunk_state)
+        for j in (0, 1, 49374, 0xC0FFEE):
+            walk_state = gen.walk_seed(j).generate_state(4)
+            assert not np.array_equal(starts_state, walk_state)
 
     def test_regression_old_scheme_collides(self):
-        # documents the bug being fixed: the old flat namespace used
-        # [seed, 0xC0FFEE] for the start list and [seed, i] for chunk i,
-        # so chunk index i = 0xC0FFEE replayed the start-shuffle stream
+        # documents the bug fixed in PR 1: the old flat namespace used
+        # [seed, 0xC0FFEE] for the start list and [seed, i] for stream i,
+        # so stream index i = 0xC0FFEE replayed the start-shuffle stream
         seed, i = 5, 0xC0FFEE
         old_starts = np.random.SeedSequence([seed, 0xC0FFEE])
         old_chunk = np.random.SeedSequence([seed, i])
@@ -44,11 +44,26 @@ class TestSeedNamespaces:
             old_starts.generate_state(4), old_chunk.generate_state(4)
         )
 
-    def test_chunk_streams_distinct(self, graph):
+    def test_walk_streams_distinct(self, graph):
         gen = ParallelWalkGenerator(graph, WalkParams(length=8), seed=5)
-        a = gen.chunk_seed(0).generate_state(4)
-        b = gen.chunk_seed(1).generate_state(4)
+        a = gen.walk_seed(0).generate_state(4)
+        b = gen.walk_seed(1).generate_state(4)
         assert not np.array_equal(a, b)
+
+    def test_walk_seed_is_chunking_invariant(self, graph):
+        """Walk j's stream depends only on (seed, j) — the property that
+        makes the embedding independent of chunk_size/transport."""
+        small = ParallelWalkGenerator(
+            graph, WalkParams(length=8), seed=5, chunk_size=4
+        )
+        large = ParallelWalkGenerator(
+            graph, WalkParams(length=8), seed=5, chunk_size=64
+        )
+        for j in (0, 3, 17):
+            assert np.array_equal(
+                small.walk_seed(j).generate_state(4),
+                large.walk_seed(j).generate_state(4),
+            )
 
 
 class TestBoundedBuffering:

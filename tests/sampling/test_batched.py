@@ -20,6 +20,41 @@ class TestGuards:
             BatchedWalker(g, WalkParams())
 
 
+class TestCallerProvidedBuffer:
+    """walk_batch(out=...) writes into a caller-owned array — allocation-free
+    batch production for preallocated/shared destination buffers (the
+    batched counterpart of the per-walk ShmWalkRing.write path)."""
+
+    @pytest.fixture()
+    def graph(self):
+        return erdos_renyi(40, 0.15, seed=3)
+
+    def test_out_matches_fresh_allocation(self, graph):
+        starts = np.arange(10)
+        a = BatchedWalker(graph, WalkParams(length=12), seed=9).walk_batch(starts)
+        buf = np.empty((10, 12), dtype=np.int64)
+        b = BatchedWalker(graph, WalkParams(length=12), seed=9).walk_batch(
+            starts, out=buf
+        )
+        assert b is buf
+        assert np.array_equal(a, b)
+
+    def test_out_overwrites_stale_contents(self, graph):
+        starts = np.array([1, 2])
+        buf = np.full((2, 8), 777, dtype=np.int64)
+        batch = BatchedWalker(graph, WalkParams(length=8), seed=0).walk_batch(
+            starts, out=buf
+        )
+        assert not np.any(batch == 777)
+
+    def test_out_shape_and_dtype_validated(self, graph):
+        w = BatchedWalker(graph, WalkParams(length=8), seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            w.walk_batch(np.array([0, 1]), out=np.empty((3, 8), dtype=np.int64))
+        with pytest.raises(ValueError, match="int64"):
+            w.walk_batch(np.array([0, 1]), out=np.empty((2, 8), dtype=np.int32))
+
+
 class TestWalkBatch:
     @pytest.fixture()
     def graph(self):

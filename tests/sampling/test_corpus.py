@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sampling.corpus import (
-    WalkContexts,
     contexts_from_walk,
     corpus_contexts,
     n_contexts,
