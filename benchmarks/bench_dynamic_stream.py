@@ -1,0 +1,111 @@
+"""Dynamic-stream bench: the online "decayed" source vs the frozen
+"two_pass" source on the concept-drift scenario.
+
+Both training phases of :func:`repro.dynamic.run_drift_scenario` run
+through the streaming pipeline (2 walk workers), so the comparison isolates
+the negative-source layer:
+
+* **two_pass** — paper-exact frozen sampler; pays a full counting pass per
+  phase (double generation) and never adapts after it;
+* **decayed** — degree bootstrap + exponentially-decayed streaming
+  frequency folds with an alias rebuild every K virtual chunks; pays the
+  per-chunk ``walk_frequencies`` + periodic O(n) rebuilds instead of a
+  counting pass, and keeps tracking the post-drift visit distribution.
+
+Reported per variant: accuracy trajectory (micro-F1 before / right after
+the rewire / recovered), recovery fraction, total wall-clock, stall
+fraction (consumer wait share of wall-clock) and the sampler rebuild count
+— the knobs-vs-overhead record the ROADMAP's online-source sketch asked
+for.  Assertions stay structural (the drift must hurt, retraining must
+help, rebuilds must fire exactly for the decayed source) so the bench is
+stable on any host; the accuracy gap itself is trajectory data for the
+uploaded ``BENCH_*.json``.
+"""
+
+from repro.dynamic.drift import run_drift_scenario
+from repro.experiments.hyper import Node2VecParams
+from repro.experiments.report import ExperimentReport
+from repro.graph import cora_like
+from repro.sampling.sources import DecayedSource
+
+N_WORKERS = 2
+
+VARIANTS = (
+    ("two_pass (frozen)", "two_pass"),
+    (
+        "decayed (online)",
+        DecayedSource(decay=0.95, rebuild_every=2, virtual_chunk=128),
+    ),
+)
+
+
+def test_dynamic_stream_drift(benchmark, emit_report, profile):
+    scale = 0.3 if profile == "paper" else 0.12
+    graph = cora_like(scale=scale, seed=0)
+    hyper = Node2VecParams(r=3, l=40, w=8, ns=5)
+
+    def run():
+        report = ExperimentReport(
+            name="Dynamic stream",
+            title=(
+                "decayed vs two_pass negative source on the drift scenario "
+                f"({graph.n_nodes} nodes, {N_WORKERS} workers)"
+            ),
+            columns=[
+                "source", "before", "after drift", "recovered", "recovery",
+                "total (s)", "stall frac", "sampler rebuilds",
+            ],
+        )
+        for label, source in VARIANTS:
+            res = run_drift_scenario(
+                graph, model="proposed", dim=32, hyper=hyper,
+                drift_fraction=0.25, seed=1, n_workers=N_WORKERS,
+                negative_source=source, model_kwargs={"mu": 0.05},
+            )
+            phases = res.extras["telemetry"]
+            total_s = sum(t.total_s for t in phases)
+            wait_s = sum(t.wait_s for t in phases)
+            rebuilds = sum(t.sampler_rebuilds for t in phases)
+            report.add_row(
+                label,
+                round(res.f1_before, 3),
+                round(res.f1_after_drift, 3),
+                round(res.f1_recovered, 3),
+                f"{res.recovery:.0%}",
+                round(total_s, 2),
+                f"{wait_s / total_s:.0%}" if total_s else "n/a",
+                rebuilds,
+            )
+            report.data[label] = {
+                "result": res,
+                "total_s": total_s,
+                "wait_s": wait_s,
+                "sampler_rebuilds": rebuilds,
+                "n_chunks": sum(t.n_chunks for t in phases),
+            }
+        report.add_note(
+            "two_pass streams each corpus twice (counting + training) for a "
+            "frozen paper-exact sampler; decayed streams once and folds "
+            "frequencies online (rebuild every 2 virtual chunks of 128 walks)"
+        )
+        report.add_note(
+            "both phases of the drift scenario run through train_parallel "
+            "with 2 walk workers; stall frac = consumer wait / wall-clock"
+        )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(report)
+
+    frozen = report.data["two_pass (frozen)"]
+    online = report.data["decayed (online)"]
+    for label, cell in report.data.items():
+        res = cell["result"]
+        # the drift must genuinely hurt, and retraining must genuinely help
+        assert res.f1_after_drift < res.f1_before - 0.03, label
+        assert res.f1_recovered > res.f1_after_drift + 0.03, label
+    # the rebuild ledger: online folds fire, the frozen sampler never does
+    assert online["sampler_rebuilds"] > 0
+    assert frozen["sampler_rebuilds"] == 0
+    # two_pass pays its double generation in consumed chunks (counting pass)
+    assert frozen["n_chunks"] > online["n_chunks"]

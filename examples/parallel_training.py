@@ -12,7 +12,9 @@ Knobs demonstrated below:
 * ``n_workers`` — 0/1 inline, ≥2 a fork pool;
 * ``negative_source`` — ``"corpus"`` (paper-exact, buffers the first epoch),
   ``"degree"`` (streams from the first chunk, bounded memory),
-  ``"two_pass"`` (paper-exact and bounded, double generation cost);
+  ``"two_pass"`` (paper-exact and bounded, double generation cost),
+  ``"decayed"`` (online: decayed streaming frequencies + periodic alias
+  rebuilds — see examples/dynamic_streaming.py for its home turf);
 * ``prefetch`` / ``chunk_size`` — depth and granularity of the pipeline
   (``chunk_size="auto"`` lets telemetry rebalance it between epochs);
 * ``transport`` — ``"shm"`` (zero-copy shared-memory ring) vs ``"pickle"``
@@ -49,7 +51,7 @@ def main() -> None:
         print(f"walk corpus ({label:10s}): {len(walks)} walks in {dt:.2f}s")
 
     # -- streaming pipeline: negative_source trade-offs ----------------- #
-    for source in ("corpus", "degree", "two_pass"):
+    for source in ("corpus", "degree", "two_pass", "decayed"):
         res = train_parallel(
             graph, dim=32, hyper=hyper, n_workers=4, chunk_size=128,
             negative_source=source, seed=7,

@@ -33,6 +33,6 @@ Quickstart
 """
 
 from repro._version import __version__
-from repro.api import quick_embedding, train_embedding
+from repro.api import quick_embedding, train_dynamic, train_embedding
 
-__all__ = ["__version__", "quick_embedding", "train_embedding"]
+__all__ = ["__version__", "quick_embedding", "train_dynamic", "train_embedding"]

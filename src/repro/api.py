@@ -3,17 +3,32 @@
 Most users want exactly one thing: *graph in, embedding out*.  These wrappers
 bundle the walk corpus, model construction and training loop behind one call;
 everything they do can also be done piecewise via ``repro.sampling`` and
-``repro.embedding`` (see examples/quickstart.py).
+``repro.embedding`` (see examples/quickstart.py).  ``train_dynamic`` is the
+growing-graph counterpart: edge replay in, adapted embedding out, streamed
+through the same parallel pipeline.
 
-Imports of the heavier subpackages happen lazily so that ``import repro``
-stays cheap.
+Imports of the genuinely heavy subpackages (the scipy-backed evaluation
+stack, experiments, fpga) happen lazily so that ``import repro`` stays
+cheap.  One deliberate exception: rendering the ``negative_source``
+documentation from ``repro.sampling.sources`` pulls the pure-Python
+sampling/graph modules at import time (~10 ms, an order of magnitude below
+the unavoidable NumPy import) — the price of docs that can never drift
+from the validated registry.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["train_embedding", "quick_embedding"]
+from repro.sampling.sources import SOURCE_REGISTRY
+
+__all__ = ["train_embedding", "train_dynamic", "quick_embedding"]
+
+#: the ``negative_source`` section of the docstrings, rendered from the
+#: registry so the documented set can never drift from the validated one
+_SOURCE_DOC = "\n".join(
+    f"        * ``\"{name}\"`` — {cls.summary}." for name, cls in SOURCE_REGISTRY.items()
+)
 
 
 def train_embedding(
@@ -24,7 +39,7 @@ def train_embedding(
     hyper=None,
     epochs: int = 1,
     n_workers: int | None = None,
-    negative_source: str | None = None,
+    negative_source=None,
     negative_power: float = 0.75,
     transport: str | None = None,
     chunk_size: int | str | None = None,
@@ -55,9 +70,13 @@ def train_embedding(
         through the streaming pipeline (:func:`repro.parallel.train_parallel`):
         0/1 inline, ≥2 a fork pool overlapping walk generation with training.
     negative_source:
-        pipeline-only knob: ``"corpus"`` (paper-exact, buffers the first
-        epoch), ``"degree"`` (streams immediately, bounded memory) or
-        ``"two_pass"`` (paper-exact and bounded, double generation cost).
+        pipeline-only knob; a name from
+        :data:`repro.sampling.sources.SOURCE_REGISTRY` or a
+        :class:`~repro.sampling.sources.NegativeSource` instance with custom
+        knobs (e.g. ``DecayedSource(decay=0.9, rebuild_every=8)``):
+
+{sources}
+
         Setting it implies the pipelined path even when ``n_workers`` is None.
     negative_power:
         smoothing exponent on the negative-sampling frequencies (word2vec
@@ -115,10 +134,78 @@ def train_embedding(
         n_workers=0 if n_workers is None else int(n_workers),
         chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
         transport=transport or "shm",
-        negative_source=negative_source or "corpus",
+        negative_source=negative_source if negative_source is not None else "corpus",
         negative_power=negative_power,
         seed=seed,
         **model_kwargs,
+    )
+
+
+def train_dynamic(
+    graph,
+    *,
+    dim: int = 32,
+    model: str = "proposed",
+    hyper=None,
+    edges_per_event: int = 1,
+    max_events: int | None = None,
+    initial_training: bool = False,
+    walks_per_endpoint: int | None = None,
+    n_workers: int | None = None,
+    negative_source="decayed",
+    negative_power: float = 0.75,
+    transport: str | None = None,
+    chunk_size: int | None = None,
+    prefetch: int | None = None,
+    seed=None,
+    **model_kwargs,
+):
+    """Train on ``graph`` as a *growing* graph: replay its edges through the
+    streaming dynamic-graph engine (the paper's "seq" protocol, §4.3.2).
+
+    The graph is split into a spanning forest plus a replay stream of the
+    removed edges; each insertion event emits a walk task (walks from both
+    endpoints, ``walks_per_endpoint`` each) that streams through the
+    parallel walk→train pipeline — workers generate walks for upcoming
+    events while the main process trains on the current one, with the
+    embedding bit-identical across worker counts and transports.
+
+    Parameters mirror :func:`train_embedding` where they overlap;
+    ``edges_per_event`` / ``max_events`` / ``initial_training`` /
+    ``walks_per_endpoint`` are the replay knobs of
+    :func:`repro.dynamic.run_seq_scenario` (which this wraps).
+    ``negative_source`` accepts the same registry names / instances:
+
+{sources}
+
+    The default here is ``"decayed"``, the online source built for moving
+    visit distributions.
+
+    Returns
+    -------
+    :class:`repro.dynamic.ScenarioResult` with ``.embedding``, the trained
+    model, event/walk counts, and the pipeline telemetry under
+    ``extras["telemetry"]``.
+    """
+    from repro.dynamic import run_seq_scenario
+
+    return run_seq_scenario(
+        graph,
+        dim=dim,
+        model=model,
+        hyper=hyper,
+        seed=seed,
+        edges_per_event=edges_per_event,
+        max_events=max_events,
+        initial_training=initial_training,
+        walks_per_endpoint=walks_per_endpoint,
+        n_workers=0 if n_workers is None else int(n_workers),
+        chunk_size=chunk_size,
+        prefetch=prefetch,
+        transport=transport or "shm",
+        negative_source=negative_source,
+        negative_power=negative_power,
+        model_kwargs=model_kwargs or None,
     )
 
 
@@ -126,3 +213,10 @@ def quick_embedding(graph, *, dim: int = 32, seed=None) -> np.ndarray:
     """One-liner: train the proposed model with Table 2 defaults and return
     the (n_nodes, dim) embedding matrix."""
     return train_embedding(graph, dim=dim, model="proposed", seed=seed).embedding
+
+
+# Render the negative_source bullet lists from the registry so the docs can
+# never drift from the validated set (satellite of the sources refactor).
+for _fn in (train_embedding, train_dynamic):
+    if _fn.__doc__:  # pragma: no branch - absent only under python -OO
+        _fn.__doc__ = _fn.__doc__.replace("{sources}", _SOURCE_DOC)

@@ -11,16 +11,14 @@ where the FOS-ELM forgetting factor earns its keep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.embedding.trainer import WalkTrainer, make_model
+from repro.embedding.trainer import make_model
 from repro.evaluation.protocol import evaluate_embedding
 from repro.graph.csr import CSRGraph
-from repro.sampling.negative import NegativeSampler, walk_frequencies
-from repro.sampling.walks import Node2VecWalker
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, draw_seed
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = ["rewire_communities", "DriftResult", "run_drift_scenario"]
@@ -75,6 +73,7 @@ class DriftResult:
     f1_after_drift: float  # right after the rewire, before adaptation
     f1_recovered: float  # after the post-drift training budget
     model_name: str
+    extras: dict = field(default_factory=dict)
 
     @property
     def recovery(self) -> float:
@@ -85,16 +84,6 @@ class DriftResult:
         return (self.f1_recovered - self.f1_after_drift) / drop
 
 
-def _train_corpus(model, graph, hp, sampler_seed, walker_seed, window, ns):
-    walker = Node2VecWalker(graph, hp.walk_params(), seed=walker_seed)
-    walks = walker.simulate()
-    sampler = NegativeSampler(
-        1.0 + walk_frequencies(walks, graph.n_nodes), seed=sampler_seed
-    )
-    trainer = WalkTrainer(model, window=window, ns=ns)
-    trainer.train_corpus(walks, sampler)
-
-
 def run_drift_scenario(
     graph: CSRGraph,
     *,
@@ -103,11 +92,28 @@ def run_drift_scenario(
     hyper=None,
     drift_fraction: float = 0.2,
     seed=None,
+    n_workers: int = 0,
+    chunk_size: int | str | None = None,
+    prefetch: int | None = None,
+    transport: str = "shm",
+    negative_source="corpus",
+    negative_power: float = 0.75,
     model_kwargs: dict | None = None,
 ) -> DriftResult:
     """Train → rewire ``drift_fraction`` of nodes → train again; report the
-    accuracy trajectory against the *post-drift* ground truth."""
+    accuracy trajectory against the *post-drift* ground truth.
+
+    Both training phases run through the streaming pipeline
+    (:func:`repro.parallel.train_parallel`), warm-starting the second phase
+    from the same model instance — so the drift study inherits the pipeline
+    knobs (``n_workers``, ``transport``, ``chunk_size``, ``prefetch``) and
+    any ``negative_source``, including ``"decayed"`` for an online sampler
+    that tracks the post-drift distribution.  The per-phase
+    :class:`~repro.parallel.PipelineTelemetry` pair lands in
+    ``DriftResult.extras["telemetry"]``.
+    """
     from repro.experiments.hyper import Node2VecParams
+    from repro.parallel import DEFAULT_CHUNK_SIZE, train_parallel
 
     check_positive("dim", dim, integer=True)
     hp = hyper or Node2VecParams()
@@ -115,16 +121,29 @@ def run_drift_scenario(
     name = model if isinstance(model, str) else type(model).__name__
     if isinstance(model, str):
         model = make_model(
-            model, graph.n_nodes, dim, seed=int(rng.integers(2**62)),
+            model, graph.n_nodes, dim, seed=draw_seed(rng),
             **(model_kwargs or {}),
         )
 
-    _train_corpus(model, graph, hp, int(rng.integers(2**62)),
-                  int(rng.integers(2**62)), hp.w, hp.ns)
+    def _train(g: CSRGraph):
+        return train_parallel(
+            g,
+            model=model,
+            hyper=hp,
+            n_workers=n_workers,
+            chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+            prefetch=prefetch,
+            transport=transport,
+            negative_source=negative_source,
+            negative_power=negative_power,
+            seed=draw_seed(rng),
+        )
+
+    before = _train(graph)
     drifted = rewire_communities(
-        graph, fraction=drift_fraction, seed=int(rng.integers(2**62))
+        graph, fraction=drift_fraction, seed=draw_seed(rng)
     )
-    eval_seed = int(rng.integers(2**62))
+    eval_seed = draw_seed(rng)
     f1_before = evaluate_embedding(
         model.embedding, graph.node_labels, seed=eval_seed
     ).micro_f1
@@ -132,8 +151,7 @@ def run_drift_scenario(
         model.embedding, drifted.node_labels, seed=eval_seed
     ).micro_f1
 
-    _train_corpus(model, drifted, hp, int(rng.integers(2**62)),
-                  int(rng.integers(2**62)), hp.w, hp.ns)
+    recovered = _train(drifted)
     f1_rec = evaluate_embedding(
         model.embedding, drifted.node_labels, seed=eval_seed
     ).micro_f1
@@ -142,4 +160,5 @@ def run_drift_scenario(
         f1_after_drift=f1_after,
         f1_recovered=f1_rec,
         model_name=name,
+        extras={"telemetry": (before.telemetry, recovered.telemetry)},
     )

@@ -9,6 +9,20 @@ after each insertion run a random walk *from both endpoints of the added
 edge* and train on those walks.  This is the IoT deployment story: the
 embedding adapts as the graph grows.
 
+The "seq" replay trains through the streaming engine: the edge stream
+becomes a lazy :class:`~repro.parallel.tasks.WalkTask` stream
+(:meth:`~repro.graph.dynamic.DynamicGraph.walk_tasks`) consumed by
+:func:`repro.parallel.train_parallel`, so scenario replay inherits every
+pipeline knob — ``n_workers`` (walk generation fanned out while the main
+process trains), ``transport`` (zero-copy shm ring vs pickle),
+``chunk_size``, ``prefetch`` — and every ``negative_source``, including the
+online ``"decayed"`` source (the default here: degree bootstrap plus
+exponentially-decayed streaming frequencies, built for exactly this
+moving-distribution workload).  The trained embedding is bit-identical
+across worker counts and transports; pipeline telemetry (snapshot counts,
+per-snapshot stalls, sampler rebuilds) rides along in
+``ScenarioResult.extras["telemetry"]``.
+
 The scenario driver is model-agnostic: the same protocol trains the SGD
 baseline ("Original") and the OS-ELM models ("Proposed"), which is exactly
 the comparison Figure 6 makes — the baseline forgets, the RLS update does
@@ -31,9 +45,9 @@ from repro.embedding.trainer import WalkTrainer, make_model
 from repro.graph.components import forest_split
 from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph, edge_stream
-from repro.sampling.negative import NegativeSampler, walk_frequencies
+from repro.sampling.negative import NegativeSampler
 from repro.sampling.walks import Node2VecWalker
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, draw_seed
 from repro.utils.validation import check_positive
 
 __all__ = ["ScenarioResult", "run_all_scenario", "run_seq_scenario"]
@@ -104,10 +118,16 @@ def run_seq_scenario(
     max_events: int | None = None,
     initial_training: bool = False,
     walks_per_endpoint: int | None = None,
-    sampler_refresh: int = 64,
+    n_workers: int = 0,
+    chunk_size: int | None = None,
+    prefetch: int | None = None,
+    transport: str = "shm",
+    negative_source="decayed",
+    negative_power: float = 0.75,
     model_kwargs: dict | None = None,
 ) -> ScenarioResult:
-    """Figure 6's "seq" case: forest first, then per-edge sequential training.
+    """Figure 6's "seq" case: forest first, then per-edge sequential training
+    streamed through :func:`repro.parallel.train_parallel`.
 
     Parameters
     ----------
@@ -127,72 +147,95 @@ def run_seq_scenario(
         node2vec's r applies per start node).  Default: ``hyper.r`` —
         this is what makes "the number of training samples increase in the
         'seq' case" (§4.3.2) relative to the "all" corpus.
-    sampler_refresh:
-        rebuild the alias table of the negative sampler every this many
-        events; node frequencies accumulate continuously either way.
+    n_workers / chunk_size / prefetch / transport:
+        streaming-pipeline knobs, forwarded to
+        :func:`~repro.parallel.train_parallel`: walk generation for event
+        *i+1 … i+prefetch* overlaps training on event *i*'s walks, chunks
+        move through the shm ring or the pickle channel, and the embedding
+        stays bit-identical across worker counts and transports.
+    negative_source:
+        any :data:`repro.sampling.sources.SOURCE_REGISTRY` name or
+        :class:`~repro.sampling.sources.NegativeSource` instance.  Default
+        ``"decayed"``: the online source that folds the replay's walk
+        frequencies into an exponentially-decayed count vector and rebuilds
+        its alias table every K virtual chunks — the streaming successor of
+        the old per-event ``sampler_refresh`` loop (tune via a
+        ``DecayedSource(decay=…, rebuild_every=…)`` instance).
+
+    The pipeline telemetry (snapshots consumed, per-snapshot stalls,
+    sampler rebuilds, transport, stage timings) lands in
+    ``extras["telemetry"]``.
     """
     from repro.experiments.hyper import Node2VecParams
+    from repro.parallel import DEFAULT_CHUNK_SIZE, train_parallel
+    from repro.parallel.tasks import WalkTask
 
     check_positive("edges_per_event", edges_per_event, integer=True)
-    check_positive("sampler_refresh", sampler_refresh, integer=True)
     hp = hyper or Node2VecParams()
     if walks_per_endpoint is None:
         walks_per_endpoint = hp.r
     check_positive("walks_per_endpoint", walks_per_endpoint, integer=True)
     rng = as_generator(seed)
-    mdl = _resolve_model(model, graph, dim, rng.integers(2**63), model_kwargs)
-    trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns)
+    split_seed = draw_seed(rng)
+    starts_seed = draw_seed(rng)
+    train_seed = draw_seed(rng)
 
-    split = forest_split(graph, seed=rng.integers(2**63))
-    dyn = DynamicGraph(graph.n_nodes, initial=split.initial)
+    split = forest_split(graph, seed=split_seed)
+    state: dict = {"n_events": 0}
 
-    freqs = np.ones(graph.n_nodes, dtype=np.float64)  # floor: all sampleable
-    walk_seed = rng.integers(2**63)
-
-    # Phase 1: train the initial forest with the standard corpus.
-    if initial_training:
-        walker = Node2VecWalker(
-            dyn.snapshot(), hp.walk_params(), seed=rng.integers(2**63)
+    def replay_tasks():
+        """The lazy task stream; a fresh, identically-seeded replay per
+        call so ``"two_pass"`` can stream it twice."""
+        dyn = DynamicGraph(graph.n_nodes, initial=split.initial)
+        state["dyn"] = dyn
+        if initial_training:
+            srng = as_generator(starts_seed)
+            n = graph.n_nodes
+            reps = [srng.permutation(n) for _ in range(hp.walk_params().walks_per_node)]
+            # graph=None: the t=0 snapshot IS the engine's base graph
+            # (split.initial), which workers hold fork-shared — carrying a
+            # rebuilt copy would re-pickle the whole graph into every chunk
+            # job of the stream's largest task
+            yield WalkTask(starts=np.concatenate(reps), epoch=-1)
+        events = edge_stream(
+            split.removed_edges,
+            edges_per_event=edges_per_event,
+            max_events=max_events,
         )
-        walks = walker.simulate()
-        freqs += walk_frequencies(walks, graph.n_nodes)
-        sampler = NegativeSampler(freqs, seed=rng.integers(2**63))
-        trainer.train_corpus(walks, sampler)
-    else:
-        sampler = NegativeSampler(freqs, seed=rng.integers(2**63))
+        for task in dyn.walk_tasks(events, walks_per_endpoint=walks_per_endpoint):
+            state["n_events"] = task.epoch + 1
+            yield task
 
-    # Phase 2: replay removed edges; walk from both ends of each insertion.
-    n_events = 0
-    sampler_rng = as_generator(rng.integers(2**63))
-    for event in edge_stream(
-        split.removed_edges, edges_per_event=edges_per_event, max_events=max_events
-    ):
-        dyn.add_edges(event.edges)
-        snapshot = dyn.snapshot()
-        walker = Node2VecWalker(
-            snapshot, hp.walk_params(), seed=walk_seed + event.step
-        )
-        starts = np.tile(event.touched_nodes, walks_per_endpoint)
-        walks = walker.walks_from(starts)
-        freqs += walk_frequencies(walks, graph.n_nodes)
-        if event.step % sampler_refresh == 0:
-            sampler = NegativeSampler(freqs, seed=sampler_rng)
-        for walk in walks:
-            trainer.train_walk(walk, sampler)
-        n_events += 1
+    result = train_parallel(
+        split.initial,  # the t=0 snapshot: model sizing + source bootstrap
+        dim=dim,
+        model=model,
+        hyper=hp,
+        epochs=1,
+        n_workers=n_workers,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        prefetch=prefetch,
+        transport=transport,
+        negative_source=negative_source,
+        negative_power=negative_power,
+        tasks=replay_tasks,
+        seed=train_seed,
+        **(model_kwargs or {}),
+    )
 
     # Any truncated remainder enters the graph untrained (task stays full).
+    dyn = state.get("dyn") or DynamicGraph(graph.n_nodes, initial=split.initial)
     if max_events is not None:
         done = min(max_events * edges_per_event, split.removed_edges.shape[0])
         if done < split.removed_edges.shape[0]:
             dyn.add_edges(split.removed_edges[done:])
 
     return ScenarioResult(
-        embedding=mdl.embedding,
-        model=mdl,
-        n_walks=trainer.n_walks,
-        n_contexts=trainer.n_contexts,
-        n_events=n_events,
+        embedding=result.embedding,
+        model=result.model,
+        n_walks=result.n_walks,
+        n_contexts=result.n_contexts,
+        n_events=state["n_events"],
         scenario="seq",
         extras={
             "initial_edges": split.initial.n_edges,
@@ -203,5 +246,7 @@ def run_seq_scenario(
                 )
             ),
             "final_graph": dyn.snapshot(),
+            "telemetry": result.telemetry,
+            "training_result": result,
         },
     )

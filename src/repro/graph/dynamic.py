@@ -5,6 +5,12 @@ graph (new social links, new co-purchases).  ``DynamicGraph`` models this as
 a mutable edge set with cheap incremental insertion plus on-demand CSR
 snapshots, so the walk engine always works on a consistent immutable view.
 
+:meth:`DynamicGraph.walk_tasks` bridges into the streaming engine: it turns
+an :class:`EdgeEvent` stream into the lazy
+:class:`~repro.parallel.tasks.WalkTask` stream that
+:func:`repro.parallel.train_parallel` consumes, so scenario replay shares
+the bounded-prefetch walk→train pipeline with static training.
+
 Rebuilding CSR on every snapshot is O(n + m); the "seq" scenario batches
 insertions (``edges_per_event``) so snapshot cost is amortized the way the
 paper's host CPU batches DMA transfers.
@@ -120,6 +126,33 @@ class DynamicGraph:
             )
             self._dirty = False
         return self._snapshot
+
+    def apply(self, event: "EdgeEvent") -> CSRGraph:
+        """Insert one event's edge batch and return the updated snapshot."""
+        self.add_edges(event.edges)
+        return self.snapshot()
+
+    def walk_tasks(self, events, *, walks_per_endpoint: int = 1):
+        """Turn an :class:`EdgeEvent` stream into the streaming engine's
+        walk-task stream: apply each event, then emit one
+        :class:`~repro.parallel.tasks.WalkTask` walking from every endpoint
+        of the inserted batch (the paper starts a random walk "from both
+        the ends of an added edge"; ``walks_per_endpoint`` tiles the starts
+        like node2vec's r), tagged with the event step and carrying the
+        post-insertion snapshot.
+
+        The stream is lazy: snapshots materialize only as the pipeline's
+        prefetch window pulls tasks, so at most a window's worth of
+        snapshots is ever alive.
+        """
+        from repro.parallel.tasks import WalkTask  # runtime: keep graph layer light
+
+        if walks_per_endpoint < 1:
+            raise ValueError("walks_per_endpoint must be >= 1")
+        for event in events:
+            snap = self.apply(event)
+            starts = np.tile(event.touched_nodes, int(walks_per_endpoint))
+            yield WalkTask(starts=starts, epoch=event.step, graph=snap)
 
     def __repr__(self) -> str:
         return f"DynamicGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

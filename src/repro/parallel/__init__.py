@@ -17,6 +17,7 @@ from repro.parallel.pipeline import (
     train_parallel,
 )
 from repro.parallel.shm_ring import ShmWalkRing
+from repro.parallel.tasks import WalkTask
 
 __all__ = [
     "AdaptiveChunkController",
@@ -29,5 +30,6 @@ __all__ = [
     "PipelineTelemetry",
     "ShmWalkRing",
     "TRANSPORTS",
+    "WalkTask",
     "train_parallel",
 ]

@@ -6,18 +6,22 @@ the same structure applies: walk sampling is Python/RNG-bound and
 embarrassingly parallel across start nodes, while training is NumPy-bound.
 This module provides
 
-* :class:`ParallelWalkGenerator` — walk corpus generation fanned out over a
+* :class:`ParallelWalkGenerator` — walk generation fanned out over a
   ``multiprocessing`` pool (fork start method; the CSR arrays are shared
-  copy-on-write, so workers carry no pickling cost for the graph).  Jobs
-  go out through a consumer-driven bounded prefetch window (submit one as
-  one is consumed, FIFO), so at most ``prefetch`` chunks are ever buffered
-  ahead of the consumer — peak memory is set by the queue depth, not the
-  corpus size.
-* :func:`train_parallel` — the full pipeline: chunks of start nodes →
-  worker walks → in-order training, with the main process training chunk
-  *i* while workers generate chunks *i+1 … i+prefetch*.
-* :class:`PipelineTelemetry` — per-stage timing (generation / stall / train),
-  transport and buffering telemetry, attached to the ``TrainingResult``.
+  copy-on-write, so workers carry no pickling cost for the base graph).
+  Jobs go out through a consumer-driven bounded prefetch window (submit one
+  as one is consumed, FIFO), so at most ``prefetch`` chunks are ever
+  buffered ahead of the consumer — peak memory is set by the queue depth,
+  not the corpus size.  The engine consumes a stream of
+  :class:`~repro.parallel.tasks.WalkTask` items — the static corpus is one
+  task; a dynamic-graph replay is many, each tagged with its snapshot
+  epoch and carrying its own immutable graph snapshot.
+* :func:`train_parallel` — the full pipeline: walk tasks → chunks of start
+  nodes → worker walks → in-order training, with the main process training
+  chunk *i* while workers generate chunks *i+1 … i+prefetch*.
+* :class:`PipelineTelemetry` — per-stage timing (generation / stall /
+  train), transport, buffering, snapshot and sampler-rebuild telemetry,
+  attached to the ``TrainingResult``.
 
 Walk transport (``transport``)
 ------------------------------
@@ -44,44 +48,38 @@ many walk-payload bytes actually crossed the pickle channel.
 Chunk sizing (``chunk_size``)
 -----------------------------
 Walk streams are seeded by **global walk index** (walk *j* always draws from
-``SeedSequence([seed, 0, j])`` no matter which chunk carries it), so the
-corpus — and the trained embedding — is invariant to how the start list is
-partitioned into chunks.  That makes chunk size a pure performance knob:
+``SeedSequence([seed, 0, j])`` no matter which chunk or task carries it), so
+the corpus — and the trained embedding — is invariant to how the start list
+is partitioned into chunks.  That makes chunk size a pure performance knob:
 pass an int to fix it, or ``chunk_size="auto"`` to let an
 :class:`~repro.parallel.chunking.AdaptiveChunkController` rebalance the
-stall-vs-IPC-overhead trade-off between epochs from the measured telemetry.
+stall-vs-IPC-overhead trade-off between epochs from the measured telemetry
+(static corpus path only — a task stream's length is unknown up front).
 
 Negative-sampling sources (``negative_source``)
 -----------------------------------------------
 The paper builds its negative table from node frequencies over the *entire*
 walk corpus (§3.1), which fundamentally conflicts with streaming: you cannot
-know the final frequencies before the last walk exists.  Three strategies
-trade fidelity against memory and overlap:
-
-``"corpus"`` (default)
-    The paper's construction, verbatim: buffer the whole first-epoch corpus,
-    count frequencies, build the sampler, then train.  Exact semantics, but
-    peak memory is O(corpus) and no walk/train overlap happens during the
-    first epoch (later epochs stream).
-``"degree"``
-    Bootstrap the table from node degrees (:meth:`NegativeSampler.from_degrees`)
-    — the stationary visit distribution of an unbiased walk, a close proxy
-    for corpus frequency.  Training starts on the very first chunk, memory
-    stays bounded by the prefetch window, overlap is maximal.  The sampling
-    distribution differs slightly from the paper's.
-``"two_pass"``
-    A cheap counting pass streams the corpus once (walks discarded after
-    counting), builds the exact corpus-frequency sampler, then a second
-    identically-seeded pass streams the same walks into training.  Exact
-    semantics *and* bounded memory, at the price of generating the corpus
-    twice — bit-identical to ``"corpus"``.
+know the final frequencies before the last walk exists.  The strategies for
+closing that gap live in :mod:`repro.sampling.sources` as first-class
+:class:`~repro.sampling.sources.NegativeSource` objects — ``"corpus"``
+(paper-exact, buffers the first epoch), ``"degree"`` (streams immediately),
+``"two_pass"`` (paper-exact and memory-bounded, double generation), and the
+online ``"decayed"`` (degree bootstrap + exponentially-decayed streaming
+frequencies with periodic alias rebuilds, built for dynamic-graph replays).
+``negative_source`` accepts a registry name or a pre-constructed instance
+(e.g. ``DecayedSource(decay=0.9, rebuild_every=8)``); the valid names are
+rendered from :data:`repro.sampling.sources.SOURCE_REGISTRY`.
 
 Determinism: walk *j* derives its stream from (base seed, walk namespace,
 global walk index *j*), the start list from a disjoint (base seed, starts
 namespace) stream, and results are consumed in order — so the trained
 embedding is **bit-identical for any worker count, prefetch depth, chunk
 size (fixed or "auto") and transport** under every ``negative_source``.
-The tests pin this invariant down.
+For ``"decayed"`` the sampler state additionally depends on the canonical
+*virtual* chunk schedule, so its bit-identity contract is relaxed to runs
+with the same ``virtual_chunk`` — still independent of worker count,
+transport and physical chunk size.  The tests pin these invariants down.
 """
 
 from __future__ import annotations
@@ -91,7 +89,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -104,7 +102,9 @@ from repro.parallel.chunking import (
     EpochStats,
 )
 from repro.parallel.shm_ring import ShmWalkRing
-from repro.sampling.negative import NegativeSampler, walk_frequencies
+from repro.parallel.tasks import WalkTask
+from repro.sampling.negative import walk_frequencies
+from repro.sampling.sources import NEGATIVE_SOURCES, resolve_source
 from repro.sampling.walks import Node2VecWalker, WalkParams
 from repro.utils.rng import as_generator, draw_seed
 from repro.utils.validation import check_in_set, check_positive
@@ -114,11 +114,9 @@ __all__ = [
     "TRANSPORTS",
     "ParallelWalkGenerator",
     "PipelineTelemetry",
+    "WalkTask",
     "train_parallel",
 ]
-
-#: Valid ``negative_source`` strategies (see module docstring).
-NEGATIVE_SOURCES = ("corpus", "degree", "two_pass")
 
 #: Valid ``transport`` settings (see module docstring).
 TRANSPORTS = ("shm", "pickle")
@@ -169,9 +167,11 @@ def _run_chunk(
 
 
 def _walk_chunk_pickle(job: tuple) -> tuple:
-    """Pool entry point, pickle transport: the chunk rides the result pipe."""
-    starts, lo = job
-    walks, gen_s = _run_chunk(_WORKER_GRAPH, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
+    """Pool entry point, pickle transport: the chunk rides the result pipe.
+    ``graph`` is a task snapshot, or ``None`` for the pool's base graph."""
+    starts, lo, graph = job
+    g = graph if graph is not None else _WORKER_GRAPH
+    walks, gen_s = _run_chunk(g, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
     return ("pickle", walks, gen_s)
 
 
@@ -179,9 +179,10 @@ def _walk_chunk_shm(job: tuple) -> tuple:
     """Pool entry point, shm transport: the chunk lands in a ring slot and
     only a control tuple rides the result pipe.  Chunks ragged beyond the
     slot shape degrade to the pickle payload for that chunk alone."""
-    slot, starts, lo = job
+    slot, starts, lo, graph = job
+    g = graph if graph is not None else _WORKER_GRAPH
     t0 = time.perf_counter()
-    walks, _ = _run_chunk(_WORKER_GRAPH, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
+    walks, _ = _run_chunk(g, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
     if _WORKER_RING is not None and _WORKER_RING.write(slot, walks):
         return ("shm", slot, len(walks), time.perf_counter() - t0)
     return ("pickle", walks, time.perf_counter() - t0)
@@ -233,6 +234,14 @@ class PipelineTelemetry:
     ``generation_s / n_chunks`` stay meaningful for every source — for
     ``"two_pass"`` that includes the counting pass (≈ 2× the trained
     chunks, matching its doubled generation cost).
+
+    Task-stream accounting: ``n_snapshots`` counts the distinct graph
+    snapshot epochs consumed (1 for static corpus runs); ``snapshot_stall_s``
+    is the share of ``wait_s`` spent waiting for the *first* chunk of each
+    new snapshot — the stall attributable to snapshot turnover rather than
+    steady-state generation; ``sampler_rebuilds`` counts the alias-table
+    rebuilds triggered by the streaming ``negative_source`` (the
+    ``"decayed"`` fold/rebuild schedule; 0 for frozen-sampler sources).
     """
 
     negative_source: str
@@ -247,6 +256,9 @@ class PipelineTelemetry:
     transport: str = ""
     ipc_walk_bytes: int = 0
     chunk_sizes: list = field(default_factory=list)
+    sampler_rebuilds: int = 0
+    n_snapshots: int = 0
+    snapshot_stall_s: float = 0.0
 
     @property
     def overlap_efficiency(self) -> float:
@@ -257,12 +269,14 @@ class PipelineTelemetry:
 
 
 class ParallelWalkGenerator:
-    """Chunked, seeded, optionally multiprocess walk generation.
+    """Chunked, seeded, optionally multiprocess walk generation over a
+    stream of :class:`~repro.parallel.tasks.WalkTask` items.
 
     Parameters
     ----------
     graph, params:
-        what to walk on and how.
+        the base graph (walked when a task carries no snapshot) and how to
+        walk it.
     n_workers:
         0 or 1 → inline generation (no processes); ≥2 → a fork pool.
     chunk_size:
@@ -270,14 +284,15 @@ class ParallelWalkGenerator:
         overhead, smaller chunks pipeline better.  Chunking never changes
         the walks themselves (per-walk seeding), only the schedule.
     seed:
-        base seed; walk ``j`` (global index) uses
-        ``SeedSequence([seed, 0, j])`` and the start list
+        base seed; walk ``j`` (global index across the whole task stream)
+        uses ``SeedSequence([seed, 0, j])`` and the start list
         ``SeedSequence([seed, 1])`` — disjoint namespaces, so the streams
         can never collide for any walk index.
     prefetch:
         maximum chunks in flight ahead of the consumer (default
         ``max(2, 2 * n_workers)``).  Bounds peak buffered walks at
-        ``prefetch * chunk_size`` regardless of corpus size.
+        ``prefetch * chunk_size`` regardless of corpus size — and bounds
+        how many task snapshots are alive at once on the dynamic path.
     transport:
         ``"shm"`` (default) — chunks travel through a shared-memory ring,
         zero-copy; ``"pickle"`` — chunks ride the pool's result pipe.
@@ -328,12 +343,28 @@ class ParallelWalkGenerator:
         """The start-list shuffle stream (disjoint from every walk)."""
         return np.random.SeedSequence([self.seed, _STARTS_NS])
 
-    def _jobs(self, starts: np.ndarray) -> list[tuple]:
-        """``(chunk_starts, global_walk_offset)`` work items, in order."""
-        return [
-            (starts[lo : lo + self.chunk_size], lo)
-            for lo in range(0, starts.shape[0], self.chunk_size)
-        ]
+    def _job_stream(self, tasks: Iterable[WalkTask]) -> Iterator[tuple]:
+        """``(chunk_starts, global_walk_offset, epoch, graph)`` work items,
+        in deterministic order.  The global offset runs across every task,
+        so walk seeds never depend on task or chunk boundaries; chunks
+        never span tasks (each chunk walks exactly one snapshot)."""
+        lo = 0
+        for task in tasks:
+            if task.graph is not None and task.graph.n_nodes != self.graph.n_nodes:
+                raise ValueError(
+                    f"task snapshot has {task.graph.n_nodes} nodes but the "
+                    f"engine's base graph has {self.graph.n_nodes}: snapshots "
+                    "must share the base graph's node universe"
+                )
+            starts = task.starts
+            for off in range(0, starts.shape[0], self.chunk_size):
+                yield (
+                    starts[off : off + self.chunk_size],
+                    lo + off,
+                    task.epoch,
+                    task.graph,
+                )
+            lo += starts.shape[0]
 
     def corpus_starts(self) -> np.ndarray:
         """The r-walks-per-node start list (shuffled per repetition, matching
@@ -347,11 +378,19 @@ class ParallelWalkGenerator:
     # Generation
     # ------------------------------------------------------------------ #
 
-    def generate_timed(
-        self, starts: np.ndarray | None = None
-    ) -> Iterator[tuple[list, float]]:
-        """Yield ``(walk_chunk, generation_seconds)`` in deterministic chunk
-        order, keeping at most ``prefetch`` chunks in flight.
+    def stream_timed(
+        self, tasks: Iterable[WalkTask] | None = None
+    ) -> Iterator[tuple[list, float, int]]:
+        """Yield ``(walk_chunk, generation_seconds, snapshot_epoch)`` in
+        deterministic chunk order, keeping at most ``prefetch`` chunks in
+        flight.
+
+        ``tasks`` is any (possibly lazy) iterable of
+        :class:`~repro.parallel.tasks.WalkTask`; ``None`` means the single
+        static-corpus task on the base graph.  The task iterator advances
+        only as jobs are submitted, so a lazy dynamic-replay stream is
+        never materialized more than ``prefetch`` chunks ahead — which also
+        bounds how many graph snapshots are alive at once.
 
         The prefetch window is driven entirely from the consumer side: jobs
         are submitted with ``apply_async`` and consumed FIFO, one fresh
@@ -370,21 +409,24 @@ class ParallelWalkGenerator:
         carries ``prefetch + 1`` slots so a fresh job can be dispatched
         while the consumer still reads the chunk just handed over.
         """
-        if starts is None:
-            starts = self.corpus_starts()
-        starts = np.asarray(starts, dtype=np.int64)
-        jobs = self._jobs(starts)
+        if tasks is None:
+            tasks = [WalkTask(starts=self.corpus_starts())]
+        job_iter = self._job_stream(tasks)
         stats = self.last_stats = _FlowStats()
 
         if self.n_workers <= 1:
             self.effective_transport = "inline"
-            for chunk_starts, lo in jobs:
+            for chunk_starts, lo, epoch, task_graph in job_iter:
                 stats.on_submit(len(chunk_starts))
-                result = _run_chunk(
-                    self.graph, self.params, chunk_starts, self.seed, lo
+                walks, gen_s = _run_chunk(
+                    task_graph if task_graph is not None else self.graph,
+                    self.params,
+                    chunk_starts,
+                    self.seed,
+                    lo,
                 )
-                stats.on_consume(len(result[0]))
-                yield result
+                stats.on_consume(len(walks))
+                yield walks, gen_s, epoch
             return
 
         ring: ShmWalkRing | None = None
@@ -416,25 +458,26 @@ class ParallelWalkGenerator:
             ) as pool:
                 pending: deque = deque()
                 free_slots: deque = deque(range(ring.n_slots)) if ring else deque()
-                job_iter = iter(jobs)
 
                 def _submit_next() -> None:
                     job = next(job_iter, None)
                     if job is None:
                         return
-                    chunk_starts, lo = job
+                    chunk_starts, lo, epoch, task_graph = job
                     stats.on_submit(len(chunk_starts))
                     if ring is not None:
                         slot = free_slots.popleft()
                         pending.append(
-                            (slot, pool.apply_async(
-                                _walk_chunk_shm, ((slot, chunk_starts, lo),)
+                            (slot, epoch, pool.apply_async(
+                                _walk_chunk_shm,
+                                ((slot, chunk_starts, lo, task_graph),),
                             ))
                         )
                     else:
                         pending.append(
-                            (None, pool.apply_async(
-                                _walk_chunk_pickle, ((chunk_starts, lo),)
+                            (None, epoch, pool.apply_async(
+                                _walk_chunk_pickle,
+                                ((chunk_starts, lo, task_graph),),
                             ))
                         )
 
@@ -442,14 +485,14 @@ class ParallelWalkGenerator:
                     _submit_next()
                 # FIFO consumption of the submission order → deterministic
                 while pending:
-                    slot, fut = pending.popleft()
+                    slot, epoch, fut = pending.popleft()
                     result = fut.get()
                     if result[0] == "shm":
                         _, slot_idx, _count, gen_s = result
                         walks = ring.read(slot_idx)
                         stats.on_consume(len(walks))
                         _submit_next()
-                        yield walks, gen_s
+                        yield walks, gen_s, epoch
                         # consumer is done with the slot's views: recycle,
                         # and drop our own frame's view ref so the ring can
                         # unmap cleanly at shutdown
@@ -462,17 +505,28 @@ class ParallelWalkGenerator:
                         if slot is not None:  # ragged fallback: slot unused
                             free_slots.append(slot)
                         _submit_next()
-                        yield walks, gen_s
+                        yield walks, gen_s, epoch
         finally:
             if ring is not None:
                 ring.close()
                 ring.unlink()
 
+    def generate_timed(
+        self, starts: np.ndarray | None = None
+    ) -> Iterator[tuple[list, float]]:
+        """Yield ``(walk_chunk, generation_seconds)`` for the static-corpus
+        task (``starts=None`` → the r-walks-per-node start list).  Shm
+        chunks are slot views with the lifetime contract of
+        :meth:`stream_timed`."""
+        tasks = None if starts is None else [WalkTask(starts=starts)]
+        for walks, gen_s, _ in self.stream_timed(tasks):
+            yield walks, gen_s
+
     def generate(self, starts: np.ndarray | None = None) -> Iterator[list]:
         """Yield walk chunks in deterministic chunk order (timing stripped).
 
         Shm-transport chunks are views with the same lifetime contract as
-        :meth:`generate_timed`."""
+        :meth:`stream_timed`."""
         for walks, _ in self.generate_timed(starts):
             yield walks
 
@@ -487,6 +541,20 @@ class ParallelWalkGenerator:
         return out
 
 
+def _virtual_segments(walks: list, size: int, consumed: int) -> Iterator[list]:
+    """Split one physical chunk so every yielded segment ends on a canonical
+    virtual-chunk boundary (a multiple of ``size`` in global consumed-walk
+    order) or at the chunk's end.  This is what pins the ``"decayed"``
+    fold/rebuild schedule to the virtual chunking instead of the physical
+    one: the segment sequence — and hence the sampler state seen by every
+    walk — is identical for any physical ``chunk_size``."""
+    i, n = 0, len(walks)
+    while i < n:
+        room = size - (consumed + i) % size
+        yield walks[i : i + room]
+        i += room
+
+
 def train_parallel(
     graph: CSRGraph,
     *,
@@ -498,8 +566,9 @@ def train_parallel(
     chunk_size: int | str = DEFAULT_CHUNK_SIZE,
     prefetch: int | None = None,
     transport: str = "shm",
-    negative_source: str = "corpus",
+    negative_source="corpus",
     negative_power: float = 0.75,
+    tasks: Iterable[WalkTask] | Callable[[], Iterable[WalkTask]] | None = None,
     seed=0,
     **model_kwargs,
 ) -> TrainingResult:
@@ -510,18 +579,27 @@ def train_parallel(
     workers generate chunks *i+1 … i+prefetch*, mirroring the PS/PL overlap
     of the board.  Chunks move through the ``transport`` of choice
     (``"shm"`` zero-copy ring, default, falling back to ``"pickle"`` when
-    shared memory is unavailable or a chunk outgrows its slot).  How soon
-    training can start is governed by ``negative_source`` (see the module
-    docstring for the trade-offs):
+    shared memory is unavailable or a chunk outgrows its slot).
 
-    * ``"corpus"`` — the paper's exact construction; buffers the entire
-      first-epoch corpus before training (no first-epoch overlap, O(corpus)
-      memory), later epochs stream.
-    * ``"degree"`` — degree-bootstrapped sampler; streams from the first
-      chunk with memory bounded by ``prefetch * chunk_size`` walks.
-    * ``"two_pass"`` — one streamed counting pass, then streamed training
-      over an identically-seeded regeneration; bit-identical to ``"corpus"``
-      with bounded memory, at twice the generation cost.
+    How soon training can start — and how the sampler tracks the stream —
+    is governed by ``negative_source``: a name from
+    :data:`repro.sampling.sources.SOURCE_REGISTRY` or a pre-constructed
+    :class:`~repro.sampling.sources.NegativeSource` (see that module for
+    the trade-offs).  ``"corpus"`` buffers the first epoch (paper-exact),
+    ``"two_pass"`` streams a counting pass first (paper-exact, bounded
+    memory), ``"degree"`` and ``"decayed"`` stream from the first chunk —
+    ``"decayed"`` additionally folds each consumed virtual chunk's
+    :func:`~repro.sampling.negative.walk_frequencies` into an
+    exponentially-decayed count vector and rebuilds its alias table every
+    K folds (counted in ``telemetry.sampler_rebuilds``).
+
+    ``tasks`` switches the engine from the static corpus to a stream of
+    :class:`~repro.parallel.tasks.WalkTask` items (the dynamic-graph
+    replay): pass an iterable, or a zero-argument callable returning one —
+    required for ``"two_pass"``, which must stream the tasks twice, and
+    handy whenever the stream is a lazy generator.  Task streams are
+    single-pass by nature, so ``epochs`` must be 1 and ``chunk_size="auto"``
+    is unavailable (the controller sizes itself from the corpus length).
 
     ``chunk_size`` may be a fixed int or ``"auto"``, which lets an
     :class:`~repro.parallel.chunking.AdaptiveChunkController` pick the
@@ -530,8 +608,10 @@ def train_parallel(
     walk index, the result is bit-identical across ``n_workers``,
     ``prefetch``, ``transport`` and ``chunk_size`` (fixed or ``"auto"``)
     settings for every ``negative_source`` — and bit-identical to itself
-    run twice.  Seeds derive from the same 63-bit stream as the sequential
-    trainer (:func:`repro.utils.rng.draw_seed`).
+    run twice.  (``"decayed"`` keeps all of that but additionally pins its
+    fold/rebuild schedule to its canonical ``virtual_chunk``, so only runs
+    sharing that value agree.)  Seeds derive from the same 63-bit stream as
+    the sequential trainer (:func:`repro.utils.rng.draw_seed`).
 
     Returns a :class:`TrainingResult` whose ``telemetry`` field carries the
     per-stage :class:`PipelineTelemetry`.
@@ -539,14 +619,29 @@ def train_parallel(
     from repro.experiments.hyper import Node2VecParams
 
     check_positive("epochs", epochs, integer=True)
-    check_in_set("negative_source", negative_source, NEGATIVE_SOURCES)
     check_in_set("transport", transport, TRANSPORTS)
+    source = resolve_source(negative_source)
+    if tasks is not None:
+        if epochs != 1:
+            raise ValueError(
+                "a task stream is single-pass: epochs must be 1 when tasks is given"
+            )
+        if source.bootstrap_mode == "count" and not callable(tasks):
+            raise ValueError(
+                'negative_source="two_pass" must stream the tasks twice: pass a '
+                "zero-argument callable returning a fresh task iterable"
+            )
     hp = hyper or Node2VecParams()
     rng = as_generator(seed)
 
     controller: AdaptiveChunkController | None = None
     if isinstance(chunk_size, str):
         check_in_set("chunk_size", chunk_size, ("auto",))
+        if tasks is not None:
+            raise ValueError(
+                'chunk_size="auto" needs the static corpus path; task streams '
+                "have no known length to size against"
+            )
         controller = AdaptiveChunkController(
             n_walks=hp.walk_params().walks_per_node * graph.n_nodes,
             n_workers=int(n_workers),
@@ -567,6 +662,9 @@ def train_parallel(
     sampler_seed = draw_seed(rng)
     epoch_seeds = [draw_seed(rng) for _ in range(epochs)]
 
+    source.configure(power=negative_power, seed=sampler_seed)
+    source.bootstrap(graph)
+
     def _generator(epoch: int, cs: int) -> ParallelWalkGenerator:
         return ParallelWalkGenerator(
             graph,
@@ -578,25 +676,40 @@ def train_parallel(
             transport=transport,
         )
 
+    def _task_stream():
+        if tasks is None:
+            return None  # the generator's static corpus task
+        return tasks() if callable(tasks) else tasks
+
     trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns)
     tele = PipelineTelemetry(
-        negative_source=negative_source, n_workers=int(n_workers), epochs=int(epochs)
+        negative_source=source.name, n_workers=int(n_workers), epochs=int(epochs)
     )
     t_total = time.perf_counter()
 
-    sampler: NegativeSampler | None = None
-    if negative_source == "degree":
-        sampler = NegativeSampler.from_degrees(
-            graph, power=negative_power, seed=sampler_seed
-        )
+    seen_epochs: set[int] = set()
+    consumed_walks = [0]  # global counter pinning the virtual-chunk schedule
 
-    def _consume(gen: ParallelWalkGenerator, on_chunk) -> None:
+    def _consume(gen: ParallelWalkGenerator, stream, on_chunk) -> None:
         """Drain one generation pass, folding stall/generation times, the
-        chunk count, transport and the buffering high-water mark into the
-        telemetry."""
+        chunk count, snapshot accounting, transport and the buffering
+        high-water mark into the telemetry.
+
+        Snapshot-stall attribution is per *pass* (a two_pass training pass
+        re-crosses every snapshot boundary its counting pass already saw
+        and pays the turnover stall again); ``n_snapshots`` counts distinct
+        epochs across the whole run."""
+        pass_seen: set[int] = set()
         t_wait = time.perf_counter()
-        for walks, gen_s in gen.generate_timed():
-            tele.wait_s += time.perf_counter() - t_wait
+        for walks, gen_s, epoch in gen.stream_timed(stream):
+            stalled = time.perf_counter() - t_wait
+            tele.wait_s += stalled
+            if epoch not in pass_seen:
+                pass_seen.add(epoch)
+                tele.snapshot_stall_s += stalled
+                if epoch not in seen_epochs:
+                    seen_epochs.add(epoch)
+                    tele.n_snapshots = len(seen_epochs)
             tele.generation_s += gen_s
             tele.n_chunks += 1
             on_chunk(walks)
@@ -608,9 +721,33 @@ def train_parallel(
         tele.transport = gen.effective_transport
 
     def _train_chunk(walks: list) -> None:
-        t0 = time.perf_counter()
-        trainer.train_corpus(walks, sampler)
-        tele.train_s += time.perf_counter() - t0
+        """Train one consumed chunk, threading its walk frequencies back to
+        the source.  For a source with a virtual-chunk schedule the chunk
+        is split at canonical boundaries so the fold/rebuild points — and
+        therefore the sampler every walk trains against — are independent
+        of the physical chunking."""
+        if source.wants_frequencies:
+            segments = (
+                _virtual_segments(walks, source.virtual_chunk, consumed_walks[0])
+                if source.virtual_chunk
+                else (walks,)
+            )
+            for seg in segments:
+                t0 = time.perf_counter()
+                trainer.train_corpus(seg, source.sampler())
+                tele.train_s += time.perf_counter() - t0
+                consumed_walks[0] += len(seg)
+                tele.sampler_rebuilds += source.observe(
+                    walk_frequencies(seg, graph.n_nodes), len(seg)
+                )
+        else:
+            t0 = time.perf_counter()
+            trainer.train_corpus(walks, source.sampler())
+            tele.train_s += time.perf_counter() - t0
+            consumed_walks[0] += len(walks)
+
+    def _count_chunk(walks: list) -> None:
+        source.observe(walk_frequencies(walks, graph.n_nodes), len(walks))
 
     for epoch in range(epochs):
         cs = controller.next_chunk_size() if controller else int(chunk_size)
@@ -620,10 +757,11 @@ def train_parallel(
         # corpus buffering / two_pass counting stall by construction (no
         # training runs behind them), so their epochs carry no chunk-size
         # signal and must not steer the controller
-        bootstrap_epoch = sampler is None and negative_source in ("corpus", "two_pass")
+        pending = source.pending_bootstrap
+        bootstrap_epoch = pending is not None
 
         gen = _generator(epoch, cs)
-        if sampler is None and negative_source == "corpus":
+        if pending == "buffer":
             # buffer-then-train: the paper's exact first-epoch semantics.
             # shm chunks are slot views that die on slot reuse, so buffering
             # (the one path that retains walks) must materialize them.
@@ -634,25 +772,19 @@ def train_parallel(
                     _buf.extend(w.copy() for w in walks)
                 else:
                     _buf.extend(walks)
+                _count_chunk(walks)
 
-            _consume(gen, _buffer_chunk)
+            _consume(gen, _task_stream(), _buffer_chunk)
             tele.peak_buffered_walks = max(tele.peak_buffered_walks, len(buffered))
-            sampler = NegativeSampler.from_walks(
-                buffered, graph.n_nodes, power=negative_power, seed=sampler_seed
-            )
+            source.finalize()
             _train_chunk(buffered)
         else:
-            if sampler is None and negative_source == "two_pass":
+            if pending == "count":
                 # counting pass: same seed → the identical corpus, walks
                 # discarded right after counting
-                freq = np.zeros(graph.n_nodes, dtype=np.int64)
-
-                def _count_chunk(walks: list, _freq=freq) -> None:
-                    _freq += walk_frequencies(walks, graph.n_nodes)
-
-                _consume(_generator(epoch, cs), _count_chunk)
-                sampler = NegativeSampler(freq, power=negative_power, seed=sampler_seed)
-            _consume(gen, _train_chunk)
+                _consume(_generator(epoch, cs), _task_stream(), _count_chunk)
+                source.finalize()
+            _consume(gen, _task_stream(), _train_chunk)
 
         if controller is not None and not bootstrap_epoch:
             controller.observe(

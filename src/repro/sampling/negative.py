@@ -23,12 +23,28 @@ __all__ = ["NegativeSampler", "walk_frequencies"]
 
 
 def walk_frequencies(walks, n_nodes: int) -> np.ndarray:
-    """Count node appearances over an entire walk corpus ``RW``."""
+    """Count node appearances over a walk corpus ``RW`` (or one chunk of it).
+
+    One ``np.bincount`` over the concatenated corpus — this is hot on the
+    ``two_pass`` counting pass and per-chunk-hot for the ``"decayed"``
+    streaming source, where it runs on every virtual chunk.  Returns raw
+    int64 counts (zeros included — the sample-ability floor is applied by
+    :class:`NegativeSampler`, never here).  Ids ``>= n_nodes`` raise
+    ``IndexError`` like the indexed-add implementation this replaced;
+    negative ids now raise ``ValueError`` (``np.add.at`` silently wrapped
+    them to count the wrong node — stricter on purpose).
+    """
     check_positive("n_nodes", n_nodes, integer=True)
-    counts = np.zeros(n_nodes, dtype=np.int64)
-    for walk in walks:
-        np.add.at(counts, np.asarray(walk, dtype=np.int64), 1)
-    return counts
+    arrays = [a for a in (np.asarray(w, dtype=np.int64) for w in walks) if a.size]
+    if not arrays:
+        return np.zeros(n_nodes, dtype=np.int64)
+    flat = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+    counts = np.bincount(flat, minlength=n_nodes)  # raises on negative ids
+    if counts.shape[0] > n_nodes:
+        raise IndexError(
+            f"walk node id {int(flat.max())} out of range for n_nodes={n_nodes}"
+        )
+    return counts.astype(np.int64, copy=False)
 
 
 class NegativeSampler:

@@ -1,6 +1,8 @@
 """Streaming-pipeline tests: bounded buffering, seed namespaces, telemetry,
-negative_source strategies, epochs — the invariants of the walk→train
-overlap rewrite."""
+negative_source strategies, epochs, task streams — the invariants of the
+walk→train overlap rewrite and the strategy-object refactor."""
+
+import hashlib
 
 import numpy as np
 import pytest
@@ -10,10 +12,12 @@ from repro.parallel import (
     NEGATIVE_SOURCES,
     ParallelWalkGenerator,
     PipelineTelemetry,
+    WalkTask,
     train_parallel,
 )
 from repro.parallel import pipeline as pipeline_mod
 from repro.experiments.hyper import Node2VecParams
+from repro.sampling.sources import DecayedSource
 from repro.sampling.walks import WalkParams
 
 HP = Node2VecParams(r=2, l=12, w=4, ns=3)
@@ -173,6 +177,163 @@ class TestNegativeSources:
     def test_invalid_source(self, graph):
         with pytest.raises(ValueError):
             train_parallel(graph, hyper=HP, negative_source="oracle")
+
+
+class TestGoldenRegression:
+    """The strategy-object refactor must not move a single bit: these
+    hashes were recorded against the pre-refactor inline-``if`` pipeline
+    (PR 2) on this exact workload."""
+
+    GOLD = {
+        "corpus": "9fad38075fcf1b796cb55e8b65e8cddbbdb191fc0a3d4d500d702e075edb5292",
+        "degree": "8804d5fd3f0e91037581f3a3a465b20b896699bf75978f92db2398d6a3b2cb70",
+        "two_pass": "9fad38075fcf1b796cb55e8b65e8cddbbdb191fc0a3d4d500d702e075edb5292",
+    }
+
+    @pytest.mark.parametrize("source", sorted(GOLD))
+    def test_embedding_unchanged_vs_pre_refactor_seed(self, graph, source):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=0, chunk_size=16,
+            negative_source=source, seed=5,
+        )
+        digest = hashlib.sha256(
+            np.ascontiguousarray(res.embedding).tobytes()
+        ).hexdigest()
+        assert digest == self.GOLD[source]
+
+
+class TestDecayedSource:
+    """'decayed' relaxes bit-identity to fixed *virtual* chunking: the
+    embedding must be identical across worker counts, transports AND
+    physical chunk sizes whenever virtual_chunk agrees, and may differ
+    when it does not."""
+
+    def run(self, graph, *, n_workers=0, transport="shm", chunk_size=16,
+            virtual_chunk=16, **kw):
+        return train_parallel(
+            graph, dim=8, hyper=HP, n_workers=n_workers, chunk_size=chunk_size,
+            transport=transport,
+            negative_source=DecayedSource(
+                decay=0.9, rebuild_every=2, virtual_chunk=virtual_chunk
+            ),
+            seed=5, **kw,
+        )
+
+    def test_identical_across_workers_transports_and_chunk_sizes(self, graph):
+        base = self.run(graph)
+        for kw in (
+            {"n_workers": 2},
+            {"n_workers": 4},
+            {"n_workers": 2, "transport": "pickle"},
+            {"chunk_size": 8},
+            {"n_workers": 2, "chunk_size": 64},
+        ):
+            res = self.run(graph, **kw)
+            assert np.array_equal(base.embedding, res.embedding), kw
+
+    def test_virtual_chunk_is_the_contract(self, graph):
+        a = self.run(graph, virtual_chunk=16)
+        b = self.run(graph, virtual_chunk=32)
+        assert not np.array_equal(a.embedding, b.embedding)
+
+    def test_rebuilds_counted_and_differ_from_degree(self, graph):
+        res = self.run(graph)
+        t = res.telemetry
+        # 64 walks / 16-walk virtual chunks = 4 folds, rebuild every 2
+        assert t.sampler_rebuilds == 2
+        assert t.negative_source == "decayed"
+        deg = train_parallel(graph, dim=8, hyper=HP, negative_source="degree", seed=5)
+        assert not np.array_equal(res.embedding, deg.embedding)
+
+    def test_registry_name_uses_defaults(self, graph):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, negative_source="decayed", seed=5
+        )
+        assert res.telemetry.negative_source == "decayed"
+        # 64-walk corpus < the canonical 256-walk virtual chunk: the degree
+        # bootstrap is never folded over, but training still completes
+        assert res.telemetry.sampler_rebuilds == 0
+
+
+class TestTaskStreams:
+    def test_manual_task_stream_trains_with_snapshot_telemetry(self, graph):
+        other = ring_of_cliques(4, 8, seed=3)
+
+        def tasks():
+            yield WalkTask(starts=np.arange(8), epoch=0)
+            yield WalkTask(starts=np.arange(8), epoch=1, graph=other)
+
+        res = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=2, chunk_size=4,
+            negative_source="degree", tasks=tasks, seed=5,
+        )
+        assert res.n_walks == 16
+        assert res.telemetry.n_snapshots == 2
+        assert res.telemetry.snapshot_stall_s >= 0.0
+
+    def test_task_stream_identical_across_workers_and_transports(self, graph):
+        def tasks():
+            yield WalkTask(starts=np.arange(graph.n_nodes), epoch=0)
+            yield WalkTask(starts=np.arange(graph.n_nodes), epoch=1)
+
+        runs = [
+            train_parallel(
+                graph, dim=8, hyper=HP, n_workers=nw, transport=tr, chunk_size=8,
+                negative_source="degree", tasks=tasks, seed=5,
+            ).embedding
+            for nw, tr in ((0, "shm"), (2, "shm"), (2, "pickle"))
+        ]
+        assert np.array_equal(runs[0], runs[1])
+        assert np.array_equal(runs[0], runs[2])
+
+    def test_mismatched_snapshot_rejected_early(self, graph):
+        smaller = ring_of_cliques(2, 4, seed=0)
+        stream = [WalkTask(starts=np.arange(4), graph=smaller)]
+        with pytest.raises(ValueError, match="node universe"):
+            train_parallel(
+                graph, hyper=HP, negative_source="degree", tasks=stream, seed=5
+            )
+
+    def test_two_pass_requires_callable_stream(self, graph):
+        stream = [WalkTask(starts=np.arange(8))]
+        with pytest.raises(ValueError, match="two_pass"):
+            train_parallel(
+                graph, hyper=HP, negative_source="two_pass", tasks=stream, seed=5
+            )
+        # callable is fine — and matches corpus over the same stream
+        a = train_parallel(
+            graph, dim=8, hyper=HP, negative_source="two_pass",
+            tasks=lambda: iter(stream), seed=5,
+        )
+        b = train_parallel(
+            graph, dim=8, hyper=HP, negative_source="corpus",
+            tasks=lambda: iter(stream), seed=5,
+        )
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_task_stream_rejects_epochs_and_auto_chunking(self, graph):
+        stream = [WalkTask(starts=np.arange(8))]
+        with pytest.raises(ValueError, match="epochs"):
+            train_parallel(graph, hyper=HP, tasks=stream, epochs=2, seed=5)
+        with pytest.raises(ValueError, match="auto"):
+            train_parallel(graph, hyper=HP, tasks=stream, chunk_size="auto", seed=5)
+
+    def test_walk_seeds_span_tasks_globally(self, graph):
+        """One 16-start task and two 8-start tasks must generate the same
+        walks: seeding is by global walk index, not per task."""
+        starts = np.arange(16) % graph.n_nodes
+        gen = ParallelWalkGenerator(graph, WalkParams(length=8), seed=5, chunk_size=4)
+        one = [w for c, _, _ in gen.stream_timed([WalkTask(starts=starts)]) for w in c]
+        split = [
+            w
+            for c, _, _ in gen.stream_timed(
+                [WalkTask(starts=starts[:8]), WalkTask(starts=starts[8:], epoch=1)]
+            )
+            for w in c
+        ]
+        assert len(one) == len(split) == 16
+        for a, b in zip(one, split):
+            assert np.array_equal(a, b)
 
 
 class TestEpochs:
