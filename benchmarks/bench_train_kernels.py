@@ -1,0 +1,135 @@
+"""Training-kernel bench: ``"reference"`` vs ``"fused"`` walks/s per model.
+
+PRs 1–3 made walk generation stream; the consumer — per-context Python
+loops over tiny NumPy ops — became the pipeline's bottleneck, exactly the
+PS/PL boundary the paper moves into hardware.  The kernel layer
+(:mod:`repro.embedding.kernels`) batches that hot path; this bench is its
+gate: for every registry model it times ``WalkTrainer.train_corpus`` over
+one pre-generated corpus under both backends and reports walks/s plus the
+fused speedup.
+
+Timing isolates the *training* stage (walks and the sampler are built once
+outside the timed region), so the numbers are the ``train_walks_per_s``
+telemetry the pipeline reports, free of generation noise.  Scored by the
+max walks/s of ``REPEATS`` runs (the scheduler-noise-free estimate).
+
+Assertions: the fused backend must hold ≥ 3× reference throughput for the
+``"original"`` SGD model (the per-window Python loop the kernels exist to
+kill) and must not regress any other model below parity-with-noise.  The
+``BENCH_*.json`` twin is uploaded by CI, so the walks/s trajectory is
+tracked PR over PR.
+"""
+
+import time
+
+import numpy as np
+
+from repro.embedding import WalkTrainer, make_model
+from repro.embedding.kernels import EXEC_BACKENDS
+from repro.experiments.hyper import Node2VecParams
+from repro.experiments.report import ExperimentReport
+from repro.graph import amazon_photo_like
+from repro.sampling.negative import NegativeSampler
+from repro.sampling.walks import Node2VecWalker
+
+MODELS = ("original", "proposed", "dataflow", "block")
+REPEATS = 2
+
+#: acceptance floor: fused ≥ 3× reference for the SGD model
+MIN_SPEEDUP_ORIGINAL = 3.0
+#: no model may regress below parity minus noise under fused
+MIN_SPEEDUP_ANY = 0.8
+
+
+def test_train_kernels(benchmark, emit_report, profile):
+    scale = 0.25 if profile == "paper" else 0.06
+    graph = amazon_photo_like(scale=scale, seed=0)
+    hyper = Node2VecParams(r=2, l=40, w=8, ns=10)
+
+    walker = Node2VecWalker(graph, hyper.walk_params(), seed=1)
+    walks = walker.simulate()
+
+    def measure(model_name, backend):
+        best = None
+        for _ in range(REPEATS):
+            model = make_model(model_name, graph.n_nodes, 32, seed=7)
+            trainer = WalkTrainer(
+                model, window=hyper.w, ns=hyper.ns, exec_backend=backend
+            )
+            sampler = NegativeSampler.from_walks(walks, graph.n_nodes, seed=2)
+            t0 = time.perf_counter()
+            trainer.train_corpus(walks, sampler)
+            train_s = time.perf_counter() - t0
+            wps = trainer.n_walks / train_s
+            if best is None or wps > best["walks_per_s"]:
+                best = {
+                    "walks_per_s": wps,
+                    "train_s": train_s,
+                    "n_walks": trainer.n_walks,
+                    "n_contexts": trainer.n_contexts,
+                }
+        return best
+
+    def run():
+        report = ExperimentReport(
+            name="Train kernels",
+            title=(
+                "reference vs fused chunk kernels "
+                f"({graph.n_nodes} nodes, {len(walks)} walks, dim 32)"
+            ),
+            columns=[
+                "model", "reference walks/s", "fused walks/s", "speedup",
+                "reference (s)", "fused (s)",
+            ],
+        )
+        rows = {}
+        for model_name in MODELS:
+            per_backend = {b: measure(model_name, b) for b in EXEC_BACKENDS}
+            ref, fus = per_backend["reference"], per_backend["fused"]
+            speedup = fus["walks_per_s"] / ref["walks_per_s"]
+            report.add_row(
+                model_name,
+                round(ref["walks_per_s"], 1),
+                round(fus["walks_per_s"], 1),
+                f"{speedup:.2f}x",
+                round(ref["train_s"], 2),
+                round(fus["train_s"], 2),
+            )
+            rows[model_name] = {
+                "reference": ref, "fused": fus, "speedup": speedup,
+            }
+        report.data = rows
+        report.add_note(
+            "walks/s inside WalkTrainer.train_corpus (train stage only; "
+            "corpus and sampler built outside the timed region); max of "
+            f"{REPEATS} runs each"
+        )
+        report.add_note(
+            "fused = all contexts extracted up front, one bulk negative "
+            "draw per chunk, per-walk batched gather/scatter updates "
+            "(documented tolerance vs reference, see "
+            "repro.embedding.kernels.FUSED_RTOL)"
+        )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(report)
+    rows = report.data
+
+    # the acceptance headline: the per-window SGD loop must vectorize away
+    assert rows["original"]["speedup"] >= MIN_SPEEDUP_ORIGINAL, (
+        f"fused original only {rows['original']['speedup']:.2f}x over reference"
+    )
+    # no model regresses under the fused backend (parity band for the
+    # already-vectorized deferred models)
+    for model_name in MODELS:
+        assert rows[model_name]["speedup"] >= MIN_SPEEDUP_ANY, model_name
+        ref, fus = rows[model_name]["reference"], rows[model_name]["fused"]
+        # both backends consumed the same corpus
+        assert ref["n_walks"] == fus["n_walks"] == len(walks)
+        assert ref["n_contexts"] == fus["n_contexts"]
+    # sanity: throughputs are finite and positive
+    for model_name in MODELS:
+        for backend in EXEC_BACKENDS:
+            assert np.isfinite(rows[model_name][backend]["walks_per_s"])
+            assert rows[model_name][backend]["walks_per_s"] > 0

@@ -19,7 +19,11 @@ Knobs demonstrated below:
   (``chunk_size="auto"`` lets telemetry rebalance it between epochs);
 * ``transport`` — ``"shm"`` (zero-copy shared-memory ring) vs ``"pickle"``
   (serialized through the pool result pipe);
-* ``result.telemetry`` — per-stage timing, IPC bytes and realized overlap.
+* ``exec_backend`` — ``"reference"`` (the bit-exact per-walk loop) vs
+  ``"fused"`` (vectorized chunk kernels: bulk negative draw + batched
+  gather/scatter updates — the big walks/s lever for the SGD baseline);
+* ``result.telemetry`` — per-stage timing, IPC bytes, training walks/s and
+  realized overlap.
 
 Run:  python examples/parallel_training.py
 """
@@ -75,6 +79,21 @@ def main() -> None:
             f"transport={t.transport:7s}: total {t.total_s:5.2f}s  "
             f"stall {t.wait_s:5.2f}s  "
             f"walk bytes over pickle channel {t.ipc_walk_bytes:>9,}"
+        )
+
+    # -- execution backends: reference vs fused training kernels -------- #
+    # the SGD baseline's per-window Python loop is where the fused kernels
+    # shine; the RLS models are already per-context/per-walk vectorized
+    for backend in ("reference", "fused"):
+        res = train_parallel(
+            graph, dim=32, hyper=hyper, model="original", n_workers=4,
+            chunk_size=128, negative_source="degree",
+            exec_backend=backend, seed=7,
+        )
+        t = res.telemetry
+        print(
+            f"exec_backend={t.exec_backend:9s}: train {t.train_s:5.2f}s  "
+            f"{t.train_walks_per_s:7.0f} walks/s trained"
         )
 
     # -- determinism across worker counts, transports, chunk sizes ------ #

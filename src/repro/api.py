@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.embedding.kernels import EXEC_REGISTRY
 from repro.sampling.sources import SOURCE_REGISTRY
 
 __all__ = ["train_embedding", "train_dynamic", "quick_embedding"]
@@ -28,6 +29,11 @@ __all__ = ["train_embedding", "train_dynamic", "quick_embedding"]
 #: registry so the documented set can never drift from the validated one
 _SOURCE_DOC = "\n".join(
     f"        * ``\"{name}\"`` — {cls.summary}." for name, cls in SOURCE_REGISTRY.items()
+)
+
+#: same contract for ``exec_backend``, rendered from the kernel registry
+_BACKEND_DOC = "\n".join(
+    f"        * ``\"{name}\"`` — {cls.summary}." for name, cls in EXEC_REGISTRY.items()
 )
 
 
@@ -43,6 +49,7 @@ def train_embedding(
     negative_power: float = 0.75,
     transport: str | None = None,
     chunk_size: int | str | None = None,
+    exec_backend: str | None = None,
     seed=None,
     **model_kwargs,
 ):
@@ -89,8 +96,22 @@ def train_embedding(
     chunk_size:
         pipeline-only knob: start nodes per work item (int), or ``"auto"``
         to let telemetry rebalance it between epochs.  Chunking never
-        changes the trained embedding (walks are seeded by global walk
-        index).  Setting it implies the pipelined path.
+        changes the *walks* (seeded by global walk index) and — under a
+        chunk-invariant backend like ``"reference"`` — never the trained
+        embedding either.  ``"fused"`` pins the embedding to the chunk
+        schedule, so ``chunk_size="auto"`` (a timing-driven schedule) is
+        rejected with it.  Setting it implies the pipelined path.
+    exec_backend:
+        chunk-execution kernel (:mod:`repro.embedding.kernels`), valid on
+        both the sequential and pipelined paths:
+
+{backends}
+
+        ``None`` follows the model's own preference (``"reference"`` unless
+        restored from a checkpoint that says otherwise).  ``"fused"`` draws
+        each chunk's negatives in one bulk pass, so its embedding is pinned
+        to the chunk schedule (still bit-identical across workers,
+        prefetch and transports).
     seed:
         deterministic seed for walks, sampling and initialization.
     model_kwargs:
@@ -119,6 +140,7 @@ def train_embedding(
             hyper=hyper,
             epochs=epochs,
             negative_power=negative_power,
+            exec_backend=exec_backend,
             seed=seed,
             **model_kwargs,
         )
@@ -136,6 +158,7 @@ def train_embedding(
         transport=transport or "shm",
         negative_source=negative_source if negative_source is not None else "corpus",
         negative_power=negative_power,
+        exec_backend=exec_backend,
         seed=seed,
         **model_kwargs,
     )
@@ -157,6 +180,7 @@ def train_dynamic(
     transport: str | None = None,
     chunk_size: int | None = None,
     prefetch: int | None = None,
+    exec_backend: str | None = None,
     seed=None,
     **model_kwargs,
 ):
@@ -179,7 +203,10 @@ def train_dynamic(
 {sources}
 
     The default here is ``"decayed"``, the online source built for moving
-    visit distributions.
+    visit distributions.  ``exec_backend`` selects the chunk-execution
+    kernel:
+
+{backends}
 
     Returns
     -------
@@ -205,6 +232,7 @@ def train_dynamic(
         transport=transport or "shm",
         negative_source=negative_source,
         negative_power=negative_power,
+        exec_backend=exec_backend,
         model_kwargs=model_kwargs or None,
     )
 
@@ -215,8 +243,9 @@ def quick_embedding(graph, *, dim: int = 32, seed=None) -> np.ndarray:
     return train_embedding(graph, dim=dim, model="proposed", seed=seed).embedding
 
 
-# Render the negative_source bullet lists from the registry so the docs can
-# never drift from the validated set (satellite of the sources refactor).
+# Render the negative_source / exec_backend bullet lists from their
+# registries so the docs can never drift from the validated sets.
 for _fn in (train_embedding, train_dynamic):
     if _fn.__doc__:  # pragma: no branch - absent only under python -OO
         _fn.__doc__ = _fn.__doc__.replace("{sources}", _SOURCE_DOC)
+        _fn.__doc__ = _fn.__doc__.replace("{backends}", _BACKEND_DOC)

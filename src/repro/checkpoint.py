@@ -7,6 +7,11 @@ file.  The SGD baseline checkpoints (W_in, W_out) the same way.
 
 The format is intentionally plain NumPy so a host tool-chain (or the PS-side
 firmware) can read it without this library.
+
+The config block also records the model's preferred execution backend
+(:attr:`~repro.embedding.base.EmbeddingModel.exec_backend`), so a restored
+model resumes training through the same chunk kernel it was trained with;
+checkpoints written before the kernel layer load as ``"reference"``.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ def _config_of(model: EmbeddingModel) -> dict:
             "duplicate_policy": model.duplicate_policy,
             "forgetting_factor": model.forgetting_factor,
             "n_walks_trained": model.n_walks_trained,
+            "exec_backend": model.exec_backend,
         }
     if isinstance(model, SkipGramSGD):
         return {
@@ -52,6 +58,7 @@ def _config_of(model: EmbeddingModel) -> dict:
             "n_nodes": model.n_nodes,
             "dim": model.dim,
             "lr": model.lr,
+            "exec_backend": model.exec_backend,
         }
     raise TypeError(f"don't know how to checkpoint {type(model).__name__}")
 
@@ -101,6 +108,9 @@ def load_model(path: str) -> EmbeddingModel:
                 denominator=cfg["denominator"],
                 duplicate_policy=cfg["duplicate_policy"],
                 forgetting_factor=cfg["forgetting_factor"],
+                # version-1 checkpoints predate the kernel layer: default
+                # to the bit-identical reference backend
+                exec_backend=cfg.get("exec_backend", "reference"),
                 seed=0,
             )
             model.B = data["B"].copy()
@@ -110,7 +120,13 @@ def load_model(path: str) -> EmbeddingModel:
             model.n_walks_trained = int(cfg["n_walks_trained"])
             return model
         if kind == "original":
-            model = SkipGramSGD(cfg["n_nodes"], cfg["dim"], lr=cfg["lr"], seed=0)
+            model = SkipGramSGD(
+                cfg["n_nodes"],
+                cfg["dim"],
+                lr=cfg["lr"],
+                exec_backend=cfg.get("exec_backend", "reference"),
+                seed=0,
+            )
             model.w_in = data["w_in"].copy()
             model.w_out = data["w_out"].copy()
             return model

@@ -98,6 +98,7 @@ def run_drift_scenario(
     transport: str = "shm",
     negative_source="corpus",
     negative_power: float = 0.75,
+    exec_backend: str | None = None,
     model_kwargs: dict | None = None,
 ) -> DriftResult:
     """Train → rewire ``drift_fraction`` of nodes → train again; report the
@@ -136,6 +137,7 @@ def run_drift_scenario(
             transport=transport,
             negative_source=negative_source,
             negative_power=negative_power,
+            exec_backend=exec_backend,
             seed=draw_seed(rng),
         )
 

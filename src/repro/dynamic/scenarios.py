@@ -124,6 +124,7 @@ def run_seq_scenario(
     transport: str = "shm",
     negative_source="decayed",
     negative_power: float = 0.75,
+    exec_backend: str | None = None,
     model_kwargs: dict | None = None,
 ) -> ScenarioResult:
     """Figure 6's "seq" case: forest first, then per-edge sequential training
@@ -161,10 +162,14 @@ def run_seq_scenario(
         its alias table every K virtual chunks — the streaming successor of
         the old per-event ``sampler_refresh`` loop (tune via a
         ``DecayedSource(decay=…, rebuild_every=…)`` instance).
+    exec_backend:
+        chunk-execution kernel (``"reference"`` | ``"fused"``, see
+        :mod:`repro.embedding.kernels`); ``None`` follows the model's own
+        preference.
 
     The pipeline telemetry (snapshots consumed, per-snapshot stalls,
-    sampler rebuilds, transport, stage timings) lands in
-    ``extras["telemetry"]``.
+    sampler rebuilds, transport, stage timings, publish-once snapshot
+    bytes) lands in ``extras["telemetry"]``.
     """
     from repro.experiments.hyper import Node2VecParams
     from repro.parallel import DEFAULT_CHUNK_SIZE, train_parallel
@@ -218,6 +223,7 @@ def run_seq_scenario(
         transport=transport,
         negative_source=negative_source,
         negative_power=negative_power,
+        exec_backend=exec_backend,
         tasks=replay_tasks,
         seed=train_seed,
         **(model_kwargs or {}),

@@ -5,6 +5,14 @@ OS-ELM, and the paper's proposed OS-ELM skip-gram in both its sequential
 from repro.embedding.base import EmbeddingModel
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.kernels import (
+    EXEC_BACKENDS,
+    EXEC_REGISTRY,
+    ChunkStats,
+    ExecBackend,
+    make_backend,
+    resolve_backend,
+)
 from repro.embedding.oselm import OSELM
 from repro.embedding.sequential import OSELMSkipGram
 from repro.embedding.skipgram import SkipGramSGD
@@ -26,6 +34,12 @@ __all__ = [
     "WalkTrainer",
     "TrainingResult",
     "MODEL_REGISTRY",
+    "EXEC_BACKENDS",
+    "EXEC_REGISTRY",
+    "ChunkStats",
+    "ExecBackend",
+    "make_backend",
     "make_model",
+    "resolve_backend",
     "train_on_graph",
 ]

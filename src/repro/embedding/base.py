@@ -16,8 +16,18 @@ import numpy as np
 
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts
+from repro.utils.validation import check_in_set
 
-__all__ = ["EmbeddingModel"]
+__all__ = ["EmbeddingModel", "check_exec_backend"]
+
+
+def check_exec_backend(name: str) -> None:
+    """Validate an ``exec_backend`` registry name (lazy import: the kernel
+    layer dispatches on the concrete model classes, which import this
+    module)."""
+    from repro.embedding.kernels import EXEC_BACKENDS
+
+    check_in_set("exec_backend", name, EXEC_BACKENDS)
 
 
 class EmbeddingModel(abc.ABC):
@@ -28,10 +38,21 @@ class EmbeddingModel(abc.ABC):
     * ``n_nodes`` / ``dim`` — the embedding geometry;
     * :attr:`embedding` — an (n_nodes, dim) float array, read at any time;
     * :meth:`train_walk` — consume one walk's contexts + negatives.
+
+    :meth:`train_chunk` is provided: it routes a chunk of raw walks through
+    the execution-backend layer (:mod:`repro.embedding.kernels`), defaulting
+    to the ``"reference"`` backend, which preserves the per-walk loop above
+    bit-identically.  :attr:`exec_backend` is the model's preferred backend
+    name — it travels with checkpoints so a restored model keeps training
+    the way it was trained.
     """
 
     n_nodes: int
     dim: int
+    #: preferred execution backend (a :data:`repro.embedding.kernels.EXEC_REGISTRY`
+    #: name); recorded by :mod:`repro.checkpoint` and used when
+    #: :meth:`train_chunk` (or a trainer) is not given an explicit backend
+    exec_backend: str = "reference"
 
     @property
     @abc.abstractmethod
@@ -67,6 +88,49 @@ class EmbeddingModel(abc.ABC):
         """Model size in bytes (Table 5 accounting)."""
 
     # ------------------------------------------------------------------ #
+
+    def train_chunk(
+        self,
+        walks,
+        sampler,
+        *,
+        window: int = 8,
+        ns: int = 10,
+        negative_reuse: str | None = None,
+        backend=None,
+    ):
+        """Train on one chunk of raw walks through the kernel layer.
+
+        Parameters
+        ----------
+        walks:
+            iterable of int64 walk arrays (one pipeline chunk, or any
+            corpus slice).
+        sampler:
+            the :class:`~repro.sampling.negative.NegativeSampler` to draw
+            negatives from.
+        window, ns:
+            sliding-window size and negatives per window (Table 2 defaults).
+        negative_reuse:
+            ``"per_context"`` / ``"per_walk"``; ``None`` picks the
+            model-dependent default (dataflow → per_walk).
+        backend:
+            an :data:`~repro.embedding.kernels.EXEC_REGISTRY` name or
+            :class:`~repro.embedding.kernels.ExecBackend` instance; ``None``
+            uses :attr:`exec_backend` (default ``"reference"``, which is
+            bit-identical to looping :meth:`train_walk`).
+
+        Returns
+        -------
+        :class:`~repro.embedding.kernels.ChunkStats` with the chunk's walk
+        and context counts plus the summed analytic op profile.
+        """
+        from repro.embedding.kernels import resolve_backend  # lazy: avoid cycle
+
+        kernel = resolve_backend(self.exec_backend if backend is None else backend)
+        return kernel.train_chunk(
+            self, walks, sampler, window=window, ns=ns, negative_reuse=negative_reuse
+        )
 
     def _check_walk_inputs(self, contexts: WalkContexts, negatives: np.ndarray):
         negatives = np.asarray(negatives, dtype=np.int64)

@@ -1,0 +1,459 @@
+"""Chunk-level training kernels with pluggable execution backends.
+
+The streaming pipeline (PR 1–3) made walk *generation* fast; training still
+consumed one walk at a time through Python loops over tiny NumPy ops — the
+exact PS/PL division the paper moves into hardware, left interpreter-bound
+in software.  This module is the software analogue of the paper's PL: the
+unit of work becomes a *chunk* of walks, and how that chunk is executed is a
+pluggable backend, mirroring the ``SOURCE_REGISTRY`` pattern of
+:mod:`repro.sampling.sources`.
+
+Backends
+--------
+``"reference"``
+    The historical per-context loop, preserved **bit-identically**: for each
+    walk, draw its negatives via
+    :meth:`~repro.sampling.negative.NegativeSampler.sample_for_walk` and
+    call :meth:`~repro.embedding.base.EmbeddingModel.train_walk` — the same
+    calls in the same order as the pre-kernel ``WalkTrainer``, so the golden
+    sha256 regressions pin to this backend.
+
+``"fused"``
+    Vectorized chunk kernels: contexts are extracted up front and all
+    negatives drawn in **one bulk alias pass**
+    (:meth:`~repro.sampling.negative.NegativeSampler.draw_batch`) per
+    staging block (``block_walks`` = 1024 walks — pipeline chunks fit in
+    one block; a whole-corpus call stages block by block so memory stays
+    bounded), and the per-window gather/scatter updates are batched per
+    walk:
+
+    * :class:`~repro.embedding.skipgram.SkipGramSGD` — weights are frozen
+      for the duration of one walk, every window's forward pass and gradient
+      is computed in three ``einsum`` batches, and the updates land in three
+      ``np.add.at`` scatters (the software analogue of the FPGA's deferred
+      per-walk update, Algorithm 2's structure applied to SGD).
+    * :class:`~repro.embedding.sequential.OSELMSkipGram` — the per-context
+      RLS recursion is inherently sequential (context *i* reads the ``P``
+      and ``β`` context *i−1* wrote), so the kernel keeps the exact
+      per-context ordering but hoists every per-context allocation (the
+      sample/target assembly is one chunk-level ``concatenate``/``tile``)
+      out of the loop.  Given the same negatives this is **bit-identical**
+      to the reference batched duplicate policy.
+    * :class:`~repro.embedding.dataflow.DataflowOSELMSkipGram` /
+      :class:`~repro.embedding.block.BlockOSELMSkipGram` — already
+      walk-vectorized; the fused win is the bulk negative draw and the
+      up-front context extraction.  Bit-identical given the same negatives.
+
+Tolerance contract
+------------------
+``"fused"`` differs from ``"reference"`` in two documented ways:
+
+1. **Negative stream** — fused draws the chunk's negatives in one bulk
+   alias pass, so the RNG call pattern (and hence the sampled negatives)
+   differs from the reference's per-walk draws.  The *distribution* is
+   identical (same alias table, same stream).
+2. **Arithmetic, given the same negatives** — exact (bit-identical) for the
+   OS-ELM family under the batched duplicate policy, and for the dataflow /
+   block models.  For ``SkipGramSGD`` the fused kernel defers updates to
+   walk boundaries, so it drifts from the sequential reference by
+   ``O(lr²)`` per window — the same order as the model's own documented
+   in-context scatter accumulation, and the same walk-level deferral whose
+   accuracy cost the paper measures for Algorithm 2 (Figure 5, ≤1.09%).
+   For ``duplicate_policy="sequential"`` OS-ELM models the fused kernel
+   substitutes the batched arithmetic (the policies already agree to float
+   tolerance; see ``OSELMSkipGram.duplicate_policy``).
+
+``tests/embedding/test_kernels.py`` pins both halves of the contract:
+kernel arithmetic is compared under *shared* pre-drawn negatives (exact or
+``FUSED_RTOL``-close per model), and the golden regressions stay pinned to
+``"reference"``.
+
+Registry
+--------
+``EXEC_REGISTRY`` maps backend names to classes and is the single source of
+truth for the valid ``exec_backend`` strings (``EXEC_BACKENDS``), the
+validation errors, and the rendered docs — adding a backend here exposes it
+through ``WalkTrainer``, ``train_parallel``, ``api.train_embedding`` and
+``api.train_dynamic``.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embedding.block import BlockOSELMSkipGram
+from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.sequential import _EPS, OSELMSkipGram
+from repro.embedding.skipgram import SkipGramSGD, _sigmoid
+from repro.hw.opcount import OpCount
+from repro.sampling.corpus import WalkContexts, contexts_from_walk
+from repro.sampling.negative import NegativeSampler
+from repro.utils.validation import check_in_set
+
+__all__ = [
+    "EXEC_BACKENDS",
+    "EXEC_REGISTRY",
+    "FUSED_RTOL",
+    "ChunkStats",
+    "ExecBackend",
+    "FusedKernel",
+    "ReferenceKernel",
+    "default_negative_reuse",
+    "make_backend",
+    "resolve_backend",
+]
+
+#: Documented relative tolerance of ``"fused"`` vs ``"reference"`` under
+#: *shared* negatives, per model registry name.  ``0.0`` means bit-identical
+#: by construction; ``SkipGramSGD``'s walk-level deferral drifts by
+#: ``O(lr²)`` per window, which the property tests bound at this rtol on
+#: Table 2-scale workloads with the paper's lr = 0.01.
+FUSED_RTOL = {
+    "original": 5e-2,
+    "proposed": 0.0,
+    "dataflow": 0.0,
+    "block": 0.0,
+}
+
+
+def default_negative_reuse(model) -> str:
+    """The model-dependent default negative-reuse policy: the dataflow model
+    follows the FPGA's one-batch-per-walk policy [18], everything else the
+    CPU Algorithm 1 per-context policy."""
+    return "per_walk" if isinstance(model, DataflowOSELMSkipGram) else "per_context"
+
+
+@dataclass
+class ChunkStats:
+    """Accounting for one executed chunk (what ``WalkTrainer`` accumulates).
+
+    ``n_walks`` counts walks that produced at least one context, matching
+    the historical per-walk trainer; ``ops`` is the summed analytic op
+    profile of those walks.
+    """
+
+    n_walks: int = 0
+    n_contexts: int = 0
+    ops: OpCount = field(default_factory=OpCount)
+
+
+class ExecBackend:
+    """Base class for chunk execution backends.
+
+    A backend runs one chunk in three stages so that tests (and future
+    backends) can intercept the negative draws:
+
+    1. :func:`_context_blocks` — extract each walk's sliding-window
+       contexts, streamed in bounded blocks (walks too short for the
+       window drop out; :func:`prepare_contexts` is the one-shot form);
+    2. :meth:`draw_negatives` — produce one ``(C_i, ns)`` negative array
+       per remaining walk (this stage owns the sampler's RNG stream and is
+       where the backends' draw patterns differ);
+    3. :meth:`train_prepared` — the training arithmetic, given contexts and
+       negatives.
+
+    :meth:`train_chunk` composes the three and returns the
+    :class:`ChunkStats`.  Training never consumes sampler RNG, so staging
+    the draws before the arithmetic is bit-identical to interleaving them.
+
+    Staging happens in internal blocks of at most :attr:`block_walks`
+    walks, so peak memory is O(block) — never O(input): the sequential
+    trainer hands ``train_chunk`` a whole epoch corpus, and the contexts +
+    negatives expansion is ~(window + ns)× the walk bytes, which must not
+    all materialize at once on the edge deployments the repo targets.
+    """
+
+    #: registry name (set by subclasses)
+    name: str = "?"
+    #: one-line trade-off summary rendered into the API docs
+    summary: str = ""
+    #: walks staged (contexts extracted + negatives drawn) per internal
+    #: block of one ``train_chunk`` call — the peak-memory bound.  The
+    #: reference backend stages one walk at a time (the pre-kernel loop's
+    #: exact memory profile); the fused backend trades a bounded block for
+    #: vectorization width.
+    block_walks: int = 1
+    #: whether results are invariant to how a corpus is split into
+    #: ``train_chunk`` calls.  The reference backend draws per walk, so any
+    #: chunking yields the same stream; the fused backend draws one bulk
+    #: pass per call, pinning results to the chunk schedule — which is why
+    #: the pipeline refuses ``chunk_size="auto"`` (a timing-driven,
+    #: worker-dependent schedule) for non-invariant backends.
+    chunk_invariant: bool = True
+
+    def draw_negatives(
+        self,
+        sampler: NegativeSampler,
+        contexts: list[WalkContexts],
+        ns: int,
+        negative_reuse: str,
+    ) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def train_prepared(
+        self, model, contexts: list[WalkContexts], negatives: list[np.ndarray]
+    ) -> None:
+        raise NotImplementedError
+
+    def train_chunk(
+        self,
+        model,
+        walks,
+        sampler: NegativeSampler,
+        *,
+        window: int,
+        ns: int,
+        negative_reuse: str | None = None,
+    ) -> ChunkStats:
+        """Train ``model`` on one chunk of walks; returns the chunk stats.
+
+        ``walks`` may be any iterable; it is consumed once, in blocks of
+        :attr:`block_walks` (draw → train per block, so the sampler's RNG
+        order is the per-block draw order).
+        """
+        if negative_reuse is None:
+            negative_reuse = default_negative_reuse(model)
+        check_in_set("negative_reuse", negative_reuse, ("per_walk", "per_context"))
+        total = ChunkStats()
+        for contexts in _context_blocks(walks, window, self.block_walks):
+            negatives = self.draw_negatives(sampler, contexts, ns, negative_reuse)
+            self.train_prepared(model, contexts, negatives)
+            stats = chunk_stats(model, contexts, window, ns)
+            total.n_walks += stats.n_walks
+            total.n_contexts += stats.n_contexts
+            total.ops = total.ops + stats.ops
+        return total
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _context_blocks(walks, window: int, block_walks: int):
+    """Lazily yield lists of ≤ ``block_walks`` extracted contexts,
+    dropping context-free walks (too short for the window) exactly like
+    the per-walk trainer did."""
+    block: list[WalkContexts] = []
+    for walk in walks:
+        ctx = contexts_from_walk(walk, window)
+        if not ctx.n:
+            continue
+        block.append(ctx)
+        if len(block) >= block_walks:
+            yield block
+            block = []
+    if block:
+        yield block
+
+
+def prepare_contexts(walks, window: int) -> list[WalkContexts]:
+    """Every walk's contexts as one list (a single unbounded block of
+    :func:`_context_blocks` — same extraction and short-walk dropping
+    rule).  Used by tests and one-shot callers that want the staged arrays
+    without the blocking."""
+    out: list[WalkContexts] = []
+    for block in _context_blocks(walks, window, sys.maxsize):
+        out.extend(block)
+    return out
+
+
+def chunk_stats(model, contexts: list[WalkContexts], window: int, ns: int) -> ChunkStats:
+    """Walk/context counts + summed analytic op profile for one chunk.
+
+    Profiles depend only on the context count, so walks are grouped by
+    ``ctx.n`` and each distinct profile is evaluated once — the grouped sum
+    keeps the op-count telemetry exact (profiles are integer-valued in
+    float64) without a per-walk ``op_profile`` call.
+    """
+    groups = Counter(ctx.n for ctx in contexts)
+    ops = OpCount()
+    for n, count in groups.items():
+        ops = ops + count * model.op_profile(model.dim, n, window - 1, ns)
+    return ChunkStats(
+        n_walks=len(contexts),
+        n_contexts=sum(ctx.n for ctx in contexts),
+        ops=ops,
+    )
+
+
+class ReferenceKernel(ExecBackend):
+    """The historical per-context loop, bit-identical to the pre-kernel
+    ``WalkTrainer``: per walk, one ``sample_for_walk`` draw and one
+    ``model.train_walk`` call, in corpus order."""
+
+    name = "reference"
+    summary = (
+        "per-walk loop, bit-identical to the historical trainer "
+        "(the golden-regression baseline)"
+    )
+
+    def draw_negatives(self, sampler, contexts, ns, negative_reuse):
+        return [
+            sampler.sample_for_walk(ctx.n, ns, reuse=negative_reuse)
+            for ctx in contexts
+        ]
+
+    def train_prepared(self, model, contexts, negatives):
+        for ctx, negs in zip(contexts, negatives):
+            model.train_walk(ctx, negs)
+
+
+class FusedKernel(ExecBackend):
+    """Vectorized chunk kernels (see module docstring for the per-model
+    fusion strategy and the tolerance contract)."""
+
+    name = "fused"
+    summary = (
+        "bulk negative draw + batched per-walk gather/scatter kernels "
+        "(documented tolerance vs reference)"
+    )
+    chunk_invariant = False  # one bulk draw per block (module docstring)
+    #: bulk-draw/staging width: big enough that the draw and the kernel
+    #: dispatch amortize (pipeline chunks are typically ≤ this, so one
+    #: block == one chunk), small enough that a whole-corpus call — the
+    #: sequential trainer's epoch — stays O(block) memory
+    block_walks = 1024
+
+    def draw_negatives(self, sampler, contexts, ns, negative_reuse):
+        if negative_reuse == "per_walk":
+            batch = sampler.draw_batch(len(contexts), ns)
+            return [
+                np.broadcast_to(batch[i], (ctx.n, ns))
+                for i, ctx in enumerate(contexts)
+            ]
+        flat = sampler.draw_batch(sum(ctx.n for ctx in contexts), ns)
+        out, lo = [], 0
+        for ctx in contexts:
+            out.append(flat[lo : lo + ctx.n])
+            lo += ctx.n
+        return out
+
+    def train_prepared(self, model, contexts, negatives):
+        # subclass checks first: the deferred models are OSELMSkipGram
+        # subclasses and are already walk-vectorized
+        if isinstance(model, (DataflowOSELMSkipGram, BlockOSELMSkipGram)):
+            for ctx, negs in zip(contexts, negatives):
+                model.train_walk(ctx, negs)
+        elif isinstance(model, OSELMSkipGram):
+            for ctx, negs in zip(contexts, negatives):
+                _train_oselm_fused(model, ctx, negs)
+        elif isinstance(model, SkipGramSGD):
+            for ctx, negs in zip(contexts, negatives):
+                _train_sgd_fused(model, ctx, negs)
+        else:  # any other EmbeddingModel: fall back to its own walk update
+            for ctx, negs in zip(contexts, negatives):
+                model.train_walk(ctx, negs)
+
+
+def _train_oselm_fused(model: OSELMSkipGram, ctx: WalkContexts, negatives) -> None:
+    """One walk of Algorithm 1 with every per-context allocation hoisted.
+
+    The RLS recursion itself stays sequential (context *i* reads the ``P``
+    and ``β`` written by context *i−1* — the exact dependency the paper's
+    Algorithm 2 breaks, which is a *different model* here), but the
+    per-context ``samples``/``targets`` assembly collapses into one
+    chunk-level ``concatenate``+``tile``, and the loop body runs on local
+    bindings.  Given the same negatives this is bit-identical to
+    ``train_walk`` under the batched duplicate policy; for
+    ``duplicate_policy="sequential"`` it substitutes the batched arithmetic
+    (float-tolerance-close, see the model docstring).
+    """
+    negatives = model._check_walk_inputs(ctx, negatives)
+    positives = ctx.positives
+    C, J = positives.shape
+    ns = negatives.shape[1]
+    # per-context samples = [positives, tile(negatives, J)] — one allocation
+    # for the whole walk instead of one concatenate+tile per context
+    samples = np.concatenate([positives, np.tile(negatives, (1, J))], axis=1)
+    targets = np.concatenate([np.ones(J), np.zeros(J * ns)])
+    B, P = model.B, model.P
+    mu, lam = model.mu, model.forgetting_factor
+    tied = model.weight_tying == "beta"
+    alpha = model._alpha
+    standard = model.denominator == "standard"
+    centers = ctx.centers
+    for i in range(C):
+        H = mu * B[centers[i]] if tied else alpha[centers[i]]
+        Ph = P @ H
+        hph = float(H @ Ph)
+        if standard:
+            denom = lam + hph
+        else:  # literal Algorithm 1 line 5
+            denom = hph if abs(hph) > _EPS else _EPS
+        k = Ph / denom
+        P -= np.outer(k, Ph)
+        if lam != 1.0:
+            P /= lam
+        s = samples[i]
+        errs = targets - B[s] @ H
+        np.add.at(B, s, errs[:, None] * k[None, :])
+    model.n_walks_trained += 1
+
+
+def _train_sgd_fused(model: SkipGramSGD, ctx: WalkContexts, negatives) -> None:
+    """One walk of SGD skip-gram with weights frozen at walk start.
+
+    Every window's forward pass runs in two einsum batches against the
+    walk-start ``(W_in, W_out)``; gradients accumulate through three
+    ``np.add.at`` scatters applied once per walk.  Each negative is trained
+    once per window in the reference, so its frozen-weight contribution
+    scales by the window count ``J`` — the same treatment the dataflow
+    model applies to Algorithm 1.  Drift vs the sequential reference is
+    ``O(lr²)`` per window (see ``FUSED_RTOL``).
+    """
+    negatives = model._check_walk_inputs(ctx, negatives)
+    centers = ctx.centers
+    positives = ctx.positives
+    J = positives.shape[1]
+    w_in, w_out = model.w_in, model.w_out
+    lr = model.lr
+    h = w_in[centers]  # (C, d), frozen at walk start
+    pos_rows = w_out[positives]  # (C, J, d)
+    neg_rows = w_out[negatives]  # (C, ns, d)
+    g_pos = lr * (1.0 - _sigmoid(np.einsum("cjd,cd->cj", pos_rows, h)))
+    g_neg = -lr * _sigmoid(np.einsum("ckd,cd->ck", neg_rows, h))
+    grad_h = np.einsum("cj,cjd->cd", g_pos, pos_rows) + float(J) * np.einsum(
+        "ck,ckd->cd", g_neg, neg_rows
+    )
+    d = model.dim
+    np.add.at(w_out, positives.ravel(), (g_pos[:, :, None] * h[:, None, :]).reshape(-1, d))
+    np.add.at(
+        w_out,
+        negatives.ravel(),
+        (float(J) * g_neg[:, :, None] * h[:, None, :]).reshape(-1, d),
+    )
+    np.add.at(w_in, centers, grad_h)
+
+
+#: Single source of truth for the valid ``exec_backend`` strategies: the
+#: trainer's validation, the API docs and the tests all render from this
+#: registry (the ``SOURCE_REGISTRY`` pattern, applied to execution).
+EXEC_REGISTRY: dict[str, type[ExecBackend]] = {
+    cls.name: cls for cls in (ReferenceKernel, FusedKernel)
+}
+
+#: Valid ``exec_backend`` names, in registry order.
+EXEC_BACKENDS = tuple(EXEC_REGISTRY)
+
+
+def make_backend(name: str) -> ExecBackend:
+    """Instantiate an execution backend by registry name."""
+    check_in_set("exec_backend", name, EXEC_BACKENDS)
+    return EXEC_REGISTRY[name]()
+
+
+def resolve_backend(spec) -> ExecBackend:
+    """Normalize an ``exec_backend`` argument: a registry name becomes a
+    fresh instance; an already-constructed :class:`ExecBackend` is used
+    as-is (backends are stateless)."""
+    if isinstance(spec, ExecBackend):
+        return spec
+    if isinstance(spec, str):
+        return make_backend(spec)
+    raise TypeError(
+        "exec_backend must be an ExecBackend instance or one of "
+        f"{EXEC_BACKENDS}, got {spec!r}"
+    )

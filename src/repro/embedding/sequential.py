@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingModel
+from repro.embedding.base import EmbeddingModel, check_exec_backend
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts
 from repro.utils.rng import as_generator
@@ -87,6 +87,10 @@ class OSELMSkipGram(EmbeddingModel):
         RLS gain from decaying to zero over unbounded deployments — an
         extension for the IoT always-on setting (ablation E-A6 quantifies
         it on the "seq" scenario).
+    exec_backend:
+        preferred chunk-execution backend
+        (:data:`repro.embedding.kernels.EXEC_REGISTRY` name); travels with
+        checkpoints.
     """
 
     def __init__(
@@ -101,6 +105,7 @@ class OSELMSkipGram(EmbeddingModel):
         denominator: str = "standard",
         duplicate_policy: str = "batched",
         forgetting_factor: float = 1.0,
+        exec_backend: str = "reference",
         seed=None,
     ):
         check_positive("n_nodes", n_nodes, integer=True)
@@ -115,6 +120,8 @@ class OSELMSkipGram(EmbeddingModel):
             raise ValueError(
                 f"forgetting_factor must be in (0, 1], got {forgetting_factor}"
             )
+        check_exec_backend(exec_backend)
+        self.exec_backend = exec_backend
         self.n_nodes = int(n_nodes)
         self.dim = int(dim)
         self.mu = float(mu)

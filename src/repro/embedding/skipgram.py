@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embedding.base import EmbeddingModel
+from repro.embedding.base import EmbeddingModel, check_exec_backend as _check_exec_backend
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts
 from repro.utils.rng import as_generator
@@ -47,18 +47,36 @@ class SkipGramSGD(EmbeddingModel):
     seed:
         initialization stream; ``W_in ~ U(−0.5/dim, 0.5/dim)``, ``W_out = 0``
         (the word2vec convention).
+    exec_backend:
+        preferred chunk-execution backend
+        (:data:`repro.embedding.kernels.EXEC_REGISTRY` name); travels with
+        checkpoints.
     """
 
-    def __init__(self, n_nodes: int, dim: int, *, lr: float = 0.01, seed=None):
+    def __init__(
+        self,
+        n_nodes: int,
+        dim: int,
+        *,
+        lr: float = 0.01,
+        exec_backend: str = "reference",
+        seed=None,
+    ):
         check_positive("n_nodes", n_nodes, integer=True)
         check_positive("dim", dim, integer=True)
         check_positive("lr", lr)
+        _check_exec_backend(exec_backend)
         self.n_nodes = int(n_nodes)
         self.dim = int(dim)
         self.lr = float(lr)
+        self.exec_backend = exec_backend
         rng = as_generator(seed)
         self.w_in = rng.uniform(-0.5 / dim, 0.5 / dim, size=(n_nodes, dim))
         self.w_out = np.zeros((n_nodes, dim))
+        # reusable window buffers for the reference per-context loop (see
+        # train_context): allocation reuse only, never carried state
+        self._win_buf = np.empty(0, dtype=np.int64)
+        self._win_targets = np.empty(0)
 
     # ------------------------------------------------------------------ #
 
@@ -89,8 +107,13 @@ class SkipGramSGD(EmbeddingModel):
         positives = np.asarray(positives, dtype=np.int64)
         negatives = np.asarray(negatives, dtype=np.int64)
         k = negatives.shape[0]
-        targets = np.concatenate([[1.0], np.zeros(k)])
-        buf = np.empty(1 + k, dtype=np.int64)
+        # reuse the window buffers across contexts (the reference path calls
+        # this once per context — reallocating them was pure churn); contents
+        # are fully rewritten below, so reuse cannot change any result
+        if self._win_buf.shape[0] != 1 + k:
+            self._win_buf = np.empty(1 + k, dtype=np.int64)
+            self._win_targets = np.concatenate([[1.0], np.zeros(k)])
+        buf, targets = self._win_buf, self._win_targets
         buf[1:] = negatives
         for pos in positives:
             buf[0] = pos

@@ -15,11 +15,11 @@ import numpy as np
 from repro.embedding.base import EmbeddingModel
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.kernels import EXEC_REGISTRY, default_negative_reuse, resolve_backend
 from repro.embedding.sequential import OSELMSkipGram
 from repro.embedding.skipgram import SkipGramSGD
 from repro.graph.csr import CSRGraph
 from repro.hw.opcount import OpCount
-from repro.sampling.corpus import contexts_from_walk
 from repro.sampling.negative import NegativeSampler
 from repro.sampling.walks import Node2VecWalker
 from repro.utils.rng import as_generator, draw_seed
@@ -83,6 +83,17 @@ class WalkTrainer:
         ``"per_context"`` (the CPU Algorithm 1 policy) or ``"per_walk"``
         (the FPGA policy, one batch per walk [18]).  Defaults depend on the
         model: dataflow → per_walk, others → per_context.
+    exec_backend:
+        chunk-execution backend for :meth:`train_corpus` — an
+        :data:`repro.embedding.kernels.EXEC_REGISTRY` name
+        (``"reference"`` | ``"fused"``) or an
+        :class:`~repro.embedding.kernels.ExecBackend` instance.  ``None``
+        (default) uses the model's own :attr:`~EmbeddingModel.exec_backend`
+        preference; an explicit *registry name* also sets that preference,
+        so a checkpoint taken after training records the backend that
+        actually trained the model (custom instances train the run but are
+        not recorded — their names mean nothing to the registry or a
+        checkpoint loader).
     """
 
     def __init__(
@@ -92,6 +103,7 @@ class WalkTrainer:
         window: int = 8,
         ns: int = 10,
         negative_reuse: str | None = None,
+        exec_backend: str | None = None,
     ):
         check_positive("window", window, integer=True)
         if window < 2:
@@ -101,41 +113,63 @@ class WalkTrainer:
         self.window = int(window)
         self.ns = int(ns)
         if negative_reuse is None:
-            negative_reuse = (
-                "per_walk" if isinstance(model, DataflowOSELMSkipGram) else "per_context"
-            )
+            negative_reuse = default_negative_reuse(model)
         check_in_set("negative_reuse", negative_reuse, ("per_walk", "per_context"))
         self.negative_reuse = negative_reuse
+        self.backend = resolve_backend(
+            model.exec_backend if exec_backend is None else exec_backend
+        )
+        self.exec_backend = self.backend.name
+        if exec_backend is not None and self.backend.name in EXEC_REGISTRY:
+            # record the run's backend as the model preference (checkpoints
+            # carry it) — but only for registry names: a custom ExecBackend
+            # instance has no name the registry (or a checkpoint loader)
+            # could resolve, so it must not poison the model's preference
+            model.exec_backend = self.backend.name
         self.n_walks = 0
         self.n_contexts = 0
         self.ops = OpCount()
 
     def train_walk(self, walk: np.ndarray, sampler: NegativeSampler) -> int:
-        """Partition one walk and train; returns the context count."""
-        ctx = contexts_from_walk(walk, self.window)
-        if ctx.n == 0:
-            return 0
-        negatives = sampler.sample_for_walk(ctx.n, self.ns, reuse=self.negative_reuse)
-        self.model.train_walk(ctx, negatives)
-        self.n_walks += 1
-        self.n_contexts += ctx.n
-        self.ops = self.ops + self.model.op_profile(
-            self.model.dim, ctx.n, self.window - 1, self.ns
-        )
-        return ctx.n
+        """Partition one walk and train; returns the context count.
+
+        A one-walk chunk through the configured :attr:`backend` — under
+        ``"reference"`` this is bit-identical to the historical inline loop
+        (per-walk draws), and under ``"fused"`` the walk runs through the
+        same fused kernel ``train_corpus`` would use, so walk-by-walk
+        drivers (the dynamic baselines, incremental deployments) train with
+        the semantics the trainer — and any checkpoint — records.
+        """
+        return self.train_corpus((walk,), sampler)
 
     def train_corpus(self, walks, sampler: NegativeSampler) -> int:
         """Train on any iterable of walks — a full buffered corpus, one
         pipeline chunk, or a lazy stream; returns the contexts trained.
 
-        The trainer keeps no per-corpus state, so callers may invoke this
-        once per streamed chunk and the result is identical to one call
-        over the concatenation.
+        The chunk is executed by the trainer's :attr:`backend`
+        (:mod:`repro.embedding.kernels`): ``"reference"`` reproduces the
+        historical per-walk loop bit-identically; ``"fused"`` runs the
+        vectorized chunk kernels (bulk negative draw + batched
+        gather/scatter updates, documented tolerance).  The trainer keeps
+        no per-corpus state, so callers may invoke this once per streamed
+        chunk; under ``"reference"`` the result is bit-identical to one
+        call over the concatenation (per-walk draws), while ``"fused"``
+        draws each call's negatives in one bulk pass, so its negative
+        stream — like :class:`~repro.sampling.sources.DecayedSource`'s fold
+        schedule — is pinned to the chunking it was trained with.
         """
-        total = 0
-        for walk in walks:
-            total += self.train_walk(walk, sampler)
-        return total
+        stats = self.backend.train_chunk(
+            self.model,
+            walks,
+            sampler,
+            window=self.window,
+            ns=self.ns,
+            negative_reuse=self.negative_reuse,
+        )
+        self.n_walks += stats.n_walks
+        self.n_contexts += stats.n_contexts
+        self.ops = self.ops + stats.ops
+        return stats.n_contexts
 
     def result(self, hyper=None, telemetry=None) -> TrainingResult:
         return TrainingResult(
@@ -157,6 +191,7 @@ def train_on_graph(
     hyper=None,
     epochs: int = 1,
     negative_power: float = 0.75,
+    exec_backend: str | None = None,
     seed=None,
     **model_kwargs,
 ) -> TrainingResult:
@@ -164,7 +199,11 @@ def train_on_graph(
 
     ``hyper`` is a :class:`repro.experiments.hyper.Node2VecParams` (or None
     for the paper's defaults).  ``model`` may be a registry name or an
-    already-built :class:`EmbeddingModel`.
+    already-built :class:`EmbeddingModel`.  ``exec_backend`` selects the
+    chunk-execution kernel (``"reference"`` | ``"fused"``, see
+    :mod:`repro.embedding.kernels`); ``None`` follows the model's own
+    preference (``"reference"`` unless restored from a checkpoint that says
+    otherwise).
     """
     from repro.experiments.hyper import Node2VecParams  # local: avoid cycle
 
@@ -180,7 +219,7 @@ def train_on_graph(
         raise ValueError("model_kwargs only apply when model is a registry name")
 
     walker = Node2VecWalker(graph, hp.walk_params(), seed=draw_seed(rng))
-    trainer = WalkTrainer(model, window=hp.w, ns=hp.ns)
+    trainer = WalkTrainer(model, window=hp.w, ns=hp.ns, exec_backend=exec_backend)
     sampler: NegativeSampler | None = None
     for _ in range(epochs):
         walks = walker.simulate()

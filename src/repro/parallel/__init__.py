@@ -17,6 +17,7 @@ from repro.parallel.pipeline import (
     train_parallel,
 )
 from repro.parallel.shm_ring import ShmWalkRing
+from repro.parallel.snapshots import SnapshotStore
 from repro.parallel.tasks import WalkTask
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "ParallelWalkGenerator",
     "PipelineTelemetry",
     "ShmWalkRing",
+    "SnapshotStore",
     "TRANSPORTS",
     "WalkTask",
     "train_parallel",

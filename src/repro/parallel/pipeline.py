@@ -45,6 +45,24 @@ Both transports move bit-identical walks, so the trained embedding does not
 depend on the transport; ``PipelineTelemetry.ipc_walk_bytes`` records how
 many walk-payload bytes actually crossed the pickle channel.
 
+Snapshot transport (task streams)
+---------------------------------
+Dynamic-replay tasks carry graph snapshots; their chunk jobs hand workers a
+tiny reference into the publish-once
+:class:`~repro.parallel.snapshots.SnapshotStore` (shared-memory segment,
+pickled once per snapshot, deserialized once per worker) instead of
+re-pickling the snapshot per job.  ``PipelineTelemetry.ipc_snapshot_bytes``
+/ ``ipc_snapshot_bytes_saved`` count the shipped and avoided payload bytes.
+
+Execution backends (``exec_backend``)
+-------------------------------------
+Consumed chunks train through the kernel layer
+(:mod:`repro.embedding.kernels`): ``"reference"`` is the bit-identical
+per-walk loop, ``"fused"`` the vectorized chunk kernels (bulk negative
+draw + batched per-walk gather/scatter updates).  ``telemetry.exec_backend``
+records the kernel used and ``telemetry.train_walks_per_s`` its realized
+training throughput.
+
 Chunk sizing (``chunk_size``)
 -----------------------------
 Walk streams are seeded by **global walk index** (walk *j* always draws from
@@ -94,6 +112,7 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from repro.embedding.base import EmbeddingModel
+from repro.embedding.kernels import resolve_backend
 from repro.embedding.trainer import TrainingResult, WalkTrainer, make_model
 from repro.graph.csr import CSRGraph
 from repro.parallel.chunking import (
@@ -102,6 +121,7 @@ from repro.parallel.chunking import (
     EpochStats,
 )
 from repro.parallel.shm_ring import ShmWalkRing
+from repro.parallel.snapshots import SnapshotStore, resolve_snapshot_ref
 from repro.parallel.tasks import WalkTask
 from repro.sampling.negative import walk_frequencies
 from repro.sampling.sources import NEGATIVE_SOURCES, resolve_source
@@ -168,9 +188,11 @@ def _run_chunk(
 
 def _walk_chunk_pickle(job: tuple) -> tuple:
     """Pool entry point, pickle transport: the chunk rides the result pipe.
-    ``graph`` is a task snapshot, or ``None`` for the pool's base graph."""
-    starts, lo, graph = job
-    g = graph if graph is not None else _WORKER_GRAPH
+    ``graph_ref`` is ``None`` for the pool's base graph, else a
+    :class:`~repro.parallel.snapshots.SnapshotStore` reference (resolved —
+    and the snapshot deserialized — at most once per worker per sid)."""
+    starts, lo, graph_ref = job
+    g = _WORKER_GRAPH if graph_ref is None else resolve_snapshot_ref(graph_ref)
     walks, gen_s = _run_chunk(g, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
     return ("pickle", walks, gen_s)
 
@@ -179,8 +201,8 @@ def _walk_chunk_shm(job: tuple) -> tuple:
     """Pool entry point, shm transport: the chunk lands in a ring slot and
     only a control tuple rides the result pipe.  Chunks ragged beyond the
     slot shape degrade to the pickle payload for that chunk alone."""
-    slot, starts, lo, graph = job
-    g = graph if graph is not None else _WORKER_GRAPH
+    slot, starts, lo, graph_ref = job
+    g = _WORKER_GRAPH if graph_ref is None else resolve_snapshot_ref(graph_ref)
     t0 = time.perf_counter()
     walks, _ = _run_chunk(g, _WORKER_PARAMS, starts, _WORKER_SEED, lo)
     if _WORKER_RING is not None and _WORKER_RING.write(slot, walks):
@@ -204,6 +226,8 @@ class _FlowStats:
         self.consumed_walks = 0
         self.peak_in_flight = 0
         self.ipc_walk_bytes = 0
+        self.snapshot_bytes = 0
+        self.snapshot_bytes_saved = 0
 
     def on_submit(self, n: int) -> None:
         self.submitted_walks += n
@@ -242,6 +266,18 @@ class PipelineTelemetry:
     steady-state generation; ``sampler_rebuilds`` counts the alias-table
     rebuilds triggered by the streaming ``negative_source`` (the
     ``"decayed"`` fold/rebuild schedule; 0 for frozen-sampler sources).
+
+    Snapshot transport: ``ipc_snapshot_bytes`` counts the pickled-snapshot
+    payload bytes that actually crossed to workers (once per snapshot under
+    the publish-once shared-memory store); ``ipc_snapshot_bytes_saved``
+    counts the bytes the pre-PR-4 per-job pickling would have sent on top
+    of that — the dynamic path's IPC win, sitting next to
+    ``ipc_walk_bytes`` so both channels read in the same unit.
+
+    Execution: ``exec_backend`` is the chunk-kernel the trainer ran
+    (:data:`repro.embedding.kernels.EXEC_REGISTRY` name);
+    ``train_walks`` the walks trained, so ``train_walks_per_s`` is the
+    consumer-side training throughput the kernel benchmarks track.
     """
 
     negative_source: str
@@ -259,6 +295,10 @@ class PipelineTelemetry:
     sampler_rebuilds: int = 0
     n_snapshots: int = 0
     snapshot_stall_s: float = 0.0
+    ipc_snapshot_bytes: int = 0
+    ipc_snapshot_bytes_saved: int = 0
+    exec_backend: str = ""
+    train_walks: int = 0
 
     @property
     def overlap_efficiency(self) -> float:
@@ -266,6 +306,14 @@ class PipelineTelemetry:
         if self.generation_s <= 0.0:
             return 1.0
         return max(0.0, min(1.0, 1.0 - self.wait_s / self.generation_s))
+
+    @property
+    def train_walks_per_s(self) -> float:
+        """Training throughput (walks consumed per second inside the
+        trainer; 0.0 before any timed training)."""
+        if self.train_s <= 0.0:
+            return 0.0
+        return self.train_walks / self.train_s
 
 
 class ParallelWalkGenerator:
@@ -344,11 +392,15 @@ class ParallelWalkGenerator:
         return np.random.SeedSequence([self.seed, _STARTS_NS])
 
     def _job_stream(self, tasks: Iterable[WalkTask]) -> Iterator[tuple]:
-        """``(chunk_starts, global_walk_offset, epoch, graph)`` work items,
-        in deterministic order.  The global offset runs across every task,
-        so walk seeds never depend on task or chunk boundaries; chunks
-        never span tasks (each chunk walks exactly one snapshot)."""
+        """``(chunk_starts, global_walk_offset, epoch, graph, sid)`` work
+        items, in deterministic order.  The global offset runs across every
+        task, so walk seeds never depend on task or chunk boundaries;
+        chunks never span tasks (each chunk walks exactly one snapshot).
+        ``sid`` is the task's snapshot id (``None`` for base-graph tasks) —
+        monotonically increasing in submission order, which is what the
+        publish-once snapshot transport's retire/evict protocol rests on."""
         lo = 0
+        sid = 0
         for task in tasks:
             if task.graph is not None and task.graph.n_nodes != self.graph.n_nodes:
                 raise ValueError(
@@ -356,6 +408,10 @@ class ParallelWalkGenerator:
                     f"engine's base graph has {self.graph.n_nodes}: snapshots "
                     "must share the base graph's node universe"
                 )
+            task_sid = None
+            if task.graph is not None:
+                task_sid = sid
+                sid += 1
             starts = task.starts
             for off in range(0, starts.shape[0], self.chunk_size):
                 yield (
@@ -363,6 +419,7 @@ class ParallelWalkGenerator:
                     lo + off,
                     task.epoch,
                     task.graph,
+                    task_sid,
                 )
             lo += starts.shape[0]
 
@@ -416,7 +473,7 @@ class ParallelWalkGenerator:
 
         if self.n_workers <= 1:
             self.effective_transport = "inline"
-            for chunk_starts, lo, epoch, task_graph in job_iter:
+            for chunk_starts, lo, epoch, task_graph, _sid in job_iter:
                 stats.on_submit(len(chunk_starts))
                 walks, gen_s = _run_chunk(
                     task_graph if task_graph is not None else self.graph,
@@ -445,6 +502,7 @@ class ParallelWalkGenerator:
         self.effective_transport = transport
 
         ctx = mp.get_context("fork" if os.name == "posix" else "spawn")
+        store = SnapshotStore()
         try:
             with ctx.Pool(
                 self.n_workers,
@@ -463,21 +521,27 @@ class ParallelWalkGenerator:
                     job = next(job_iter, None)
                     if job is None:
                         return
-                    chunk_starts, lo, epoch, task_graph = job
+                    chunk_starts, lo, epoch, task_graph, sid = job
                     stats.on_submit(len(chunk_starts))
+                    # publish-once snapshot transport: the job carries a
+                    # tiny reference, not the pickled graph, after the
+                    # snapshot's first chunk
+                    graph_ref = (
+                        store.ref_for(sid, task_graph) if sid is not None else None
+                    )
                     if ring is not None:
                         slot = free_slots.popleft()
                         pending.append(
-                            (slot, epoch, pool.apply_async(
+                            (slot, epoch, sid, pool.apply_async(
                                 _walk_chunk_shm,
-                                ((slot, chunk_starts, lo, task_graph),),
+                                ((slot, chunk_starts, lo, graph_ref),),
                             ))
                         )
                     else:
                         pending.append(
-                            (None, epoch, pool.apply_async(
+                            (None, epoch, sid, pool.apply_async(
                                 _walk_chunk_pickle,
-                                ((chunk_starts, lo, task_graph),),
+                                ((chunk_starts, lo, graph_ref),),
                             ))
                         )
 
@@ -485,8 +549,12 @@ class ParallelWalkGenerator:
                     _submit_next()
                 # FIFO consumption of the submission order → deterministic
                 while pending:
-                    slot, epoch, fut = pending.popleft()
+                    slot, epoch, sid, fut = pending.popleft()
                     result = fut.get()
+                    if sid is not None:
+                        # FIFO: a result for sid proves every job of any
+                        # lower sid completed → its segment can go
+                        store.retire_below(sid)
                     if result[0] == "shm":
                         _, slot_idx, _count, gen_s = result
                         walks = ring.read(slot_idx)
@@ -507,6 +575,9 @@ class ParallelWalkGenerator:
                         _submit_next()
                         yield walks, gen_s, epoch
         finally:
+            stats.snapshot_bytes = store.bytes_shipped
+            stats.snapshot_bytes_saved = store.bytes_saved
+            store.close()
             if ring is not None:
                 ring.close()
                 ring.unlink()
@@ -568,6 +639,7 @@ def train_parallel(
     transport: str = "shm",
     negative_source="corpus",
     negative_power: float = 0.75,
+    exec_backend: str | None = None,
     tasks: Iterable[WalkTask] | Callable[[], Iterable[WalkTask]] | None = None,
     seed=0,
     **model_kwargs,
@@ -612,6 +684,18 @@ def train_parallel(
     fold/rebuild schedule to its canonical ``virtual_chunk``, so only runs
     sharing that value agree.)  Seeds derive from the same 63-bit stream as
     the sequential trainer (:func:`repro.utils.rng.draw_seed`).
+
+    ``exec_backend`` selects the chunk-execution kernel
+    (:data:`repro.embedding.kernels.EXEC_REGISTRY`): ``"reference"`` is the
+    bit-identical historical per-walk loop; ``"fused"`` runs the vectorized
+    chunk kernels (bulk negative draw + batched gather/scatter updates) for
+    a large walks/s win at a documented tolerance.  Because ``"fused"``
+    draws each chunk's negatives in one bulk pass, its negative stream is
+    pinned to the chunk schedule: results stay bit-identical across
+    ``n_workers``, ``prefetch`` and ``transport``, but — like
+    ``"decayed"``'s virtual-chunk contract — change with ``chunk_size``.
+    ``None`` follows the model's own :attr:`~repro.embedding.base.EmbeddingModel.exec_backend`
+    preference (``"reference"`` unless a checkpoint says otherwise).
 
     Returns a :class:`TrainingResult` whose ``telemetry`` field carries the
     per-stage :class:`PipelineTelemetry`.
@@ -681,9 +765,24 @@ def train_parallel(
             return None  # the generator's static corpus task
         return tasks() if callable(tasks) else tasks
 
-    trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns)
+    # validate the backend/chunking combination BEFORE WalkTrainer records
+    # the backend as the model preference — a rejected call must not leave
+    # a mutated (and checkpointable) preference on the caller's model
+    backend = resolve_backend(mdl.exec_backend if exec_backend is None else exec_backend)
+    if controller is not None and not backend.chunk_invariant:
+        raise ValueError(
+            f'exec_backend="{backend.name}" pins results to the chunk '
+            'schedule (one bulk negative draw per chunk), but chunk_size="auto" '
+            "derives its schedule from worker count and wall-clock timing — "
+            "the combination would make the embedding irreproducible.  Fix "
+            "chunk_size to an int, or use a chunk-invariant backend."
+        )
+    trainer = WalkTrainer(mdl, window=hp.w, ns=hp.ns, exec_backend=exec_backend)
     tele = PipelineTelemetry(
-        negative_source=source.name, n_workers=int(n_workers), epochs=int(epochs)
+        negative_source=source.name,
+        n_workers=int(n_workers),
+        epochs=int(epochs),
+        exec_backend=trainer.exec_backend,
     )
     t_total = time.perf_counter()
 
@@ -718,6 +817,8 @@ def train_parallel(
             tele.peak_buffered_walks, gen.last_stats.peak_in_flight
         )
         tele.ipc_walk_bytes += gen.last_stats.ipc_walk_bytes
+        tele.ipc_snapshot_bytes += gen.last_stats.snapshot_bytes
+        tele.ipc_snapshot_bytes_saved += gen.last_stats.snapshot_bytes_saved
         tele.transport = gen.effective_transport
 
     def _train_chunk(walks: list) -> None:
@@ -799,4 +900,5 @@ def train_parallel(
             )
 
     tele.total_s = time.perf_counter() - t_total
+    tele.train_walks = trainer.n_walks
     return trainer.result(hyper=hp, telemetry=tele)

@@ -99,6 +99,21 @@ class NegativeSampler:
         """Draw negative node ids (scalar if ``size is None``)."""
         return self.table.sample(size, seed=self.rng)
 
+    def draw_batch(self, n_rows: int, n_samples: int) -> np.ndarray:
+        """Bulk negatives for a whole chunk: one ``(n_rows, n_samples)``
+        alias pass.
+
+        This is the fused-kernel counterpart of :meth:`sample_for_walk` —
+        one vectorized draw for every window (or walk, under per-walk
+        reuse) of a chunk, instead of one RNG call pair per walk.  The
+        distribution is identical to per-walk draws from the same table;
+        the RNG *call pattern* differs, so bulk and per-walk consumers of
+        one stream produce different (equally valid) negative sequences.
+        """
+        check_positive("n_rows", n_rows, integer=True)
+        check_positive("n_samples", n_samples, integer=True)
+        return self.sample((n_rows, n_samples))
+
     def sample_for_walk(
         self, n_contexts: int, n_samples: int, *, reuse: str = "per_walk"
     ) -> np.ndarray:

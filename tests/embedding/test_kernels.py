@@ -1,0 +1,412 @@
+"""Kernel-layer tests: the execution-backend registry, reference
+bit-identity, and the fused-vs-reference tolerance contract for all four
+registry models × duplicate policies (shared pre-drawn negatives isolate
+the *arithmetic*; the bulk-draw divergence is pinned separately)."""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import make_model
+from repro.embedding.kernels import (
+    EXEC_BACKENDS,
+    EXEC_REGISTRY,
+    FUSED_RTOL,
+    ChunkStats,
+    FusedKernel,
+    ReferenceKernel,
+    make_backend,
+    prepare_contexts,
+    resolve_backend,
+)
+from repro.embedding.trainer import MODEL_REGISTRY, WalkTrainer
+from repro.sampling.corpus import contexts_from_walk
+from repro.sampling.negative import NegativeSampler
+
+MODELS = tuple(MODEL_REGISTRY)
+WINDOW, NS = 5, 4
+
+
+def make_sampler(n_nodes, seed=11):
+    return NegativeSampler(np.ones(n_nodes), seed=seed)
+
+
+def make_chunk(rng, n_nodes, n_walks=4, max_len=18):
+    """A ragged chunk, including the occasional too-short walk."""
+    walks = []
+    for _ in range(n_walks):
+        length = int(rng.integers(2, max_len + 1))
+        walks.append(rng.integers(0, n_nodes, size=length))
+    return walks
+
+
+def reuse_for(name):
+    return "per_walk" if name == "dataflow" else "per_context"
+
+
+def shared_negative_run(name, walks, n_nodes, *, policy=None, dim=8, seed=7):
+    """Train two identically-initialized models through both kernels on the
+    SAME pre-drawn negatives; returns (reference_model, fused_model)."""
+    kwargs = {} if policy is None else {"duplicate_policy": policy}
+    a = make_model(name, n_nodes, dim, seed=seed, **kwargs)
+    b = make_model(name, n_nodes, dim, seed=seed, **kwargs)
+    ref, fused = ReferenceKernel(), FusedKernel()
+    contexts = prepare_contexts(walks, WINDOW)
+    negatives = ref.draw_negatives(
+        make_sampler(n_nodes), contexts, NS, reuse_for(name)
+    )
+    ref.train_prepared(a, contexts, negatives)
+    fused.train_prepared(b, contexts, negatives)
+    return a, b
+
+
+class TestRegistry:
+    def test_names(self):
+        assert EXEC_BACKENDS == ("reference", "fused")
+        for name, cls in EXEC_REGISTRY.items():
+            assert cls.name == name
+            assert cls.summary
+
+    def test_tolerance_contract_covers_every_model(self):
+        assert set(FUSED_RTOL) == set(MODEL_REGISTRY)
+        # the OS-ELM family is exact by construction; only the SGD model
+        # carries a walk-deferral tolerance
+        assert FUSED_RTOL["original"] > 0
+        assert all(FUSED_RTOL[m] == 0.0 for m in MODELS if m != "original")
+
+    def test_make_backend_invalid(self):
+        with pytest.raises(ValueError, match="exec_backend"):
+            make_backend("turbo")
+
+    def test_resolve_backend(self):
+        backend = FusedKernel()
+        assert resolve_backend(backend) is backend
+        assert isinstance(resolve_backend("reference"), ReferenceKernel)
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_api_docs_render_backends(self):
+        from repro import train_embedding
+
+        for name in EXEC_BACKENDS:
+            assert f'"{name}"' in train_embedding.__doc__
+
+
+class TestReferenceBitIdentity:
+    """The reference backend must reproduce the historical per-walk loop
+    bit-for-bit — this is what keeps the golden sha256 regressions valid."""
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_matches_manual_per_walk_loop(self, name):
+        rng = np.random.default_rng(0)
+        n_nodes = 30
+        walks = make_chunk(rng, n_nodes, n_walks=6)
+        a = make_model(name, n_nodes, 8, seed=3)
+        b = make_model(name, n_nodes, 8, seed=3)
+
+        trainer = WalkTrainer(a, window=WINDOW, ns=NS, exec_backend="reference")
+        trainer.train_corpus(walks, make_sampler(n_nodes))
+
+        # the pre-kernel trainer, verbatim
+        sampler = make_sampler(n_nodes)
+        reuse = reuse_for(name)
+        n_walks = n_contexts = 0
+        for walk in walks:
+            ctx = contexts_from_walk(walk, WINDOW)
+            if ctx.n == 0:
+                continue
+            negs = sampler.sample_for_walk(ctx.n, NS, reuse=reuse)
+            b.train_walk(ctx, negs)
+            n_walks += 1
+            n_contexts += ctx.n
+
+        assert np.array_equal(a.embedding, b.embedding)
+        assert trainer.n_walks == n_walks
+        assert trainer.n_contexts == n_contexts
+
+    def test_chunking_invariant(self):
+        """reference: one call over the corpus == per-chunk calls."""
+        rng = np.random.default_rng(1)
+        walks = make_chunk(rng, 25, n_walks=8)
+        a = make_model("proposed", 25, 8, seed=2)
+        b = make_model("proposed", 25, 8, seed=2)
+        ta = WalkTrainer(a, window=WINDOW, ns=NS)
+        tb = WalkTrainer(b, window=WINDOW, ns=NS)
+        ta.train_corpus(walks, make_sampler(25))
+        sb = make_sampler(25)
+        for lo in range(0, len(walks), 3):
+            tb.train_corpus(walks[lo : lo + 3], sb)
+        assert np.array_equal(a.embedding, b.embedding)
+
+
+@st.composite
+def chunk_case(draw):
+    n_nodes = draw(st.integers(min_value=12, max_value=40))
+    n_walks = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    return n_nodes, make_chunk(rng, n_nodes, n_walks=n_walks), seed
+
+
+class TestFusedToleranceContract:
+    """Property-style: given the SAME negatives, ``"fused"`` matches
+    ``"reference"`` within the documented per-model tolerance — exactly
+    (bit-identical) for the OS-ELM family under the batched duplicate
+    policy and for the deferred models, within ``FUSED_RTOL`` for the SGD
+    model's walk-level deferral and the sequential duplicate policy."""
+
+    @pytest.mark.parametrize("name", [m for m in MODELS if m != "original"])
+    @given(case=chunk_case())
+    @settings(max_examples=12, deadline=None)
+    def test_oselm_family_batched_exact(self, name, case):
+        n_nodes, walks, seed = case
+        a, b = shared_negative_run(name, walks, n_nodes, policy="batched", seed=seed)
+        assert np.array_equal(a.embedding, b.embedding)
+        assert np.array_equal(a.P, b.P)
+        assert a.n_walks_trained == b.n_walks_trained
+
+    @given(case=chunk_case())
+    @settings(max_examples=12, deadline=None)
+    def test_original_within_documented_rtol(self, case):
+        n_nodes, walks, seed = case
+        a, b = shared_negative_run("original", walks, n_nodes, seed=seed)
+        scale = max(np.abs(a.embedding).max(), 1e-12)
+        drift = np.abs(a.embedding - b.embedding).max()
+        assert drift <= FUSED_RTOL["original"] * scale
+
+    @pytest.mark.parametrize("name", ("proposed", "dataflow", "block"))
+    @given(case=chunk_case())
+    @settings(max_examples=8, deadline=None)
+    def test_sequential_policy_within_float_tolerance(self, name, case):
+        """fused substitutes the batched arithmetic for
+        duplicate_policy="sequential" models — the two policies agree to
+        float tolerance (the model's own documented contract)."""
+        n_nodes, walks, seed = case
+        a, b = shared_negative_run(name, walks, n_nodes, policy="sequential", seed=seed)
+        scale = max(np.abs(a.embedding).max(), 1.0)
+        assert np.abs(a.embedding - b.embedding).max() <= 1e-2 * scale
+
+    def test_original_drift_shrinks_quadratically_with_lr(self):
+        """The SGD tolerance is O(lr²) per window: shrinking lr 10× must
+        shrink the fused-vs-reference drift far more than 10×."""
+        rng = np.random.default_rng(5)
+        n_nodes = 30
+        walks = make_chunk(rng, n_nodes, n_walks=4)
+        drifts = {}
+        for lr in (0.01, 0.001):
+            a = make_model("original", n_nodes, 8, seed=7, lr=lr)
+            b = make_model("original", n_nodes, 8, seed=7, lr=lr)
+            ref, fused = ReferenceKernel(), FusedKernel()
+            contexts = prepare_contexts(walks, WINDOW)
+            negs = ref.draw_negatives(
+                make_sampler(n_nodes), contexts, NS, "per_context"
+            )
+            ref.train_prepared(a, contexts, negs)
+            fused.train_prepared(b, contexts, negs)
+            drifts[lr] = np.abs(a.embedding - b.embedding).max()
+        assert drifts[0.001] < drifts[0.01] / 8
+
+
+class TestBlockedStaging:
+    """train_chunk stages contexts+negatives in bounded blocks: an epoch
+    corpus handed to the sequential trainer must never materialize its
+    whole (window+ns)× expansion at once."""
+
+    def test_reference_stages_one_walk(self):
+        assert ReferenceKernel.block_walks == 1
+
+    def test_context_blocks_bounded_and_lazy(self):
+        from repro.embedding.kernels import _context_blocks
+
+        rng = np.random.default_rng(0)
+        walks = iter([rng.integers(0, 10, size=12) for _ in range(7)])
+        blocks = list(_context_blocks(walks, WINDOW, 3))
+        assert [len(b) for b in blocks] == [3, 3, 1]
+
+    def test_fused_draws_per_block(self):
+        """A call spanning multiple blocks draws one bulk pass per block —
+        equivalent to splitting the call at block boundaries."""
+        rng = np.random.default_rng(1)
+        n_nodes = 20
+        walks = [rng.integers(0, n_nodes, size=10) for _ in range(5)]
+        small = FusedKernel()
+        small.block_walks = 2  # force 3 blocks
+        a = make_model("proposed", n_nodes, 8, seed=3)
+        b = make_model("proposed", n_nodes, 8, seed=3)
+        sa, sb = make_sampler(n_nodes), make_sampler(n_nodes)
+        small.train_chunk(a, walks, sa, window=WINDOW, ns=NS)
+        whole = FusedKernel()
+        for lo in range(0, len(walks), 2):
+            whole.train_chunk(b, walks[lo : lo + 2], sb, window=WINDOW, ns=NS)
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_stats_accumulate_across_blocks(self):
+        rng = np.random.default_rng(2)
+        walks = [rng.integers(0, 15, size=10) for _ in range(5)]
+        backend = FusedKernel()
+        backend.block_walks = 2
+        model = make_model("original", 15, 8, seed=0)
+        stats = backend.train_chunk(model, walks, make_sampler(15),
+                                    window=WINDOW, ns=NS)
+        assert stats.n_walks == 5
+        assert stats.n_contexts == 5 * (10 - WINDOW + 1)
+
+
+class TestBulkDrawContract:
+    """The fused backend's *negative stream* is one bulk alias pass per
+    chunk — same distribution, different RNG call pattern."""
+
+    def test_draw_batch_shape_and_range(self):
+        sampler = make_sampler(20)
+        batch = sampler.draw_batch(7, 3)
+        assert batch.shape == (7, 3)
+        assert batch.dtype == np.int64
+        assert batch.min() >= 0 and batch.max() < 20
+        with pytest.raises((ValueError, TypeError)):
+            sampler.draw_batch(0, 3)
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_backends_agree_on_accounting_not_stream(self, name):
+        """Full train_chunk: identical walk/context/op accounting, but a
+        different negative stream (hence embedding) per backend."""
+        rng = np.random.default_rng(3)
+        n_nodes = 30
+        walks = make_chunk(rng, n_nodes, n_walks=5)
+        results = {}
+        for backend in EXEC_BACKENDS:
+            model = make_model(name, n_nodes, 8, seed=4)
+            trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend=backend)
+            trainer.train_corpus(walks, make_sampler(n_nodes))
+            results[backend] = (trainer, model.embedding)
+        ref, fus = results["reference"][0], results["fused"][0]
+        assert ref.n_walks == fus.n_walks
+        assert ref.n_contexts == fus.n_contexts
+        assert ref.ops.as_dict() == pytest.approx(fus.ops.as_dict())
+        assert not np.array_equal(results["reference"][1], results["fused"][1])
+
+    def test_per_walk_reuse_broadcasts_one_row_per_walk(self):
+        """per_walk reuse under fused: one bulk (n_walks, ns) draw, each
+        walk's contexts sharing its row — mirroring the FPGA policy."""
+        rng = np.random.default_rng(9)
+        walks = [rng.integers(0, 15, size=12) for _ in range(3)]
+        contexts = prepare_contexts(walks, WINDOW)
+        negs = FusedKernel().draw_negatives(make_sampler(15), contexts, NS, "per_walk")
+        assert len(negs) == 3
+        for ctx, n in zip(contexts, negs):
+            assert n.shape == (ctx.n, NS)
+            assert (n == n[0]).all()
+
+
+class TestChunkStats:
+    def test_ops_match_per_walk_profiles(self):
+        rng = np.random.default_rng(2)
+        n_nodes = 25
+        walks = make_chunk(rng, n_nodes, n_walks=6)
+        model = make_model("block", n_nodes, 8, seed=1)
+        trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend="fused")
+        trainer.train_corpus(walks, make_sampler(n_nodes))
+        expected = None
+        for walk in walks:
+            ctx = contexts_from_walk(walk, WINDOW)
+            if ctx.n == 0:
+                continue
+            prof = type(model).op_profile(model.dim, ctx.n, WINDOW - 1, NS)
+            expected = prof if expected is None else expected + prof
+        assert trainer.ops.as_dict() == pytest.approx(expected.as_dict())
+
+    def test_empty_chunk_is_a_noop(self):
+        """No contexts → zero stats AND no sampler RNG consumed."""
+        model = make_model("proposed", 10, 4, seed=0)
+        sampler = make_sampler(10)
+        state = copy.deepcopy(sampler.rng.bit_generator.state)
+        for backend in EXEC_BACKENDS:
+            stats = model.train_chunk(
+                [np.array([1, 2])], sampler, window=WINDOW, ns=NS, backend=backend
+            )
+            assert isinstance(stats, ChunkStats)
+            assert stats.n_walks == 0 and stats.n_contexts == 0
+            assert stats.ops.total_arithmetic == 0.0
+        assert sampler.rng.bit_generator.state == state
+
+
+class TestBackendSelection:
+    def test_model_preference_default(self):
+        model = make_model("proposed", 12, 4, seed=0, exec_backend="fused")
+        trainer = WalkTrainer(model, window=WINDOW, ns=NS)
+        assert trainer.exec_backend == "fused"
+
+    def test_trainer_override_records_on_model(self):
+        model = make_model("proposed", 12, 4, seed=0)
+        assert model.exec_backend == "reference"
+        trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend="fused")
+        assert trainer.exec_backend == "fused"
+        assert model.exec_backend == "fused"  # checkpoints record the run
+
+    def test_train_chunk_backend_arg_leaves_preference(self):
+        model = make_model("proposed", 12, 4, seed=0)
+        walks = [np.arange(10)]
+        model.train_chunk(walks, make_sampler(12), window=WINDOW, ns=NS,
+                          backend="fused")
+        assert model.exec_backend == "reference"
+
+    def test_custom_instance_does_not_poison_model_preference(self):
+        """A custom (unregistered) ExecBackend trains the run but must not
+        become the model preference — the registry and checkpoint loader
+        could never resolve its name."""
+
+        class MyKernel(ReferenceKernel):
+            name = "mykernel"
+
+        model = make_model("proposed", 12, 4, seed=0)
+        trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend=MyKernel())
+        assert trainer.exec_backend == "mykernel"
+        assert model.exec_backend == "reference"
+        # the model stays usable and checkpointable
+        model.train_chunk([np.arange(10)], make_sampler(12), window=WINDOW, ns=NS)
+
+    def test_invalid_backend_everywhere(self):
+        with pytest.raises(ValueError, match="exec_backend"):
+            make_model("proposed", 12, 4, seed=0, exec_backend="warp")
+        model = make_model("proposed", 12, 4, seed=0)
+        with pytest.raises(ValueError, match="exec_backend"):
+            WalkTrainer(model, exec_backend="warp")
+
+
+class TestFallbackDispatch:
+    def test_unknown_model_falls_back_to_train_walk(self):
+        """A custom EmbeddingModel without a fused kernel still trains
+        through the fused backend via its own train_walk."""
+        from repro.embedding.base import EmbeddingModel
+        from repro.hw.opcount import OpCount
+
+        class Recorder(EmbeddingModel):
+            n_nodes, dim = 15, 4
+            exec_backend = "reference"
+
+            def __init__(self):
+                self.calls = 0
+
+            @property
+            def embedding(self):
+                return np.zeros((self.n_nodes, self.dim))
+
+            def train_walk(self, contexts, negatives):
+                self.calls += 1
+
+            @classmethod
+            def op_profile(cls, dim, n_contexts, n_positives, n_negatives):
+                return OpCount(walk=1.0)
+
+            def state_bytes(self, *, weight_bytes=None):
+                return 0
+
+        model = Recorder()
+        walks = [np.arange(10), np.arange(8)]
+        stats = model.train_chunk(
+            walks, make_sampler(15), window=WINDOW, ns=NS, backend="fused"
+        )
+        assert model.calls == 2
+        assert stats.n_walks == 2

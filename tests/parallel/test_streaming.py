@@ -180,9 +180,11 @@ class TestNegativeSources:
 
 
 class TestGoldenRegression:
-    """The strategy-object refactor must not move a single bit: these
-    hashes were recorded against the pre-refactor inline-``if`` pipeline
-    (PR 2) on this exact workload."""
+    """Neither the strategy-object refactor (PR 3) nor the kernel layer
+    (PR 4) may move a single bit: these hashes were recorded against the
+    pre-refactor inline-``if`` pipeline (PR 2) on this exact workload, and
+    are pinned to ``exec_backend="reference"`` explicitly — the fused
+    backend draws a different (bulk) negative stream by contract."""
 
     GOLD = {
         "corpus": "9fad38075fcf1b796cb55e8b65e8cddbbdb191fc0a3d4d500d702e075edb5292",
@@ -190,16 +192,137 @@ class TestGoldenRegression:
         "two_pass": "9fad38075fcf1b796cb55e8b65e8cddbbdb191fc0a3d4d500d702e075edb5292",
     }
 
+    @staticmethod
+    def digest_of(res) -> str:
+        return hashlib.sha256(
+            np.ascontiguousarray(res.embedding).tobytes()
+        ).hexdigest()
+
     @pytest.mark.parametrize("source", sorted(GOLD))
     def test_embedding_unchanged_vs_pre_refactor_seed(self, graph, source):
         res = train_parallel(
             graph, dim=8, hyper=HP, n_workers=0, chunk_size=16,
-            negative_source=source, seed=5,
+            negative_source=source, exec_backend="reference", seed=5,
         )
-        digest = hashlib.sha256(
-            np.ascontiguousarray(res.embedding).tobytes()
-        ).hexdigest()
-        assert digest == self.GOLD[source]
+        assert self.digest_of(res) == self.GOLD[source]
+
+    def test_reference_is_the_default_backend(self, graph):
+        """Leaving exec_backend unset must keep hitting the goldens — the
+        kernel layer changes nothing unless explicitly asked to."""
+        res = train_parallel(
+            graph, dim=8, hyper=HP, n_workers=0, chunk_size=16,
+            negative_source="degree", seed=5,
+        )
+        assert res.telemetry.exec_backend == "reference"
+        assert self.digest_of(res) == self.GOLD["degree"]
+
+
+class TestFusedBackendPipeline:
+    """``exec_backend="fused"`` relaxes bit-identity to fixed *physical*
+    chunking (the bulk negative draw is per chunk): identical across worker
+    counts, prefetch depths and transports; different from reference (a
+    different, equally valid negative stream); pinned to chunk_size."""
+
+    def run(self, graph, **kw):
+        kw.setdefault("chunk_size", 16)
+        return train_parallel(
+            graph, dim=8, hyper=HP, negative_source="degree",
+            exec_backend="fused", seed=5, **kw,
+        )
+
+    def test_identical_across_workers_prefetch_and_transports(self, graph):
+        base = self.run(graph)
+        for kw in (
+            {"n_workers": 2},
+            {"n_workers": 4},
+            {"n_workers": 2, "prefetch": 8},
+            {"n_workers": 2, "transport": "pickle"},
+        ):
+            res = self.run(graph, **kw)
+            assert np.array_equal(base.embedding, res.embedding), kw
+
+    def test_chunk_size_is_the_contract(self, graph):
+        a = self.run(graph, chunk_size=16)
+        b = self.run(graph, chunk_size=8)
+        assert not np.array_equal(a.embedding, b.embedding)
+
+    def test_differs_from_reference_but_counts_agree(self, graph):
+        fused = self.run(graph)
+        ref = train_parallel(
+            graph, dim=8, hyper=HP, chunk_size=16,
+            negative_source="degree", exec_backend="reference", seed=5,
+        )
+        assert not np.array_equal(fused.embedding, ref.embedding)
+        assert fused.n_walks == ref.n_walks
+        assert fused.n_contexts == ref.n_contexts
+
+    def test_telemetry_records_backend_and_throughput(self, graph):
+        res = self.run(graph, n_workers=2)
+        t = res.telemetry
+        assert t.exec_backend == "fused"
+        assert t.train_walks == res.n_walks
+        assert t.train_walks_per_s > 0
+
+    @pytest.mark.parametrize("model", ("original", "proposed", "dataflow", "block"))
+    def test_every_registry_model_trains_fused(self, graph, model):
+        res = self.run(graph, model=model)
+        assert np.isfinite(res.embedding).all()
+        assert res.n_walks == HP.r * graph.n_nodes
+
+    def test_invalid_backend_rejected(self, graph):
+        with pytest.raises(ValueError, match="exec_backend"):
+            train_parallel(graph, hyper=HP, exec_backend="warp", seed=5)
+
+    def test_auto_chunking_rejected(self, graph):
+        """chunk_size="auto" derives the schedule from workers + timing;
+        fused pins results to the schedule — the combination would be
+        irreproducible and must be refused up front."""
+        with pytest.raises(ValueError, match="auto"):
+            train_parallel(
+                graph, dim=8, hyper=HP, chunk_size="auto",
+                negative_source="degree", exec_backend="fused", seed=5,
+            )
+        # a model carrying the fused preference is caught the same way
+        from repro.embedding import make_model
+
+        mdl = make_model("proposed", graph.n_nodes, 8, seed=0, exec_backend="fused")
+        with pytest.raises(ValueError, match="auto"):
+            train_parallel(
+                graph, model=mdl, hyper=HP, chunk_size="auto",
+                negative_source="degree", seed=5,
+            )
+        # and the rejected call must not have mutated the caller's model:
+        # validation runs before the trainer records any preference
+        clean = make_model("proposed", graph.n_nodes, 8, seed=0)
+        with pytest.raises(ValueError, match="auto"):
+            train_parallel(
+                graph, model=clean, hyper=HP, chunk_size="auto",
+                negative_source="degree", exec_backend="fused", seed=5,
+            )
+        assert clean.exec_backend == "reference"
+
+    def test_train_walk_honors_backend(self, graph):
+        """Walk-by-walk driving must train with the backend the trainer
+        records: per-walk train_walk calls == one train_corpus call under
+        fused (same per-walk bulk draws)."""
+        from repro.embedding import WalkTrainer, make_model
+        from repro.sampling.negative import NegativeSampler
+
+        rng = np.random.default_rng(0)
+        walks = [rng.integers(0, graph.n_nodes, size=10) for _ in range(4)]
+        embs = []
+        for how in ("corpus", "walks"):
+            mdl = make_model("original", graph.n_nodes, 8, seed=1)
+            tr = WalkTrainer(mdl, window=4, ns=3, exec_backend="fused")
+            sampler = NegativeSampler(np.ones(graph.n_nodes), seed=2)
+            if how == "corpus":
+                for w in walks:  # chunk boundaries identical either way
+                    tr.train_corpus([w], sampler)
+            else:
+                for w in walks:
+                    tr.train_walk(w, sampler)
+            embs.append(mdl.embedding)
+        assert np.array_equal(embs[0], embs[1])
 
 
 class TestDecayedSource:
@@ -436,6 +559,20 @@ class TestApiIntegration:
         b = train_on_graph(graph, dim=8, hyper=HP, seed=4)
         assert a.telemetry is None
         assert np.array_equal(a.embedding, b.embedding)
+
+    def test_api_exec_backend_valid_on_both_paths(self, graph):
+        """exec_backend alone does NOT imply the pipeline (the sequential
+        trainer supports it too), and it rides into the pipelined path."""
+        from repro import train_embedding
+
+        seq = train_embedding(graph, dim=8, hyper=HP, exec_backend="fused", seed=4)
+        assert seq.telemetry is None
+        assert seq.model.exec_backend == "fused"
+        par = train_embedding(
+            graph, dim=8, hyper=HP, n_workers=2, negative_source="degree",
+            exec_backend="fused", seed=4,
+        )
+        assert par.telemetry.exec_backend == "fused"
 
     def test_api_forwards_model_kwargs(self, graph):
         from repro import train_embedding

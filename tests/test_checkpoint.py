@@ -6,11 +6,15 @@ import pytest
 from repro.checkpoint import load_model, save_model
 from repro.embedding import (
     DataflowOSELMSkipGram,
+    MODEL_REGISTRY,
     OSELM,
     OSELMSkipGram,
     SkipGramSGD,
+    WalkTrainer,
+    make_model,
 )
 from repro.sampling.corpus import contexts_from_walk
+from repro.sampling.negative import NegativeSampler
 
 
 def trained_proposed(cls=OSELMSkipGram, **kw):
@@ -81,3 +85,74 @@ class TestRoundTrip:
         path = str(tmp_path / "f.npz")
         save_model(m, path)
         assert load_model(path).forgetting_factor == 0.999
+
+
+class TestExecBackendConfig:
+    """The exec-backend config rides the checkpoint: a restored model keeps
+    training through the kernel it was trained with."""
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    @pytest.mark.parametrize("backend", ("reference", "fused"))
+    def test_backend_round_trips(self, tmp_path, name, backend):
+        m = make_model(name, 20, 8, seed=3, exec_backend=backend)
+        path = str(tmp_path / "b.npz")
+        save_model(m, path)
+        assert load_model(path).exec_backend == backend
+
+    def test_trainer_recorded_backend_round_trips(self, tmp_path):
+        """WalkTrainer(exec_backend=...) sets the model preference, so the
+        checkpoint records the backend that actually trained it."""
+        m = make_model("proposed", 20, 8, seed=3)
+        WalkTrainer(m, window=4, ns=3, exec_backend="fused")
+        path = str(tmp_path / "t.npz")
+        save_model(m, path)
+        assert load_model(path).exec_backend == "fused"
+
+    def test_legacy_checkpoint_defaults_to_reference(self, tmp_path):
+        """Checkpoints written before the kernel layer carry no backend
+        field and must load as the bit-identical reference backend."""
+        import json
+
+        m = trained_proposed()
+        path = str(tmp_path / "legacy.npz")
+        save_model(m, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "__meta__"}
+            meta = json.loads(bytes(data["__meta__"].tobytes()).decode())
+        del meta["config"]["exec_backend"]
+        np.savez(
+            path,
+            __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        assert load_model(path).exec_backend == "reference"
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_save_load_continue_training(self, tmp_path, name):
+        """save → load → continue: the restored model's trajectory through
+        the kernel layer must match the uninterrupted one bit-for-bit, for
+        every registry model."""
+        rng = np.random.default_rng(4)
+        warmup = [rng.integers(0, 20, size=10) for _ in range(4)]
+        more = [rng.integers(0, 20, size=10) for _ in range(4)]
+
+        a = make_model(name, 20, 8, seed=3)
+        ta = WalkTrainer(a, window=4, ns=3, exec_backend="fused")
+        ta.train_corpus(warmup, NegativeSampler(np.ones(20), seed=1))
+
+        path = str(tmp_path / "mid.npz")
+        save_model(a, path)
+        b = load_model(path)
+        assert type(b) is type(a)
+        assert b.exec_backend == "fused"
+
+        # continue both from the checkpoint with identical streams; the
+        # restored model picks its recorded backend by default
+        sa = NegativeSampler(np.ones(20), seed=2)
+        sb = NegativeSampler(np.ones(20), seed=2)
+        ta2 = WalkTrainer(a, window=4, ns=3)
+        tb2 = WalkTrainer(b, window=4, ns=3)
+        assert tb2.exec_backend == "fused"
+        ta2.train_corpus(more, sa)
+        tb2.train_corpus(more, sb)
+        assert np.array_equal(a.embedding, b.embedding)
