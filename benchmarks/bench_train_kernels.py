@@ -1,23 +1,27 @@
-"""Training-kernel bench: ``"reference"`` vs ``"fused"`` walks/s per model.
+"""Training-kernel bench: the per-backend × per-model walks/s matrix.
 
 PRs 1–3 made walk generation stream; the consumer — per-context Python
 loops over tiny NumPy ops — became the pipeline's bottleneck, exactly the
 PS/PL boundary the paper moves into hardware.  The kernel layer
 (:mod:`repro.embedding.kernels`) batches that hot path; this bench is its
-gate: for every registry model it times ``WalkTrainer.train_corpus`` over
-one pre-generated corpus under both backends and reports walks/s plus the
-fused speedup.
+gate: for every registry model × every registry backend it times
+``WalkTrainer.train_corpus`` over one pre-generated corpus and reports
+walks/s plus each backend's speedup over ``"reference"``.
 
 Timing isolates the *training* stage (walks and the sampler are built once
 outside the timed region), so the numbers are the ``train_walks_per_s``
 telemetry the pipeline reports, free of generation noise.  Scored by the
 max walks/s of ``REPEATS`` runs (the scheduler-noise-free estimate).
 
-Assertions: the fused backend must hold ≥ 3× reference throughput for the
-``"original"`` SGD model (the per-window Python loop the kernels exist to
-kill) and must not regress any other model below parity-with-noise.  The
-``BENCH_*.json`` twin is uploaded by CI, so the walks/s trajectory is
-tracked PR over PR.
+Assertions: ``"fused"`` must hold ≥ 3× reference throughput for the
+``"original"`` SGD model (the per-window Python loop the fused kernels
+exist to kill), ``"blocked"`` must hold ≥ 3× reference for the paper's
+``"proposed"`` OS-ELM model (the rank-k RLS block solve this backend
+exists for — ``"fused"`` only managed ~1.3× because Algorithm 1 ran one
+tiny matvec per context), and no model may regress below parity-with-noise
+under any backend.  The ``BENCH_*.json`` twin is uploaded by CI, so the
+walks/s trajectory — now including OS-ELM throughput — is tracked PR over
+PR.
 """
 
 import time
@@ -35,9 +39,12 @@ from repro.sampling.walks import Node2VecWalker
 MODELS = ("original", "proposed", "dataflow", "block")
 REPEATS = 2
 
-#: acceptance floor: fused ≥ 3× reference for the SGD model
-MIN_SPEEDUP_ORIGINAL = 3.0
-#: no model may regress below parity minus noise under fused
+#: acceptance floors: the backend that exists for a model must deliver
+MIN_SPEEDUP = {
+    ("original", "fused"): 3.0,
+    ("proposed", "blocked"): 3.0,
+}
+#: no model may regress below parity minus noise under any backend
 MIN_SPEEDUP_ANY = 0.8
 
 
@@ -64,6 +71,7 @@ def test_train_kernels(benchmark, emit_report, profile):
             if best is None or wps > best["walks_per_s"]:
                 best = {
                     "walks_per_s": wps,
+                    "contexts_per_s": trainer.n_contexts / train_s,
                     "train_s": train_s,
                     "n_walks": trainer.n_walks,
                     "n_contexts": trainer.n_contexts,
@@ -74,30 +82,31 @@ def test_train_kernels(benchmark, emit_report, profile):
         report = ExperimentReport(
             name="Train kernels",
             title=(
-                "reference vs fused chunk kernels "
+                "execution-backend matrix: walks/s per model "
                 f"({graph.n_nodes} nodes, {len(walks)} walks, dim 32)"
             ),
-            columns=[
-                "model", "reference walks/s", "fused walks/s", "speedup",
-                "reference (s)", "fused (s)",
-            ],
+            columns=["model"]
+            + [f"{b} walks/s" for b in EXEC_BACKENDS]
+            + [f"{b} ×ref" for b in EXEC_BACKENDS if b != "reference"],
         )
         rows = {}
         for model_name in MODELS:
             per_backend = {b: measure(model_name, b) for b in EXEC_BACKENDS}
-            ref, fus = per_backend["reference"], per_backend["fused"]
-            speedup = fus["walks_per_s"] / ref["walks_per_s"]
+            ref = per_backend["reference"]
+            speedups = {
+                b: per_backend[b]["walks_per_s"] / ref["walks_per_s"]
+                for b in EXEC_BACKENDS
+            }
             report.add_row(
                 model_name,
-                round(ref["walks_per_s"], 1),
-                round(fus["walks_per_s"], 1),
-                f"{speedup:.2f}x",
-                round(ref["train_s"], 2),
-                round(fus["train_s"], 2),
+                *(round(per_backend[b]["walks_per_s"], 1) for b in EXEC_BACKENDS),
+                *(
+                    f"{speedups[b]:.2f}x"
+                    for b in EXEC_BACKENDS
+                    if b != "reference"
+                ),
             )
-            rows[model_name] = {
-                "reference": ref, "fused": fus, "speedup": speedup,
-            }
+            rows[model_name] = {**per_backend, "speedup": speedups}
         report.data = rows
         report.add_note(
             "walks/s inside WalkTrainer.train_corpus (train stage only; "
@@ -105,10 +114,15 @@ def test_train_kernels(benchmark, emit_report, profile):
             f"{REPEATS} runs each"
         )
         report.add_note(
-            "fused = all contexts extracted up front, one bulk negative "
-            "draw per chunk, per-walk batched gather/scatter updates "
-            "(documented tolerance vs reference, see "
-            "repro.embedding.kernels.FUSED_RTOL)"
+            "fused = bulk negative draw + batched per-walk gather/scatter "
+            "(FUSED_RTOL contract); blocked = fused draws + rank-k Woodbury "
+            "block solves for the OS-ELM RLS recursion, sequential gains, "
+            "one bincount+GEMM scatter pass per block (BLOCKED_RTOL "
+            "contract, O(mu^2*k) staleness)"
+        )
+        report.add_note(
+            "gates: fused >= 3x reference for 'original', blocked >= 3x "
+            "reference for 'proposed', no model below 0.8x anywhere"
         )
         return report
 
@@ -116,20 +130,26 @@ def test_train_kernels(benchmark, emit_report, profile):
     emit_report(report)
     rows = report.data
 
-    # the acceptance headline: the per-window SGD loop must vectorize away
-    assert rows["original"]["speedup"] >= MIN_SPEEDUP_ORIGINAL, (
-        f"fused original only {rows['original']['speedup']:.2f}x over reference"
-    )
-    # no model regresses under the fused backend (parity band for the
+    # the acceptance headlines: the per-window SGD loop must vectorize away
+    # (fused), and the paper's own model must ride the rank-k block solve
+    # (blocked) instead of being left interpreter-bound
+    for (model_name, backend), floor in MIN_SPEEDUP.items():
+        assert rows[model_name]["speedup"][backend] >= floor, (
+            f"{backend} {model_name} only "
+            f"{rows[model_name]['speedup'][backend]:.2f}x over reference"
+        )
+    # no model regresses under any backend (parity band for the
     # already-vectorized deferred models)
     for model_name in MODELS:
-        assert rows[model_name]["speedup"] >= MIN_SPEEDUP_ANY, model_name
-        ref, fus = rows[model_name]["reference"], rows[model_name]["fused"]
-        # both backends consumed the same corpus
-        assert ref["n_walks"] == fus["n_walks"] == len(walks)
-        assert ref["n_contexts"] == fus["n_contexts"]
-    # sanity: throughputs are finite and positive
-    for model_name in MODELS:
         for backend in EXEC_BACKENDS:
-            assert np.isfinite(rows[model_name][backend]["walks_per_s"])
-            assert rows[model_name][backend]["walks_per_s"] > 0
+            assert rows[model_name]["speedup"][backend] >= MIN_SPEEDUP_ANY, (
+                model_name,
+                backend,
+            )
+            res = rows[model_name][backend]
+            # every backend consumed the same corpus
+            assert res["n_walks"] == len(walks), (model_name, backend)
+            assert res["n_contexts"] == rows[model_name]["reference"]["n_contexts"]
+            # sanity: throughputs are finite and positive
+            assert np.isfinite(res["walks_per_s"]) and res["walks_per_s"] > 0
+            assert np.isfinite(res["contexts_per_s"]) and res["contexts_per_s"] > 0

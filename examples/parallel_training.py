@@ -21,9 +21,11 @@ Knobs demonstrated below:
   (serialized through the pool result pipe);
 * ``exec_backend`` — ``"reference"`` (the bit-exact per-walk loop) vs
   ``"fused"`` (vectorized chunk kernels: bulk negative draw + batched
-  gather/scatter updates — the big walks/s lever for the SGD baseline);
+  gather/scatter updates — the big walks/s lever for the SGD baseline) vs
+  ``"blocked"`` (fused draws + rank-k RLS block solves — the lever for the
+  paper's proposed OS-ELM model);
 * ``result.telemetry`` — per-stage timing, IPC bytes, training walks/s and
-  realized overlap.
+  contexts/s, realized overlap.
 
 Run:  python examples/parallel_training.py
 """
@@ -81,19 +83,25 @@ def main() -> None:
             f"walk bytes over pickle channel {t.ipc_walk_bytes:>9,}"
         )
 
-    # -- execution backends: reference vs fused training kernels -------- #
+    # -- execution backends: reference vs fused vs blocked kernels ------ #
     # the SGD baseline's per-window Python loop is where the fused kernels
-    # shine; the RLS models are already per-context/per-walk vectorized
-    for backend in ("reference", "fused"):
+    # shine; the proposed OS-ELM model needs the blocked backend's rank-k
+    # RLS block solves (fused alone leaves its recursion per-context)
+    for model, backend in (
+        ("original", "reference"), ("original", "fused"),
+        ("proposed", "reference"), ("proposed", "blocked"),
+    ):
         res = train_parallel(
-            graph, dim=32, hyper=hyper, model="original", n_workers=4,
+            graph, dim=32, hyper=hyper, model=model, n_workers=4,
             chunk_size=128, negative_source="degree",
             exec_backend=backend, seed=7,
         )
         t = res.telemetry
         print(
-            f"exec_backend={t.exec_backend:9s}: train {t.train_s:5.2f}s  "
-            f"{t.train_walks_per_s:7.0f} walks/s trained"
+            f"model={model:8s} exec_backend={t.exec_backend:9s}: "
+            f"train {t.train_s:5.2f}s  "
+            f"{t.train_walks_per_s:7.0f} walks/s  "
+            f"{t.train_contexts_per_s:8.0f} contexts/s"
         )
 
     # -- determinism across worker counts, transports, chunk sizes ------ #

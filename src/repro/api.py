@@ -108,10 +108,12 @@ def train_embedding(
 {backends}
 
         ``None`` follows the model's own preference (``"reference"`` unless
-        restored from a checkpoint that says otherwise).  ``"fused"`` draws
-        each chunk's negatives in one bulk pass, so its embedding is pinned
-        to the chunk schedule (still bit-identical across workers,
-        prefetch and transports).
+        restored from a checkpoint that says otherwise).  ``"fused"`` and
+        ``"blocked"`` draw each chunk's negatives in one bulk pass, so
+        their embedding is pinned to the chunk schedule (still bit-identical
+        across workers, prefetch and transports); ``"blocked"`` additionally
+        accepts sub-walk block sizes via a pre-constructed
+        ``BlockedKernel(block_contexts=...)`` instance.
     seed:
         deterministic seed for walks, sampling and initialization.
     model_kwargs:

@@ -10,8 +10,13 @@ firmware) can read it without this library.
 
 The config block also records the model's preferred execution backend
 (:attr:`~repro.embedding.base.EmbeddingModel.exec_backend`), so a restored
-model resumes training through the same chunk kernel it was trained with;
-checkpoints written before the kernel layer load as ``"reference"``.
+model resumes training through the same chunk kernel it was trained with —
+any :data:`~repro.embedding.kernels.EXEC_REGISTRY` name (``"reference"``,
+``"fused"``, ``"blocked"``) round-trips; checkpoints written before the
+kernel layer load as ``"reference"``.  Backend construction knobs (e.g.
+``BlockedKernel(block_contexts=...)``) are per-run configuration, not model
+state, and are deliberately not persisted — a restored ``"blocked"`` model
+trains with the default one-walk blocks unless the run says otherwise.
 """
 
 from __future__ import annotations

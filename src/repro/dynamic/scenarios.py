@@ -163,9 +163,11 @@ def run_seq_scenario(
         the old per-event ``sampler_refresh`` loop (tune via a
         ``DecayedSource(decay=…, rebuild_every=…)`` instance).
     exec_backend:
-        chunk-execution kernel (``"reference"`` | ``"fused"``, see
-        :mod:`repro.embedding.kernels`); ``None`` follows the model's own
-        preference.
+        chunk-execution kernel (``"reference"`` | ``"fused"`` |
+        ``"blocked"``, see :mod:`repro.embedding.kernels`); ``None``
+        follows the model's own preference.  ``"blocked"`` is the fast
+        path for the OS-ELM ``"proposed"`` model this scenario defaults
+        to — the rank-k RLS block solves batch each event's walk updates.
 
     The pipeline telemetry (snapshots consumed, per-snapshot stalls,
     sampler rebuilds, transport, stage timings, publish-once snapshot

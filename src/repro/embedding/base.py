@@ -115,10 +115,13 @@ class EmbeddingModel(abc.ABC):
             ``"per_context"`` / ``"per_walk"``; ``None`` picks the
             model-dependent default (dataflow → per_walk).
         backend:
-            an :data:`~repro.embedding.kernels.EXEC_REGISTRY` name or
+            an :data:`~repro.embedding.kernels.EXEC_REGISTRY` name
+            (``"reference"`` | ``"fused"`` | ``"blocked"``) or
             :class:`~repro.embedding.kernels.ExecBackend` instance; ``None``
             uses :attr:`exec_backend` (default ``"reference"``, which is
-            bit-identical to looping :meth:`train_walk`).
+            bit-identical to looping :meth:`train_walk`).  Unlike a
+            trainer-level override, an explicit ``backend`` here never
+            mutates the model's preference.
 
         Returns
         -------

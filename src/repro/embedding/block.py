@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.embedding.oselm import rank_k_update
 from repro.embedding.sequential import OSELMSkipGram
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts
@@ -59,17 +60,11 @@ class BlockOSELMSkipGram(OSELMSkipGram):
         C, J = positives.shape
         lam = self.forgetting_factor
 
-        if self.weight_tying == "beta":
-            H = self.mu * self.B[centers]  # (C, d)
-        else:
-            H = self._alpha[centers]
-
-        PHt = self.P @ H.T  # (d, C)
-        S = lam * np.eye(C) + H @ PHt  # (C, C)
-        K = np.linalg.solve(S.T, PHt.T).T  # P Hᵀ S⁻¹, via one solve
-        self.P -= K @ PHt.T
-        if lam != 1.0:
-            self.P /= lam
+        H = self.hidden_batch(centers)  # (C, d), walk-start B
+        # shared Woodbury block step (repro.embedding.oselm): Cholesky +
+        # triangular solves, square-root P downdate; batch gain K = P Hᵀ S⁻¹
+        # because every trained sample's error rides the full walk update
+        K = rank_k_update(self.P, H, lam=lam, gain="batch")  # (d, C)
 
         # errors against walk-start B (deferred semantics, like Algorithm 2)
         pos_err = 1.0 - np.einsum("cjd,cd->cj", self.B[positives], H)  # (C, J)

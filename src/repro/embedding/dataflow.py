@@ -54,10 +54,7 @@ class DataflowOSELMSkipGram(OSELMSkipGram):
         C, J = positives.shape
 
         # Stage 1: H for every context from the walk-start B (line 3)
-        if self.weight_tying == "beta":
-            H = self.mu * self.B[centers]  # (C, dim)
-        else:
-            H = self._alpha[centers]
+        H = self.hidden_batch(centers)  # (C, dim)
         PH = H @ self.P  # (C, dim); P symmetric so Hᵀ side is free
 
         # Stage 2: HPHᵀ per context (line 6)

@@ -44,6 +44,71 @@ Backends
       walk-vectorized; the fused win is the bulk negative draw and the
       up-front context extraction.  Bit-identical given the same negatives.
 
+``"blocked"``
+    Everything ``"fused"`` does, plus the OS-ELM rank-k block kernel: the
+    plain :class:`~repro.embedding.sequential.OSELMSkipGram` chunk — the
+    paper's *proposed* model, the one workload ``"fused"`` could only lift
+    ~1.3× because Algorithm 1's per-context RLS recursion executes one tiny
+    matvec at a time — runs in rank-k blocks (``block_contexts`` per solve,
+    default one walk per block; blocks never cross a walk boundary):
+
+    1. one ``µ·B[centers]`` gather of the block's hidden rows against the
+       block-start ``B`` (:meth:`~repro.embedding.sequential.OSELMSkipGram.hidden_batch`);
+    2. one Woodbury block solve replaces k rank-1 ``P`` recursions —
+       ``S = λI + H_b P H_bᵀ``, Cholesky, square-root downdate
+       ``P ← (P − Xᵀ X)/λ`` with ``X = L⁻¹ H_b P`` — via the shared
+       :func:`repro.embedding.oselm.rank_k_update` (the k>1 form
+       ``OSELM.partial_fit`` already implements), re-symmetrizing ``P``
+       once per walk (a bitwise no-op while it is already symmetric);
+    3. the per-context *sequential* gains come out of the same
+       factorization (``K = P H_bᵀ L⁻ᵀ D⁻¹``, i.e. column *i* is exactly
+       the gain the rank-1 recursion would have produced at step *i* —
+       the plain batch gain ``P H_bᵀ S⁻¹`` would couple contexts through
+       ``S⁻¹`` and break the sequential equivalence);
+    4. all ``(1+ns)·n_pos·k`` scatter updates of the block land in one
+       pass: per-(node, context) error coefficients accumulate through one
+       ``np.bincount``, then a single ``(R, k) @ (k, d)`` GEMM over the
+       block's R *unique* rows updates ``B`` (the GraphACT move — batch
+       the redundant update arithmetic, do the heavy math once per node).
+
+    Error analysis (the ``BLOCKED_RTOL`` contract)
+        Within one block, the kernel differs from Algorithm 1's sequential
+        semantics only through *staleness*: hidden rows and sample errors
+        are read against the block-start ``B`` while the sequential loop
+        would have seen up to k−1 preceding in-block updates.  Each
+        in-block update moves a ``B`` row by ``‖k_i e‖ = O(µ·p0)`` (the
+        gain is ``P H/(λ + HPHᵀ)`` with ``‖H‖ = µ‖B‖``), so
+
+        * under ``"beta"`` tying a stale hidden row is off by
+          ``µ·O(k·µ·p0) = O(µ²·k)``, and a stale error by
+          ``H·ΔB = O(µ²·k)`` — the per-block drift is **O(µ²·k)**, first
+          order in both staleness terms;
+        * under ``"alpha"`` tying the hidden rows are exact (α is fixed),
+          so on *duplicate-free* blocks (no node sampled in two contexts
+          of the block — construct them with window 2) the kernel is
+          **exact in exact arithmetic**: sequential gains (step 3) +
+          unchanged errors; only floating-point reassociation of the
+          linear algebra remains (pinned at ``BLOCKED_EXACT_RTOL``);
+        * at ``block_contexts=1`` every staleness term vanishes for *all*
+          tyings — the solve degenerates to the scalar recursion — which
+          the tests use to pin the analysis itself.
+
+        Sliding windows overlap, so real walks always carry cross-context
+        duplicates; at the paper's µ = 0.01 the compounded drift over a
+        Table 2-scale corpus stays inside ``BLOCKED_RTOL["proposed"]``,
+        the same order as the walk-deferral the paper itself licenses
+        (Algorithm 2 / Figure 5, ≤1.09% accuracy cost — and Algorithm 2
+        freezes *gains* too, which ``"blocked"`` does not).
+
+    ``denominator="paper"`` has no block form (the literal line 5 deflates
+    the gain denominator to ``hph``, which the SPD solve does not model) —
+    those models fall back to the fused per-context kernel, as do the
+    deferred dataflow/block models (already walk-vectorized) and
+    ``SkipGramSGD`` (no RLS recursion to block).  With ``forgetting_factor
+    < 1`` the ``1/λ`` rescaling applies once per block rather than once
+    per context (the same per-walk treatment
+    :class:`~repro.embedding.block.BlockOSELMSkipGram` documents).
+
 Tolerance contract
 ------------------
 ``"fused"`` differs from ``"reference"`` in two documented ways:
@@ -66,7 +131,9 @@ Tolerance contract
 ``tests/embedding/test_kernels.py`` pins both halves of the contract:
 kernel arithmetic is compared under *shared* pre-drawn negatives (exact or
 ``FUSED_RTOL``-close per model), and the golden regressions stay pinned to
-``"reference"``.
+``"reference"``.  ``tests/embedding/test_blocked.py`` pins the blocked
+contract the same way (``BLOCKED_RTOL`` property tests, the alpha-tied
+duplicate-free exactness, and the ``block_contexts=1`` degeneration).
 
 Registry
 --------
@@ -87,17 +154,21 @@ import numpy as np
 
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
+from repro.embedding.oselm import rank_k_update
 from repro.embedding.sequential import _EPS, OSELMSkipGram
 from repro.embedding.skipgram import SkipGramSGD, _sigmoid
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts, contexts_from_walk
 from repro.sampling.negative import NegativeSampler
-from repro.utils.validation import check_in_set
+from repro.utils.validation import check_in_set, check_positive
 
 __all__ = [
+    "BLOCKED_EXACT_RTOL",
+    "BLOCKED_RTOL",
     "EXEC_BACKENDS",
     "EXEC_REGISTRY",
     "FUSED_RTOL",
+    "BlockedKernel",
     "ChunkStats",
     "ExecBackend",
     "FusedKernel",
@@ -118,6 +189,26 @@ FUSED_RTOL = {
     "dataflow": 0.0,
     "block": 0.0,
 }
+
+#: Documented relative tolerance of ``"blocked"`` vs ``"reference"`` under
+#: *shared* negatives, per model registry name (module docstring, "Error
+#: analysis").  ``"proposed"`` carries the O(µ²·k)-per-block staleness of
+#: the rank-k RLS solve, bounded at this rtol on Table 2-scale workloads at
+#: the paper's µ = 0.01; ``"original"`` inherits the fused SGD kernel and
+#: its O(lr²) walk deferral; the deferred models train through their own
+#: walk-vectorized updates (bit-identical given shared negatives).
+BLOCKED_RTOL = {
+    "original": 5e-2,
+    "proposed": 1e-1,
+    "dataflow": 0.0,
+    "block": 0.0,
+}
+
+#: Floating-point headroom for the cases ``"blocked"`` reproduces *exactly
+#: in exact arithmetic* (alpha-tied duplicate-free blocks; any tying at
+#: ``block_contexts=1``): the Cholesky/GEMM reassociation leaves only
+#: eps-level residue, far below any model tolerance.
+BLOCKED_EXACT_RTOL = 1e-9
 
 
 def default_negative_reuse(model) -> str:
@@ -339,13 +430,18 @@ class FusedKernel(ExecBackend):
                 model.train_walk(ctx, negs)
         elif isinstance(model, OSELMSkipGram):
             for ctx, negs in zip(contexts, negatives):
-                _train_oselm_fused(model, ctx, negs)
+                self._train_oselm(model, ctx, negs)
         elif isinstance(model, SkipGramSGD):
             for ctx, negs in zip(contexts, negatives):
                 _train_sgd_fused(model, ctx, negs)
         else:  # any other EmbeddingModel: fall back to its own walk update
             for ctx, negs in zip(contexts, negatives):
                 model.train_walk(ctx, negs)
+
+    def _train_oselm(self, model, ctx, negatives):
+        """One plain-OSELM walk — the seam :class:`BlockedKernel` overrides
+        with the rank-k block solve."""
+        _train_oselm_fused(model, ctx, negatives)
 
 
 def _train_oselm_fused(model: OSELMSkipGram, ctx: WalkContexts, negatives) -> None:
@@ -428,11 +524,137 @@ def _train_sgd_fused(model: SkipGramSGD, ctx: WalkContexts, negatives) -> None:
     np.add.at(w_in, centers, grad_h)
 
 
+class BlockedKernel(FusedKernel):
+    """Rank-k blocked RLS for the OS-ELM family on top of the fused bulk
+    draws (see module docstring for the block algorithm and the
+    ``BLOCKED_RTOL`` error analysis).
+
+    Parameters
+    ----------
+    block_contexts:
+        contexts per Woodbury block solve: ``"walk"`` (default — one block
+        spans the whole walk, the paper's Algorithm 2 deferral boundary) or
+        a positive int (sub-walk blocks; smaller blocks read fresher
+        ``B``, shrinking the documented drift toward zero at 1).  Blocks
+        are always clipped at walk boundaries — Algorithm 1's recursion,
+        the negative batch and the walk-start gather are all per-walk, so
+        a cross-walk block would change the *model*, not the arithmetic;
+        values asking for one (e.g. ``"chunk"``) are rejected up front.
+    """
+
+    name = "blocked"
+    summary = (
+        "fused bulk draws + rank-k Woodbury block solves for the OS-ELM "
+        "RLS recursion (sequential gains, one scatter pass per block; "
+        "documented O(mu^2*k) staleness vs reference)"
+    )
+
+    def __init__(self, block_contexts: int | str = "walk"):
+        if isinstance(block_contexts, str):
+            if block_contexts != "walk":
+                raise ValueError(_cross_walk_block_error(block_contexts))
+        else:
+            check_positive("block_contexts", block_contexts, integer=True)
+            block_contexts = int(block_contexts)
+        self.block_contexts = block_contexts
+
+    def _train_oselm(self, model, ctx, negatives):
+        if model.denominator != "standard":
+            # literal Algorithm 1 line 5 (denom = hph) has no SPD block
+            # form — keep the per-context fused kernel for those models
+            _train_oselm_fused(model, ctx, negatives)
+            return
+        _train_oselm_blocked(model, ctx, negatives, self.block_contexts)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(block_contexts={self.block_contexts!r})"
+
+
+def _cross_walk_block_error(spec) -> str:
+    """The rejection message for block specs that would cross walk
+    boundaries, rendered from the registry docs (the same UX as the
+    pipeline's fused × ``chunk_size="auto"`` rejection)."""
+    return (
+        f"block_contexts={spec!r} would block the RLS recursion across walk "
+        f'boundaries, but exec_backend="{BlockedKernel.name}" '
+        f"({BlockedKernel.summary}) defines its blocks within one walk: "
+        "Algorithm 1's recursion, the negative batch and the walk-start "
+        "hidden gather are all per-walk, so a cross-walk block would change "
+        'the model rather than the arithmetic.  Use "walk" (the default, '
+        "one block per walk) or a positive int of contexts per block "
+        "(clipped at each walk boundary)."
+    )
+
+
+def _train_oselm_blocked(
+    model: OSELMSkipGram, ctx: WalkContexts, negatives, block_contexts
+) -> None:
+    """One walk of Algorithm 1 executed in rank-k RLS blocks.
+
+    Per block (≤ ``block_contexts`` contexts, never crossing the walk):
+    gather the hidden rows against block-start ``B``, run one shared
+    Woodbury solve (:func:`repro.embedding.oselm.rank_k_update`) with
+    *sequential* gains, compute every sample error against block-start
+    ``B``, reduce the ``(1+ns)·n_pos·k`` scatter updates to one
+    ``np.bincount`` of per-(row, context) coefficients plus one
+    ``(R, k) @ (k, d)`` GEMM over the block's unique rows.  See the module
+    docstring for the exactness/drift contract.
+    """
+    negatives = model._check_walk_inputs(ctx, negatives)
+    positives = ctx.positives
+    C, J = positives.shape
+    ns = negatives.shape[1]
+    # per-context samples = [positives, tile(negatives, J)], assembled once
+    # per walk; targets are shared by every block
+    samples = np.concatenate([positives, np.tile(negatives, (1, J))], axis=1)
+    targets = np.concatenate([np.ones(J), np.zeros(J * ns)])
+    B, P = model.B, model.P
+    lam = model.forgetting_factor
+    step = C if block_contexts == "walk" else int(block_contexts)
+    for lo in range(0, C, step):
+        hi = min(lo + step, C)
+        k = hi - lo
+        H = model.hidden_batch(ctx.centers[lo:hi])  # (k, d), block-start B
+        # P update + per-context sequential gains, one Cholesky solve
+        K = rank_k_update(P, H, lam=lam, gain="sequential")  # (d, k)
+        s = samples[lo:hi]  # (k, S)
+        rows, inv = np.unique(s.ravel(), return_inverse=True)
+        R = rows.shape[0]
+        inv = inv.reshape(k, -1)
+        # errors against block-start B.  Two equivalent contractions; the
+        # (deterministic, shape-only) branch picks the cheaper one:
+        # duplicate-heavy blocks (small graphs: R ≪ k·S) predict once per
+        # unique row and fancy-index the (row, context) pairs out, while
+        # duplicate-light blocks (large graphs: R ≈ k·S) contract each slot
+        # directly — the unique-row GEMM would compute k predictions per
+        # row and discard k−1 of them.
+        if 3 * R <= k * s.shape[1]:
+            Z = B[rows] @ H.T  # (R, k)
+            E = targets[None, :] - Z[inv, np.arange(k)[:, None]]  # (k, S)
+        else:
+            E = targets[None, :] - np.einsum("ksd,kd->ks", B[s], H)
+        # one scatter pass: per-(row, context) coefficients via bincount,
+        # then a single GEMM over the block's unique rows lands every
+        # update (duplicates accumulate, matching the batched duplicate
+        # policy)
+        M = np.bincount(
+            (inv + np.arange(k)[:, None] * R).ravel(),
+            weights=E.ravel(),
+            minlength=k * R,
+        ).reshape(k, R)
+        B[rows] += M.T @ K.T
+    # square-root downdates keep P symmetric by construction; re-symmetrize
+    # once per walk so eps-level GEMM residue cannot compound (bitwise
+    # no-op while P is already symmetric)
+    P[:] = (P + P.T) * 0.5
+    model.n_walks_trained += 1
+
+
 #: Single source of truth for the valid ``exec_backend`` strategies: the
 #: trainer's validation, the API docs and the tests all render from this
 #: registry (the ``SOURCE_REGISTRY`` pattern, applied to execution).
 EXEC_REGISTRY: dict[str, type[ExecBackend]] = {
-    cls.name: cls for cls in (ReferenceKernel, FusedKernel)
+    cls.name: cls for cls in (ReferenceKernel, FusedKernel, BlockedKernel)
 }
 
 #: Valid ``exec_backend`` names, in registry order.
@@ -447,8 +669,10 @@ def make_backend(name: str) -> ExecBackend:
 
 def resolve_backend(spec) -> ExecBackend:
     """Normalize an ``exec_backend`` argument: a registry name becomes a
-    fresh instance; an already-constructed :class:`ExecBackend` is used
-    as-is (backends are stateless)."""
+    fresh instance with default knobs; an already-constructed
+    :class:`ExecBackend` is used as-is (backends carry construction-time
+    configuration only — e.g. ``BlockedKernel(block_contexts=8)`` — never
+    per-run state, so instances are safely reusable)."""
     if isinstance(spec, ExecBackend):
         return spec
     if isinstance(spec, str):

@@ -13,6 +13,16 @@ The sequential solution equals the batch ridge-regression solution
 ``β = (Hᵀ H + λI)^{-1} Hᵀ T`` when ``P_0 = λ^{-1} I`` — the key invariant the
 test suite verifies (this is why OS-ELM avoids catastrophic forgetting: every
 update is exact w.r.t. *all* data seen so far, not a gradient step).
+
+:func:`rank_k_update` is the shared Woodbury block step behind both the
+mini-batch :meth:`OSELM.partial_fit` path and the ``"blocked"`` execution
+backend (:mod:`repro.embedding.kernels`): one Cholesky factorization of the
+k×k ``S = λI + H P Hᵀ``, the covariance update applied in square-root form
+(``P − XᵀX`` stays symmetric positive semi-definite by construction), and a
+gain matrix in either the *batch* form ``K = P Hᵀ S⁻¹`` or the *sequential*
+form whose column *i* equals the gain the rank-1 recursion would have
+produced at step *i* — the identity the blocked kernel's exactness contract
+rests on.
 """
 
 from __future__ import annotations
@@ -22,7 +32,63 @@ import numpy as np
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_set, check_positive
 
-__all__ = ["OSELM"]
+try:  # scipy is the normal toolchain; keep a pure-NumPy fallback anyway
+    from scipy.linalg import solve_triangular as _solve_triangular
+except ImportError:  # pragma: no cover - exercised only without scipy
+    def _solve_triangular(a, b, *, lower=False, trans=0):
+        a = a.T if trans in (1, "T") else a
+        return np.linalg.solve(a, b)
+
+__all__ = ["OSELM", "rank_k_update"]
+
+#: rank-1 updates between two cheap ``P ← (P + Pᵀ)/2`` re-symmetrizations
+#: (exact arithmetic keeps P symmetric; the ``np.outer`` subtraction leaks
+#: eps-level asymmetry that compounds over unbounded deployments — the
+#: long-run drift test pins the symmetrized recursion)
+_SYM_PERIOD = 64
+
+
+def rank_k_update(P: np.ndarray, H: np.ndarray, *, lam: float = 1.0,
+                  gain: str = "batch") -> np.ndarray:
+    """One rank-k RLS covariance update, in place; returns the (d, k) gain.
+
+    Factorizes ``S = λ·I_k + H P Hᵀ`` (SPD for ``λ > 0``, ``P ⪰ 0``) by
+    Cholesky ``S = L Lᵀ`` and applies the Woodbury downdate in square-root
+    form — ``X = L⁻¹ H P``, ``P ← (P − Xᵀ X)/λ`` — which needs no explicit
+    inverse (two triangular solves replace ``inv(S)``) and keeps ``P``
+    symmetric by construction.
+
+    gain:
+        ``"batch"`` — ``K = P Hᵀ S⁻¹`` (with the *pre-update* ``P``): the
+        OS-ELM mini-batch gain of [6], exact when every output sees all k
+        targets, i.e. the full ``β += K (T − H β)`` update of
+        :meth:`OSELM.partial_fit`.
+
+        ``"sequential"`` — column *i* equals the gain ``k_i`` the rank-1
+        recursion (Algorithm 1 lines 3–7) would have produced at step *i*.
+        Reading ``S = L̃ D L̃ᵀ`` (unit-lower ``L̃``, ``D = diag(L)²``), the
+        sequential gains are ``P Hᵀ L̃⁻ᵀ D⁻¹ = Xᵀ / diag(L)``.  This is the
+        gain to *scatter* with when each output column sees only its own
+        step's target (the skip-gram per-sample update of the ``"blocked"``
+        kernel): the batch ``K`` would couple steps through ``S⁻¹``'s
+        off-diagonal and break the sequential equivalence.
+
+    With ``lam < 1`` (FOS-ELM forgetting) the ``1/λ`` rescaling is applied
+    once per block — callers that need per-step forgetting must use k = 1.
+    """
+    check_in_set("gain", gain, ("batch", "sequential"))
+    k = H.shape[0]
+    G = P @ H.T                                     # (d, k)
+    S = H @ G
+    S[np.diag_indices(k)] += lam
+    L = np.linalg.cholesky(S)
+    X = _solve_triangular(L, G.T, lower=True)       # (k, d) = L⁻¹ H P
+    P -= X.T @ X
+    if lam != 1.0:
+        P /= lam
+    if gain == "sequential":
+        return X.T / np.diag(L)[None, :]
+    return _solve_triangular(L, X, lower=True, trans="T").T  # (L⁻ᵀX)ᵀ = G S⁻¹
 
 _ACTIVATIONS = {
     "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60))),
@@ -74,6 +140,11 @@ class OSELM:
         self.beta = np.zeros((n_hidden, n_outputs))
         self.P = np.eye(n_hidden) / self.reg
         self.n_seen = 0
+        # reusable scratch for the rank-1 fast path: the per-sample outer
+        # products land here instead of allocating two temporaries per update
+        self._scratch_P = np.empty((n_hidden, n_hidden))
+        self._scratch_beta = np.empty((n_hidden, n_outputs))
+        self._since_sym = 0
 
     # ------------------------------------------------------------------ #
 
@@ -120,20 +191,30 @@ class OSELM:
             )
         k = H.shape[0]
         if k == 1:
-            # rank-1 fast path — the form the paper's accelerator implements
+            # rank-1 fast path — the form the paper's accelerator implements;
+            # the outer products write into preallocated scratch (zero
+            # per-update temporaries beyond the matvec results)
             h = H[0]
             Ph = self.P @ h
             denom = 1.0 + h @ Ph
             kgain = Ph / denom
-            self.P -= np.outer(kgain, Ph)
-            self.beta += np.outer(kgain, T[0] - h @ self.beta)
+            np.multiply.outer(kgain, Ph, out=self._scratch_P)
+            self.P -= self._scratch_P
+            np.multiply.outer(kgain, T[0] - h @ self.beta, out=self._scratch_beta)
+            self.beta += self._scratch_beta
         else:
-            PHt = self.P @ H.T
-            S = np.eye(k) + H @ PHt
-            K = PHt @ np.linalg.inv(S)
-            self.P -= K @ PHt.T
+            # rank-k Woodbury block step: Cholesky + triangular solves (no
+            # explicit inv(S)), square-root P downdate (symmetry preserved)
+            K = rank_k_update(self.P, H, gain="batch")
             self.beta += K @ (T - H @ self.beta)
         self.n_seen += k
+        # the rank-1 outer subtraction leaks eps-level asymmetry into P;
+        # re-symmetrize periodically so it cannot compound over unbounded
+        # deployments (a bitwise no-op whenever P is already symmetric)
+        self._since_sym += 1
+        if self._since_sym >= _SYM_PERIOD:
+            self._since_sym = 0
+            self.P[:] = (self.P + self.P.T) * 0.5
 
     def fit_sequential(self, X: np.ndarray, T: np.ndarray, *, chunk: int = 1) -> None:
         """Stream a dataset through :meth:`partial_fit` in ``chunk``-sized

@@ -140,6 +140,14 @@ class OSELMSkipGram(EmbeddingModel):
             # because the input is one-hot (H = row of α).
             self._alpha = rng.uniform(-1.0, 1.0, size=(n_nodes, dim))
         self.n_walks_trained = 0
+        # reusable per-context buffers (allocation reuse only, never carried
+        # state): the gain's outer product lands in _scratch_P, and the
+        # batched duplicate policy's sample/target assembly in _ctx_samples /
+        # _ctx_targets (keyed by (n_pos, ns) — same m can split differently)
+        self._scratch_P = np.empty((dim, dim))
+        self._ctx_samples = np.empty(0, dtype=np.int64)
+        self._ctx_targets = np.empty(0)
+        self._ctx_shape = (0, 0)
 
     # ------------------------------------------------------------------ #
 
@@ -155,6 +163,21 @@ class OSELMSkipGram(EmbeddingModel):
             return self.mu * self.B[center]
         return self._alpha[center]
 
+    def hidden_batch(self, centers: np.ndarray) -> np.ndarray:
+        """H rows for a batch of center nodes, read against the *current*
+        ``B`` — Algorithm 1 line 2 as one ``µ·B[centers]`` gather.
+
+        This is the walk-start (or block-start) hidden gather shared by the
+        deferred models (:class:`~repro.embedding.dataflow.DataflowOSELMSkipGram`,
+        :class:`~repro.embedding.block.BlockOSELMSkipGram`) and the
+        ``"blocked"`` execution kernel: under ``"beta"`` tying the rows go
+        stale as ``B`` is updated behind them (the documented drift source),
+        under ``"alpha"`` tying they are exact (α is fixed).
+        """
+        if self.weight_tying == "beta":
+            return self.mu * self.B[centers]
+        return self._alpha[centers]
+
     def _gain(self, H: np.ndarray) -> np.ndarray:
         """Update P in place; return the gain k = P_i Hᵀ (lines 3–7).
 
@@ -169,7 +192,13 @@ class OSELMSkipGram(EmbeddingModel):
         else:  # literal Algorithm 1 line 5
             denom = hph if abs(hph) > _EPS else _EPS
         k = Ph / denom
-        self.P -= np.outer(k, Ph)
+        # outer product into preallocated scratch: same bits as
+        # ``P -= np.outer(k, Ph)`` without the per-context temporary.  (No
+        # periodic re-symmetrization here: the reference path is pinned
+        # bit-for-bit by the golden regressions; the generic OSELM and the
+        # blocked kernel, which own their tolerance contracts, symmetrize.)
+        np.multiply.outer(k, Ph, out=self._scratch_P)
+        self.P -= self._scratch_P
         if lam != 1.0:
             self.P /= lam
         return k  # standard mode: equals P_i H exactly (module docstring)
@@ -194,10 +223,21 @@ class OSELMSkipGram(EmbeddingModel):
             return
 
         # batched: all (1 + ns) samples of all windows against the
-        # context-start B, scatter-added (duplicates accumulate)
-        samples = np.concatenate([positives, np.tile(negatives, n_pos)])
-        targets = np.concatenate([np.ones(n_pos), np.zeros(n_pos * ns)])
-        errs = targets - self.B[samples] @ H
+        # context-start B, scatter-added (duplicates accumulate).  The
+        # sample/target assembly is written into reusable buffers (the same
+        # hoisting SkipGramSGD's window buffers got): contents are fully
+        # rewritten per context, so reuse cannot change any result.
+        m = n_pos * (1 + ns)
+        if self._ctx_shape != (n_pos, ns):
+            self._ctx_shape = (n_pos, ns)
+            self._ctx_samples = np.empty(m, dtype=np.int64)
+            self._ctx_targets = np.empty(m)
+            self._ctx_targets[:n_pos] = 1.0
+            self._ctx_targets[n_pos:] = 0.0
+        samples = self._ctx_samples
+        samples[:n_pos] = positives
+        samples[n_pos:].reshape(n_pos, ns)[:] = negatives[None, :]
+        errs = self._ctx_targets - self.B[samples] @ H
         np.add.at(self.B, samples, errs[:, None] * k[None, :])
 
     def train_walk(self, contexts: WalkContexts, negatives: np.ndarray) -> None:

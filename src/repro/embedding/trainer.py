@@ -86,14 +86,16 @@ class WalkTrainer:
     exec_backend:
         chunk-execution backend for :meth:`train_corpus` — an
         :data:`repro.embedding.kernels.EXEC_REGISTRY` name
-        (``"reference"`` | ``"fused"``) or an
-        :class:`~repro.embedding.kernels.ExecBackend` instance.  ``None``
+        (``"reference"`` | ``"fused"`` | ``"blocked"``) or an
+        :class:`~repro.embedding.kernels.ExecBackend` instance (e.g. a
+        ``BlockedKernel(block_contexts=8)`` with sub-walk blocks).  ``None``
         (default) uses the model's own :attr:`~EmbeddingModel.exec_backend`
         preference; an explicit *registry name* also sets that preference,
         so a checkpoint taken after training records the backend that
-        actually trained the model (custom instances train the run but are
-        not recorded — their names mean nothing to the registry or a
-        checkpoint loader).
+        actually trained the model (a registry-named *instance* records its
+        name too, though construction knobs stay per-run; custom
+        unregistered instances train the run but are not recorded — their
+        names mean nothing to the registry or a checkpoint loader).
     """
 
     def __init__(
@@ -150,13 +152,15 @@ class WalkTrainer:
         (:mod:`repro.embedding.kernels`): ``"reference"`` reproduces the
         historical per-walk loop bit-identically; ``"fused"`` runs the
         vectorized chunk kernels (bulk negative draw + batched
-        gather/scatter updates, documented tolerance).  The trainer keeps
-        no per-corpus state, so callers may invoke this once per streamed
-        chunk; under ``"reference"`` the result is bit-identical to one
-        call over the concatenation (per-walk draws), while ``"fused"``
-        draws each call's negatives in one bulk pass, so its negative
-        stream — like :class:`~repro.sampling.sources.DecayedSource`'s fold
-        schedule — is pinned to the chunking it was trained with.
+        gather/scatter updates, documented tolerance); ``"blocked"`` adds
+        the rank-k RLS block solves for the OS-ELM family on top of the
+        fused draws.  The trainer keeps no per-corpus state, so callers may
+        invoke this once per streamed chunk; under ``"reference"`` the
+        result is bit-identical to one call over the concatenation
+        (per-walk draws), while ``"fused"``/``"blocked"`` draw each call's
+        negatives in one bulk pass, so their negative stream — like
+        :class:`~repro.sampling.sources.DecayedSource`'s fold schedule — is
+        pinned to the chunking it was trained with.
         """
         stats = self.backend.train_chunk(
             self.model,
@@ -200,8 +204,8 @@ def train_on_graph(
     ``hyper`` is a :class:`repro.experiments.hyper.Node2VecParams` (or None
     for the paper's defaults).  ``model`` may be a registry name or an
     already-built :class:`EmbeddingModel`.  ``exec_backend`` selects the
-    chunk-execution kernel (``"reference"`` | ``"fused"``, see
-    :mod:`repro.embedding.kernels`); ``None`` follows the model's own
+    chunk-execution kernel (``"reference"`` | ``"fused"`` | ``"blocked"``,
+    see :mod:`repro.embedding.kernels`); ``None`` follows the model's own
     preference (``"reference"`` unless restored from a checkpoint that says
     otherwise).
     """

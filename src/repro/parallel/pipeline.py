@@ -59,9 +59,12 @@ Execution backends (``exec_backend``)
 Consumed chunks train through the kernel layer
 (:mod:`repro.embedding.kernels`): ``"reference"`` is the bit-identical
 per-walk loop, ``"fused"`` the vectorized chunk kernels (bulk negative
-draw + batched per-walk gather/scatter updates).  ``telemetry.exec_backend``
-records the kernel used and ``telemetry.train_walks_per_s`` its realized
-training throughput.
+draw + batched per-walk gather/scatter updates), ``"blocked"`` the rank-k
+RLS block solves for the OS-ELM family on top of the fused draws.
+``telemetry.exec_backend`` records the kernel used;
+``telemetry.train_walks_per_s`` / ``train_contexts_per_s`` its realized
+training throughput (the context rate is the number the OS-ELM kernels
+move, one RLS step per context).
 
 Chunk sizing (``chunk_size``)
 -----------------------------
@@ -276,8 +279,11 @@ class PipelineTelemetry:
 
     Execution: ``exec_backend`` is the chunk-kernel the trainer ran
     (:data:`repro.embedding.kernels.EXEC_REGISTRY` name);
-    ``train_walks`` the walks trained, so ``train_walks_per_s`` is the
-    consumer-side training throughput the kernel benchmarks track.
+    ``train_walks`` / ``train_contexts`` the walks and sliding-window
+    contexts trained, so ``train_walks_per_s`` and ``train_contexts_per_s``
+    are the consumer-side training throughput the kernel benchmarks track
+    (contexts/s is the RLS-step rate the ``"blocked"`` OS-ELM kernel is
+    built to lift).
     """
 
     negative_source: str
@@ -299,6 +305,7 @@ class PipelineTelemetry:
     ipc_snapshot_bytes_saved: int = 0
     exec_backend: str = ""
     train_walks: int = 0
+    train_contexts: int = 0
 
     @property
     def overlap_efficiency(self) -> float:
@@ -314,6 +321,15 @@ class PipelineTelemetry:
         if self.train_s <= 0.0:
             return 0.0
         return self.train_walks / self.train_s
+
+    @property
+    def train_contexts_per_s(self) -> float:
+        """Training throughput in sliding-window contexts per second (one
+        RLS step per context for the OS-ELM family; 0.0 before any timed
+        training)."""
+        if self.train_s <= 0.0:
+            return 0.0
+        return self.train_contexts / self.train_s
 
 
 class ParallelWalkGenerator:
@@ -689,11 +705,14 @@ def train_parallel(
     (:data:`repro.embedding.kernels.EXEC_REGISTRY`): ``"reference"`` is the
     bit-identical historical per-walk loop; ``"fused"`` runs the vectorized
     chunk kernels (bulk negative draw + batched gather/scatter updates) for
-    a large walks/s win at a documented tolerance.  Because ``"fused"``
-    draws each chunk's negatives in one bulk pass, its negative stream is
-    pinned to the chunk schedule: results stay bit-identical across
-    ``n_workers``, ``prefetch`` and ``transport``, but — like
-    ``"decayed"``'s virtual-chunk contract — change with ``chunk_size``.
+    a large walks/s win at a documented tolerance; ``"blocked"`` adds the
+    rank-k RLS block solves that lift the OS-ELM ``"proposed"`` model
+    (documented ``BLOCKED_RTOL`` staleness).  Because ``"fused"`` and
+    ``"blocked"`` draw each chunk's negatives in one bulk pass, their
+    negative stream is pinned to the chunk schedule: results stay
+    bit-identical across ``n_workers``, ``prefetch`` and ``transport``,
+    but — like ``"decayed"``'s virtual-chunk contract — change with
+    ``chunk_size`` (which is also why both reject ``chunk_size="auto"``).
     ``None`` follows the model's own :attr:`~repro.embedding.base.EmbeddingModel.exec_backend`
     preference (``"reference"`` unless a checkpoint says otherwise).
 
@@ -901,4 +920,5 @@ def train_parallel(
 
     tele.total_s = time.perf_counter() - t_total
     tele.train_walks = trainer.n_walks
+    tele.train_contexts = trainer.n_contexts
     return trainer.result(hyper=hp, telemetry=tele)

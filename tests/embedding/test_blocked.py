@@ -1,0 +1,365 @@
+"""The ``"blocked"`` execution backend's contract: rank-k RLS block solves
+with *sequential* gains (repro.embedding.kernels.BlockedKernel).
+
+Pinned here, mirroring the fused contract in ``test_kernels.py``:
+
+* alpha-tied duplicate-free blocks are exact in exact arithmetic (only
+  Cholesky/GEMM float reassociation remains — ``BLOCKED_EXACT_RTOL``);
+* ``block_contexts=1`` degenerates to the scalar recursion for *every*
+  tying (the staleness terms of the documented O(µ²·k) bound all vanish);
+* real walks at the paper's µ = 0.01 stay inside ``BLOCKED_RTOL`` across
+  models × duplicate policies (hypothesis property tests, shared
+  pre-drawn negatives isolating the arithmetic);
+* block specs that would cross walk boundaries are rejected up front;
+* P stays exactly symmetric (the square-root downdate + per-walk
+  re-symmetrization).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import make_model
+from repro.embedding.kernels import (
+    BLOCKED_EXACT_RTOL,
+    BLOCKED_RTOL,
+    EXEC_BACKENDS,
+    BlockedKernel,
+    FusedKernel,
+    ReferenceKernel,
+    make_backend,
+    prepare_contexts,
+    resolve_backend,
+)
+from repro.embedding.trainer import MODEL_REGISTRY, WalkTrainer
+from repro.sampling.negative import NegativeSampler
+
+WINDOW, NS = 5, 4
+
+
+def make_sampler(n_nodes, seed=11):
+    return NegativeSampler(np.ones(n_nodes), seed=seed)
+
+
+def make_chunk(rng, n_nodes, n_walks=4, max_len=18):
+    walks = []
+    for _ in range(n_walks):
+        length = int(rng.integers(2, max_len + 1))
+        walks.append(rng.integers(0, n_nodes, size=length))
+    return walks
+
+
+def reuse_for(name):
+    return "per_walk" if name == "dataflow" else "per_context"
+
+
+def run_pair(name, walks, n_nodes, other, *, window=WINDOW, dim=8, seed=7, **kw):
+    """Train two identically-initialized models on the SAME pre-drawn
+    negatives through ``ReferenceKernel`` and ``other``; returns (ref_model,
+    other_model)."""
+    a = make_model(name, n_nodes, dim, seed=seed, **kw)
+    b = make_model(name, n_nodes, dim, seed=seed, **kw)
+    ref = ReferenceKernel()
+    contexts = prepare_contexts(walks, window)
+    negatives = ref.draw_negatives(
+        make_sampler(n_nodes), contexts, NS, reuse_for(name)
+    )
+    ref.train_prepared(a, contexts, negatives)
+    other.train_prepared(b, contexts, negatives)
+    return a, b
+
+
+def duplicate_free_case(rng, n_nodes=300, length=12):
+    """A walk whose blocks are duplicate-free: window 2 (one positive per
+    context, no sliding-window overlap), all walk nodes distinct, negatives
+    distinct and disjoint from the walk — the construction under which the
+    alpha-tied kernel is exact in exact arithmetic (module docstring)."""
+    perm = rng.permutation(n_nodes)
+    walks = [perm[:length]]
+    contexts = prepare_contexts(walks, 2)
+    (ctx,) = contexts
+    negatives = [perm[length : length + ctx.n * NS].reshape(ctx.n, NS)]
+    return walks, contexts, negatives
+
+
+class TestRegistryAndKnobs:
+    def test_registered(self):
+        assert "blocked" in EXEC_BACKENDS
+        backend = make_backend("blocked")
+        assert isinstance(backend, BlockedKernel)
+        assert backend.block_contexts == "walk"
+        assert not BlockedKernel.chunk_invariant  # bulk draw, like fused
+        assert "block_contexts" in repr(backend)
+
+    def test_tolerance_table_covers_every_model(self):
+        assert set(BLOCKED_RTOL) == set(MODEL_REGISTRY)
+        # the SGD model inherits the fused kernel's deferral drift, the
+        # proposed model carries the rank-k staleness, the deferred models
+        # train through their own (unchanged) walk updates
+        assert BLOCKED_RTOL["original"] > 0
+        assert BLOCKED_RTOL["proposed"] > 0
+        assert BLOCKED_RTOL["dataflow"] == BLOCKED_RTOL["block"] == 0.0
+        assert 0 < BLOCKED_EXACT_RTOL < min(
+            v for v in BLOCKED_RTOL.values() if v
+        )
+
+    def test_configured_instance_resolves_as_is(self):
+        backend = BlockedKernel(block_contexts=8)
+        assert resolve_backend(backend) is backend
+        assert backend.block_contexts == 8
+
+    @pytest.mark.parametrize("bad", (0, -3))
+    def test_non_positive_block_rejected(self, bad):
+        with pytest.raises(ValueError, match="block_contexts"):
+            BlockedKernel(block_contexts=bad)
+
+    @pytest.mark.parametrize("bad", ("chunk", "corpus", "epoch"))
+    def test_cross_walk_block_rejected(self, bad):
+        """A block spec that would span walks is refused with the rendered
+        registry docs — same UX as the pipeline's fused × auto rejection."""
+        with pytest.raises(ValueError) as exc:
+            BlockedKernel(block_contexts=bad)
+        msg = str(exc.value)
+        assert "walk bound" in msg
+        assert BlockedKernel.name in msg
+        assert BlockedKernel.summary in msg  # rendered from the registry
+
+    def test_api_docs_render_blocked(self):
+        from repro import train_embedding
+
+        assert '"blocked"' in train_embedding.__doc__
+
+
+class TestAlphaTiedExactness:
+    """Untied input weights + duplicate-free blocks ⇒ the rank-k solve
+    reproduces the sequential recursion exactly in exact arithmetic; only
+    floating-point reassociation of the factorization remains."""
+
+    @pytest.mark.parametrize("block_contexts", ("walk", 4, 1))
+    def test_exact_on_duplicate_free_blocks(self, block_contexts):
+        rng = np.random.default_rng(0)
+        walks, contexts, negatives = duplicate_free_case(rng)
+        del walks  # the constructed (duplicate-free) negatives are the point
+        a = make_model("proposed", 300, 8, seed=7, weight_tying="alpha")
+        b = make_model("proposed", 300, 8, seed=7, weight_tying="alpha")
+        ReferenceKernel().train_prepared(a, contexts, negatives)
+        BlockedKernel(block_contexts=block_contexts).train_prepared(
+            b, contexts, negatives
+        )
+        scale = max(np.abs(a.embedding).max(), 1.0)
+        assert np.abs(a.embedding - b.embedding).max() <= BLOCKED_EXACT_RTOL * scale
+        assert np.abs(a.P - b.P).max() <= BLOCKED_EXACT_RTOL
+
+    def test_duplicates_are_what_breaks_exactness(self):
+        """Sanity check on the construction: the SAME case with sampler
+        negatives (duplicates across contexts) drifts above eps — the
+        duplicate-free condition is load-bearing, not incidental."""
+        rng = np.random.default_rng(0)
+        walks, _, _ = duplicate_free_case(rng)
+        a, b = run_pair(
+            "proposed", walks, 300, BlockedKernel(),
+            window=2, weight_tying="alpha",
+        )
+        drift = np.abs(a.embedding - b.embedding).max()
+        assert drift > BLOCKED_EXACT_RTOL  # duplicates: genuine staleness
+
+    def test_sequential_gains_are_load_bearing(self):
+        """The same solve with *batch* gains (plain K = P Hᵀ S⁻¹) would NOT
+        be sequential-exact: K_batch = K_seq·L̃⁻¹ with L̃ unit lower
+        triangular, so only the LAST column coincides — scattering with the
+        batch gain would couple every earlier step through S⁻¹."""
+        from repro.embedding.oselm import rank_k_update
+
+        rng = np.random.default_rng(1)
+        P0 = np.eye(6) * 0.7
+        H = rng.normal(size=(5, 6))
+        seq = rank_k_update(P0.copy(), H, gain="sequential")
+        batch = rank_k_update(P0.copy(), H, gain="batch")
+        assert np.allclose(seq[:, -1], batch[:, -1])
+        assert np.abs(seq[:, :-1] - batch[:, :-1]).max() > 1e-3
+        # and the sequential gains really are the rank-1 recursion's gains
+        P = P0.copy()
+        for i in range(H.shape[0]):
+            h = H[i]
+            Ph = P @ h
+            k1 = Ph / (1.0 + h @ Ph)
+            P -= np.outer(k1, Ph)
+            assert np.allclose(seq[:, i], k1)
+
+
+class TestBlockContextsKnob:
+    def test_block_of_one_degenerates_to_reference_any_tying(self):
+        """At block_contexts=1 every staleness term of the O(µ²·k) analysis
+        vanishes — the solve IS the scalar recursion, for beta tying too."""
+        rng = np.random.default_rng(2)
+        walks = make_chunk(rng, 40, n_walks=4)
+        a, b = run_pair("proposed", walks, 40, BlockedKernel(block_contexts=1))
+        scale = max(np.abs(a.embedding).max(), 1.0)
+        assert np.abs(a.embedding - b.embedding).max() <= BLOCKED_EXACT_RTOL * scale
+        assert np.abs(a.P - b.P).max() <= BLOCKED_EXACT_RTOL
+
+    def test_oversized_block_equals_walk_blocks(self):
+        """Ints beyond any walk's context count clip at the walk boundary —
+        bit-identical to the default one-walk blocks."""
+        rng = np.random.default_rng(3)
+        walks = make_chunk(rng, 30, n_walks=4)
+        contexts = prepare_contexts(walks, WINDOW)
+        negs = ReferenceKernel().draw_negatives(
+            make_sampler(30), contexts, NS, "per_context"
+        )
+        a = make_model("proposed", 30, 8, seed=5)
+        b = make_model("proposed", 30, 8, seed=5)
+        BlockedKernel().train_prepared(a, contexts, negs)
+        BlockedKernel(block_contexts=10_000).train_prepared(b, contexts, negs)
+        assert np.array_equal(a.embedding, b.embedding)
+        assert np.array_equal(a.P, b.P)
+
+    def test_sub_walk_blocks_stay_in_tolerance(self):
+        rng = np.random.default_rng(4)
+        walks = make_chunk(rng, 40, n_walks=4)
+        for bc in (2, 3, 7):
+            a, b = run_pair("proposed", walks, 40, BlockedKernel(block_contexts=bc))
+            scale = max(np.abs(a.embedding).max(), 1e-12)
+            drift = np.abs(a.embedding - b.embedding).max() / scale
+            assert drift <= BLOCKED_RTOL["proposed"], bc
+
+
+@st.composite
+def chunk_case(draw):
+    n_nodes = draw(st.integers(min_value=12, max_value=40))
+    n_walks = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    return n_nodes, make_chunk(rng, n_nodes, n_walks=n_walks), seed
+
+
+class TestBlockedToleranceContract:
+    """Property-style: given the SAME negatives, ``"blocked"`` matches
+    ``"reference"`` within ``BLOCKED_RTOL`` per model — at the paper's
+    hyper-parameters (µ = 0.01 is the model default) across duplicate
+    policies; the models whose kernels the backend shares with ``"fused"``
+    must match *that* backend bit-for-bit."""
+
+    @pytest.mark.parametrize("policy", ("batched", "sequential"))
+    @given(case=chunk_case())
+    @settings(max_examples=12, deadline=None)
+    def test_proposed_within_documented_rtol(self, policy, case):
+        n_nodes, walks, seed = case
+        a, b = run_pair(
+            "proposed", walks, n_nodes, BlockedKernel(),
+            seed=seed, duplicate_policy=policy,
+        )
+        scale = max(np.abs(a.embedding).max(), 1e-12)
+        drift = np.abs(a.embedding - b.embedding).max()
+        assert drift <= BLOCKED_RTOL["proposed"] * scale
+        assert a.n_walks_trained == b.n_walks_trained
+
+    @pytest.mark.parametrize("name", ("dataflow", "block"))
+    @given(case=chunk_case())
+    @settings(max_examples=8, deadline=None)
+    def test_deferred_models_bit_identical(self, name, case):
+        """The deferred models are already walk-vectorized: blocked trains
+        them through their own train_walk, exactly like fused."""
+        n_nodes, walks, seed = case
+        a, b = run_pair(name, walks, n_nodes, BlockedKernel(), seed=seed)
+        assert np.array_equal(a.embedding, b.embedding)
+        assert np.array_equal(a.P, b.P)
+
+    @given(case=chunk_case())
+    @settings(max_examples=8, deadline=None)
+    def test_sgd_matches_fused_kernel_bitwise(self, case):
+        """No RLS recursion to block: SkipGramSGD rides the fused kernel
+        unchanged (and therefore inherits FUSED_RTOL's O(lr²) contract)."""
+        n_nodes, walks, seed = case
+        contexts = prepare_contexts(walks, WINDOW)
+        if not contexts:
+            return
+        negs = ReferenceKernel().draw_negatives(
+            make_sampler(n_nodes), contexts, NS, "per_context"
+        )
+        a = make_model("original", n_nodes, 8, seed=seed)
+        b = make_model("original", n_nodes, 8, seed=seed)
+        FusedKernel().train_prepared(a, contexts, negs)
+        BlockedKernel().train_prepared(b, contexts, negs)
+        assert np.array_equal(a.embedding, b.embedding)
+
+    def test_paper_denominator_falls_back_to_fused(self):
+        """Literal Algorithm 1 line 5 has no SPD block form — those models
+        keep the fused per-context kernel, bit-for-bit."""
+        rng = np.random.default_rng(6)
+        walks = make_chunk(rng, 30, n_walks=3)
+        contexts = prepare_contexts(walks, WINDOW)
+        negs = ReferenceKernel().draw_negatives(
+            make_sampler(30), contexts, NS, "per_context"
+        )
+        a = make_model("proposed", 30, 8, seed=2, denominator="paper")
+        b = make_model("proposed", 30, 8, seed=2, denominator="paper")
+        FusedKernel().train_prepared(a, contexts, negs)
+        BlockedKernel().train_prepared(b, contexts, negs)
+        assert np.array_equal(a.embedding, b.embedding)
+        assert np.array_equal(a.P, b.P)
+
+    def test_forgetting_factor_block_of_one_matches_reference(self):
+        """λ < 1: the 1/λ rescaling is per block, so block_contexts=1
+        reproduces the per-context FOS-ELM recursion."""
+        rng = np.random.default_rng(7)
+        walks = make_chunk(rng, 30, n_walks=3)
+        a, b = run_pair(
+            "proposed", walks, 30, BlockedKernel(block_contexts=1),
+            forgetting_factor=0.99,
+        )
+        scale = max(np.abs(a.embedding).max(), 1.0)
+        assert np.abs(a.embedding - b.embedding).max() <= BLOCKED_EXACT_RTOL * scale
+
+
+class TestChunkBehavior:
+    def test_accounting_matches_reference(self):
+        rng = np.random.default_rng(8)
+        n_nodes = 30
+        walks = make_chunk(rng, n_nodes, n_walks=5)
+        results = {}
+        for backend in ("reference", "blocked"):
+            model = make_model("proposed", n_nodes, 8, seed=4)
+            trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend=backend)
+            trainer.train_corpus(walks, make_sampler(n_nodes))
+            results[backend] = trainer
+        ref, blk = results["reference"], results["blocked"]
+        assert ref.n_walks == blk.n_walks
+        assert ref.n_contexts == blk.n_contexts
+        assert ref.ops.as_dict() == pytest.approx(blk.ops.as_dict())
+
+    def test_negative_stream_shared_with_fused(self):
+        """blocked inherits fused's bulk draw: a model whose kernel is
+        identical under both backends (dataflow) must produce identical
+        embeddings through full train_chunk runs."""
+        rng = np.random.default_rng(9)
+        walks = make_chunk(rng, 25, n_walks=5)
+        embs = {}
+        for backend in ("fused", "blocked"):
+            model = make_model("dataflow", 25, 8, seed=3)
+            trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend=backend)
+            trainer.train_corpus(walks, make_sampler(25))
+            embs[backend] = model.embedding
+        assert np.array_equal(embs["fused"], embs["blocked"])
+
+    def test_p_stays_exactly_symmetric(self):
+        """Square-root downdates + the per-walk re-symmetrization leave P
+        bitwise symmetric after any amount of blocked training."""
+        rng = np.random.default_rng(10)
+        walks = make_chunk(rng, 40, n_walks=12)
+        model = make_model("proposed", 40, 8, seed=1)
+        trainer = WalkTrainer(model, window=WINDOW, ns=NS, exec_backend="blocked")
+        trainer.train_corpus(walks, make_sampler(40))
+        assert np.array_equal(model.P, model.P.T)
+        assert np.isfinite(model.P).all()
+
+    def test_preference_recorded_and_checkpointable(self, tmp_path):
+        from repro.checkpoint import load_model, save_model
+
+        model = make_model("proposed", 20, 8, seed=0)
+        WalkTrainer(model, window=WINDOW, ns=NS, exec_backend="blocked")
+        assert model.exec_backend == "blocked"
+        path = str(tmp_path / "b.npz")
+        save_model(model, path)
+        assert load_model(path).exec_backend == "blocked"

@@ -65,7 +65,7 @@ def shared_negative_run(name, walks, n_nodes, *, policy=None, dim=8, seed=7):
 
 class TestRegistry:
     def test_names(self):
-        assert EXEC_BACKENDS == ("reference", "fused")
+        assert EXEC_BACKENDS == ("reference", "fused", "blocked")
         for name, cls in EXEC_REGISTRY.items():
             assert cls.name == name
             assert cls.summary

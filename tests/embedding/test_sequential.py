@@ -237,3 +237,46 @@ class TestOpProfile:
         prop = OSELMSkipGram(2708, 32, seed=0)
         ratio = orig.state_bytes() / prop.state_bytes()
         assert 3.0 < ratio < 4.2
+
+
+class TestContextBuffers:
+    """The batched path's sample/target assembly lives in reusable buffers
+    (hoisted like SkipGramSGD's window buffers): contents are rewritten per
+    context, so reuse must be invisible — including across shape changes
+    where the flat length m = n_pos·(1+ns) collides."""
+
+    def test_shape_collision_rebuilds_targets(self):
+        """(n_pos=2, ns=2) and (n_pos=3, ns=1) share m=6 but split targets
+        differently — the buffer key must be the (n_pos, ns) pair, not m."""
+        a = OSELMSkipGram(30, 8, seed=1)
+        b = OSELMSkipGram(30, 8, seed=1)
+        # a: warm the buffer with a (2, 2) context, then train (3, 1)
+        a.train_context(0, np.array([1, 2]), np.array([3, 4]))
+        a.train_context(5, np.array([6, 7, 8]), np.array([9]))
+        # b: the (3, 1) context alone from the same post-(2,2) state
+        b.train_context(0, np.array([1, 2]), np.array([3, 4]))
+        fresh = OSELMSkipGram(30, 8, seed=1)
+        fresh.B = b.B.copy()
+        fresh.P = b.P.copy()
+        fresh.train_context(5, np.array([6, 7, 8]), np.array([9]))
+        assert np.array_equal(a.B, fresh.B)
+        assert np.array_equal(a.P, fresh.P)
+
+    def test_interleaved_models_do_not_share_buffers(self):
+        rng = np.random.default_rng(0)
+        a = OSELMSkipGram(25, 8, seed=2)
+        b = OSELMSkipGram(25, 8, seed=2)
+        c = OSELMSkipGram(25, 8, seed=3)
+        contexts = [
+            (int(rng.integers(25)),
+             rng.integers(0, 25, size=3),
+             rng.integers(0, 25, size=2))
+            for _ in range(10)
+        ]
+        for cen, pos, neg in contexts:
+            a.train_context(cen, pos, neg)
+        for cen, pos, neg in contexts:  # interleave b with a third model
+            b.train_context(cen, pos, neg)
+            c.train_context(cen, neg, pos)
+        assert np.array_equal(a.B, b.B)
+        assert np.array_equal(a.P, b.P)

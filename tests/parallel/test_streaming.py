@@ -325,6 +325,71 @@ class TestFusedBackendPipeline:
         assert np.array_equal(embs[0], embs[1])
 
 
+class TestBlockedBackendPipeline:
+    """``exec_backend="blocked"`` shares the fused negative-stream contract
+    (one bulk draw per chunk → pinned to the physical chunk schedule) and
+    adds the rank-k OS-ELM block solves: identical across worker counts,
+    prefetch depths and transports at a fixed chunk size; pinned to
+    chunk_size; ``chunk_size="auto"`` refused."""
+
+    def run(self, graph, **kw):
+        kw.setdefault("chunk_size", 16)
+        kw.setdefault("exec_backend", "blocked")
+        return train_parallel(
+            graph, dim=8, hyper=HP, negative_source="degree", seed=5, **kw,
+        )
+
+    def test_identical_across_workers_prefetch_and_transports(self, graph):
+        base = self.run(graph)
+        for kw in (
+            {"n_workers": 2},
+            {"n_workers": 2, "prefetch": 8},
+            {"n_workers": 2, "transport": "pickle"},
+        ):
+            res = self.run(graph, **kw)
+            assert np.array_equal(base.embedding, res.embedding), kw
+
+    def test_chunk_size_is_the_contract(self, graph):
+        a = self.run(graph, chunk_size=16)
+        b = self.run(graph, chunk_size=8)
+        assert not np.array_equal(a.embedding, b.embedding)
+
+    def test_auto_chunking_rejected(self, graph):
+        with pytest.raises(ValueError, match="auto"):
+            self.run(graph, chunk_size="auto")
+
+    def test_telemetry_records_backend_and_context_rate(self, graph):
+        res = self.run(graph)
+        t = res.telemetry
+        assert t.exec_backend == "blocked"
+        assert t.train_walks == res.n_walks
+        assert t.train_contexts == res.n_contexts
+        assert t.train_contexts_per_s > 0
+        assert t.train_contexts_per_s == pytest.approx(
+            t.train_walks_per_s * res.n_contexts / res.n_walks
+        )
+
+    @pytest.mark.parametrize("model", ("original", "proposed", "dataflow", "block"))
+    def test_every_registry_model_trains_blocked(self, graph, model):
+        res = self.run(graph, model=model)
+        assert np.isfinite(res.embedding).all()
+        assert res.n_walks == HP.r * graph.n_nodes
+
+    def test_sub_walk_block_instance_flows_through(self, graph):
+        """A configured BlockedKernel instance rides exec_backend into the
+        pipeline; its name is recorded in telemetry and the result differs
+        from the default one-walk blocks (different block boundaries) while
+        staying finite."""
+        from repro.embedding.kernels import BlockedKernel
+
+        default = self.run(graph, model="proposed")
+        sub = self.run(graph, model="proposed",
+                       exec_backend=BlockedKernel(block_contexts=2))
+        assert sub.telemetry.exec_backend == "blocked"
+        assert np.isfinite(sub.embedding).all()
+        assert not np.array_equal(default.embedding, sub.embedding)
+
+
 class TestDecayedSource:
     """'decayed' relaxes bit-identity to fixed *virtual* chunking: the
     embedding must be identical across worker counts, transports AND

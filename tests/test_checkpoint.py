@@ -92,7 +92,7 @@ class TestExecBackendConfig:
     training through the kernel it was trained with."""
 
     @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
-    @pytest.mark.parametrize("backend", ("reference", "fused"))
+    @pytest.mark.parametrize("backend", ("reference", "fused", "blocked"))
     def test_backend_round_trips(self, tmp_path, name, backend):
         m = make_model(name, 20, 8, seed=3, exec_backend=backend)
         path = str(tmp_path / "b.npz")
@@ -128,23 +128,24 @@ class TestExecBackendConfig:
         assert load_model(path).exec_backend == "reference"
 
     @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
-    def test_save_load_continue_training(self, tmp_path, name):
+    @pytest.mark.parametrize("backend", ("fused", "blocked"))
+    def test_save_load_continue_training(self, tmp_path, name, backend):
         """save → load → continue: the restored model's trajectory through
         the kernel layer must match the uninterrupted one bit-for-bit, for
-        every registry model."""
+        every registry model × non-default backend."""
         rng = np.random.default_rng(4)
         warmup = [rng.integers(0, 20, size=10) for _ in range(4)]
         more = [rng.integers(0, 20, size=10) for _ in range(4)]
 
         a = make_model(name, 20, 8, seed=3)
-        ta = WalkTrainer(a, window=4, ns=3, exec_backend="fused")
+        ta = WalkTrainer(a, window=4, ns=3, exec_backend=backend)
         ta.train_corpus(warmup, NegativeSampler(np.ones(20), seed=1))
 
         path = str(tmp_path / "mid.npz")
         save_model(a, path)
         b = load_model(path)
         assert type(b) is type(a)
-        assert b.exec_backend == "fused"
+        assert b.exec_backend == backend
 
         # continue both from the checkpoint with identical streams; the
         # restored model picks its recorded backend by default
@@ -152,7 +153,7 @@ class TestExecBackendConfig:
         sb = NegativeSampler(np.ones(20), seed=2)
         ta2 = WalkTrainer(a, window=4, ns=3)
         tb2 = WalkTrainer(b, window=4, ns=3)
-        assert tb2.exec_backend == "fused"
+        assert tb2.exec_backend == backend
         ta2.train_corpus(more, sa)
         tb2.train_corpus(more, sb)
         assert np.array_equal(a.embedding, b.embedding)
