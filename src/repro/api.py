@@ -18,10 +18,20 @@ from the validated registry.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from repro.embedding.kernels import EXEC_REGISTRY
 from repro.sampling.sources import SOURCE_REGISTRY
+
+if TYPE_CHECKING:  # annotation-only: the heavy layers stay lazily imported
+    from repro.dynamic import ScenarioResult
+    from repro.embedding.trainer import TrainingResult
+    from repro.experiments.hyper import Node2VecParams
+    from repro.graph.csr import CSRGraph
+    from repro.sampling.sources import NegativeSource
+    from repro.utils.rng import SeedLike
 
 __all__ = ["train_embedding", "train_dynamic", "quick_embedding"]
 
@@ -38,21 +48,21 @@ _BACKEND_DOC = "\n".join(
 
 
 def train_embedding(
-    graph,
+    graph: CSRGraph,
     *,
     dim: int = 32,
     model: str = "proposed",
-    hyper=None,
+    hyper: Node2VecParams | None = None,
     epochs: int = 1,
     n_workers: int | None = None,
-    negative_source=None,
+    negative_source: str | NegativeSource | None = None,
     negative_power: float = 0.75,
     transport: str | None = None,
     chunk_size: int | str | None = None,
     exec_backend: str | None = None,
-    seed=None,
-    **model_kwargs,
-):
+    seed: SeedLike = None,
+    **model_kwargs: Any,
+) -> TrainingResult:
     """Train a node embedding on ``graph``.
 
     Parameters
@@ -167,25 +177,25 @@ def train_embedding(
 
 
 def train_dynamic(
-    graph,
+    graph: CSRGraph,
     *,
     dim: int = 32,
     model: str = "proposed",
-    hyper=None,
+    hyper: Node2VecParams | None = None,
     edges_per_event: int = 1,
     max_events: int | None = None,
     initial_training: bool = False,
     walks_per_endpoint: int | None = None,
     n_workers: int | None = None,
-    negative_source="decayed",
+    negative_source: str | NegativeSource = "decayed",
     negative_power: float = 0.75,
     transport: str | None = None,
     chunk_size: int | None = None,
     prefetch: int | None = None,
     exec_backend: str | None = None,
-    seed=None,
-    **model_kwargs,
-):
+    seed: SeedLike = None,
+    **model_kwargs: Any,
+) -> ScenarioResult:
     """Train on ``graph`` as a *growing* graph: replay its edges through the
     streaming dynamic-graph engine (the paper's "seq" protocol, §4.3.2).
 
@@ -239,7 +249,7 @@ def train_dynamic(
     )
 
 
-def quick_embedding(graph, *, dim: int = 32, seed=None) -> np.ndarray:
+def quick_embedding(graph: CSRGraph, *, dim: int = 32, seed: SeedLike = None) -> np.ndarray:
     """One-liner: train the proposed model with Table 2 defaults and return
     the (n_nodes, dim) embedding matrix."""
     return train_embedding(graph, dim=dim, model="proposed", seed=seed).embedding

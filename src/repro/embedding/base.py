@@ -11,12 +11,19 @@ and negatives, the PL (accelerator) trains on them.
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts
 from repro.utils.validation import check_in_set
+
+if TYPE_CHECKING:  # runtime imports would cycle through the kernel layer
+    from collections.abc import Iterable
+
+    from repro.embedding.kernels import ChunkStats, ExecBackend
+    from repro.sampling.negative import NegativeSampler
 
 __all__ = ["EmbeddingModel", "check_exec_backend"]
 
@@ -91,14 +98,14 @@ class EmbeddingModel(abc.ABC):
 
     def train_chunk(
         self,
-        walks,
-        sampler,
+        walks: Iterable[np.ndarray],
+        sampler: NegativeSampler,
         *,
         window: int = 8,
         ns: int = 10,
         negative_reuse: str | None = None,
-        backend=None,
-    ):
+        backend: str | ExecBackend | None = None,
+    ) -> ChunkStats:
         """Train on one chunk of raw walks through the kernel layer.
 
         Parameters
@@ -135,7 +142,9 @@ class EmbeddingModel(abc.ABC):
             self, walks, sampler, window=window, ns=ns, negative_reuse=negative_reuse
         )
 
-    def _check_walk_inputs(self, contexts: WalkContexts, negatives: np.ndarray):
+    def _check_walk_inputs(
+        self, contexts: WalkContexts, negatives: np.ndarray
+    ) -> np.ndarray:
         negatives = np.asarray(negatives, dtype=np.int64)
         if negatives.ndim != 2 or negatives.shape[0] != contexts.n:
             raise ValueError(

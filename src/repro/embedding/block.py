@@ -28,6 +28,9 @@ approximate, pipelineable).
 
 from __future__ import annotations
 
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
 import numpy as np
 
 from repro.embedding.oselm import rank_k_update

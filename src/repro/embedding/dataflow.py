@@ -24,6 +24,9 @@ updated P — exactly why the paper's stages can stream.
 
 from __future__ import annotations
 
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
 import numpy as np
 
 from repro.embedding.sequential import OSELMSkipGram, _EPS

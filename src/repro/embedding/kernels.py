@@ -146,9 +146,13 @@ through ``WalkTrainer``, ``train_parallel``, ``api.train_embedding`` and
 
 from __future__ import annotations
 
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
 import sys
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -161,6 +165,11 @@ from repro.hw.opcount import OpCount
 from repro.sampling.corpus import WalkContexts, contexts_from_walk
 from repro.sampling.negative import NegativeSampler
 from repro.utils.validation import check_in_set, check_positive
+
+if TYPE_CHECKING:  # annotation-only: EmbeddingModel lives upstream of us
+    from collections.abc import Iterable, Iterator
+
+    from repro.embedding.base import EmbeddingModel
 
 __all__ = [
     "BLOCKED_EXACT_RTOL",
@@ -183,7 +192,7 @@ __all__ = [
 #: by construction; ``SkipGramSGD``'s walk-level deferral drifts by
 #: ``O(lr²)`` per window, which the property tests bound at this rtol on
 #: Table 2-scale workloads with the paper's lr = 0.01.
-FUSED_RTOL = {
+FUSED_RTOL: dict[str, float] = {
     "original": 5e-2,
     "proposed": 0.0,
     "dataflow": 0.0,
@@ -197,7 +206,7 @@ FUSED_RTOL = {
 #: the paper's µ = 0.01; ``"original"`` inherits the fused SGD kernel and
 #: its O(lr²) walk deferral; the deferred models train through their own
 #: walk-vectorized updates (bit-identical given shared negatives).
-BLOCKED_RTOL = {
+BLOCKED_RTOL: dict[str, float] = {
     "original": 5e-2,
     "proposed": 1e-1,
     "dataflow": 0.0,
@@ -211,7 +220,7 @@ BLOCKED_RTOL = {
 BLOCKED_EXACT_RTOL = 1e-9
 
 
-def default_negative_reuse(model) -> str:
+def default_negative_reuse(model: EmbeddingModel) -> str:
     """The model-dependent default negative-reuse policy: the dataflow model
     follows the FPGA's one-batch-per-walk policy [18], everything else the
     CPU Algorithm 1 per-context policy."""
@@ -286,14 +295,17 @@ class ExecBackend:
         raise NotImplementedError
 
     def train_prepared(
-        self, model, contexts: list[WalkContexts], negatives: list[np.ndarray]
+        self,
+        model: EmbeddingModel,
+        contexts: list[WalkContexts],
+        negatives: list[np.ndarray],
     ) -> None:
         raise NotImplementedError
 
     def train_chunk(
         self,
-        model,
-        walks,
+        model: EmbeddingModel,
+        walks: Iterable[np.ndarray],
         sampler: NegativeSampler,
         *,
         window: int,
@@ -323,7 +335,9 @@ class ExecBackend:
         return f"{type(self).__name__}()"
 
 
-def _context_blocks(walks, window: int, block_walks: int):
+def _context_blocks(
+    walks: Iterable[np.ndarray], window: int, block_walks: int
+) -> Iterator[list[WalkContexts]]:
     """Lazily yield lists of ≤ ``block_walks`` extracted contexts,
     dropping context-free walks (too short for the window) exactly like
     the per-walk trainer did."""
@@ -340,7 +354,7 @@ def _context_blocks(walks, window: int, block_walks: int):
         yield block
 
 
-def prepare_contexts(walks, window: int) -> list[WalkContexts]:
+def prepare_contexts(walks: Iterable[np.ndarray], window: int) -> list[WalkContexts]:
     """Every walk's contexts as one list (a single unbounded block of
     :func:`_context_blocks` — same extraction and short-walk dropping
     rule).  Used by tests and one-shot callers that want the staged arrays
@@ -351,7 +365,9 @@ def prepare_contexts(walks, window: int) -> list[WalkContexts]:
     return out
 
 
-def chunk_stats(model, contexts: list[WalkContexts], window: int, ns: int) -> ChunkStats:
+def chunk_stats(
+    model: EmbeddingModel, contexts: list[WalkContexts], window: int, ns: int
+) -> ChunkStats:
     """Walk/context counts + summed analytic op profile for one chunk.
 
     Profiles depend only on the context count, so walks are grouped by
@@ -381,14 +397,25 @@ class ReferenceKernel(ExecBackend):
         "(the golden-regression baseline)"
     )
 
-    def draw_negatives(self, sampler, contexts, ns, negative_reuse):
+    def draw_negatives(
+        self,
+        sampler: NegativeSampler,
+        contexts: list[WalkContexts],
+        ns: int,
+        negative_reuse: str,
+    ) -> list[np.ndarray]:
         return [
             sampler.sample_for_walk(ctx.n, ns, reuse=negative_reuse)
             for ctx in contexts
         ]
 
-    def train_prepared(self, model, contexts, negatives):
-        for ctx, negs in zip(contexts, negatives):
+    def train_prepared(
+        self,
+        model: EmbeddingModel,
+        contexts: list[WalkContexts],
+        negatives: list[np.ndarray],
+    ) -> None:
+        for ctx, negs in zip(contexts, negatives, strict=True):
             model.train_walk(ctx, negs)
 
 
@@ -408,7 +435,13 @@ class FusedKernel(ExecBackend):
     #: sequential trainer's epoch — stays O(block) memory
     block_walks = 1024
 
-    def draw_negatives(self, sampler, contexts, ns, negative_reuse):
+    def draw_negatives(
+        self,
+        sampler: NegativeSampler,
+        contexts: list[WalkContexts],
+        ns: int,
+        negative_reuse: str,
+    ) -> list[np.ndarray]:
         if negative_reuse == "per_walk":
             batch = sampler.draw_batch(len(contexts), ns)
             return [
@@ -422,29 +455,38 @@ class FusedKernel(ExecBackend):
             lo += ctx.n
         return out
 
-    def train_prepared(self, model, contexts, negatives):
+    def train_prepared(
+        self,
+        model: EmbeddingModel,
+        contexts: list[WalkContexts],
+        negatives: list[np.ndarray],
+    ) -> None:
         # subclass checks first: the deferred models are OSELMSkipGram
         # subclasses and are already walk-vectorized
         if isinstance(model, (DataflowOSELMSkipGram, BlockOSELMSkipGram)):
-            for ctx, negs in zip(contexts, negatives):
+            for ctx, negs in zip(contexts, negatives, strict=True):
                 model.train_walk(ctx, negs)
         elif isinstance(model, OSELMSkipGram):
-            for ctx, negs in zip(contexts, negatives):
+            for ctx, negs in zip(contexts, negatives, strict=True):
                 self._train_oselm(model, ctx, negs)
         elif isinstance(model, SkipGramSGD):
-            for ctx, negs in zip(contexts, negatives):
+            for ctx, negs in zip(contexts, negatives, strict=True):
                 _train_sgd_fused(model, ctx, negs)
         else:  # any other EmbeddingModel: fall back to its own walk update
-            for ctx, negs in zip(contexts, negatives):
+            for ctx, negs in zip(contexts, negatives, strict=True):
                 model.train_walk(ctx, negs)
 
-    def _train_oselm(self, model, ctx, negatives):
+    def _train_oselm(
+        self, model: OSELMSkipGram, ctx: WalkContexts, negatives: np.ndarray
+    ) -> None:
         """One plain-OSELM walk — the seam :class:`BlockedKernel` overrides
         with the rank-k block solve."""
         _train_oselm_fused(model, ctx, negatives)
 
 
-def _train_oselm_fused(model: OSELMSkipGram, ctx: WalkContexts, negatives) -> None:
+def _train_oselm_fused(
+    model: OSELMSkipGram, ctx: WalkContexts, negatives: np.ndarray
+) -> None:
     """One walk of Algorithm 1 with every per-context allocation hoisted.
 
     The RLS recursion itself stays sequential (context *i* reads the ``P``
@@ -464,7 +506,9 @@ def _train_oselm_fused(model: OSELMSkipGram, ctx: WalkContexts, negatives) -> No
     # per-context samples = [positives, tile(negatives, J)] — one allocation
     # for the whole walk instead of one concatenate+tile per context
     samples = np.concatenate([positives, np.tile(negatives, (1, J))], axis=1)
-    targets = np.concatenate([np.ones(J), np.zeros(J * ns)])
+    targets = np.concatenate(
+        [np.ones(J, dtype=np.float64), np.zeros(J * ns, dtype=np.float64)]
+    )
     B, P = model.B, model.P
     mu, lam = model.mu, model.forgetting_factor
     tied = model.weight_tying == "beta"
@@ -489,7 +533,9 @@ def _train_oselm_fused(model: OSELMSkipGram, ctx: WalkContexts, negatives) -> No
     model.n_walks_trained += 1
 
 
-def _train_sgd_fused(model: SkipGramSGD, ctx: WalkContexts, negatives) -> None:
+def _train_sgd_fused(
+    model: SkipGramSGD, ctx: WalkContexts, negatives: np.ndarray
+) -> None:
     """One walk of SGD skip-gram with weights frozen at walk start.
 
     Every window's forward pass runs in two einsum batches against the
@@ -558,7 +604,9 @@ class BlockedKernel(FusedKernel):
             block_contexts = int(block_contexts)
         self.block_contexts = block_contexts
 
-    def _train_oselm(self, model, ctx, negatives):
+    def _train_oselm(
+        self, model: OSELMSkipGram, ctx: WalkContexts, negatives: np.ndarray
+    ) -> None:
         if model.denominator != "standard":
             # literal Algorithm 1 line 5 (denom = hph) has no SPD block
             # form — keep the per-context fused kernel for those models
@@ -570,7 +618,7 @@ class BlockedKernel(FusedKernel):
         return f"{type(self).__name__}(block_contexts={self.block_contexts!r})"
 
 
-def _cross_walk_block_error(spec) -> str:
+def _cross_walk_block_error(spec: object) -> str:
     """The rejection message for block specs that would cross walk
     boundaries, rendered from the registry docs (the same UX as the
     pipeline's fused × ``chunk_size="auto"`` rejection)."""
@@ -587,7 +635,10 @@ def _cross_walk_block_error(spec) -> str:
 
 
 def _train_oselm_blocked(
-    model: OSELMSkipGram, ctx: WalkContexts, negatives, block_contexts
+    model: OSELMSkipGram,
+    ctx: WalkContexts,
+    negatives: np.ndarray,
+    block_contexts: int | str,
 ) -> None:
     """One walk of Algorithm 1 executed in rank-k RLS blocks.
 
@@ -607,7 +658,9 @@ def _train_oselm_blocked(
     # per-context samples = [positives, tile(negatives, J)], assembled once
     # per walk; targets are shared by every block
     samples = np.concatenate([positives, np.tile(negatives, (1, J))], axis=1)
-    targets = np.concatenate([np.ones(J), np.zeros(J * ns)])
+    targets = np.concatenate(
+        [np.ones(J, dtype=np.float64), np.zeros(J * ns, dtype=np.float64)]
+    )
     B, P = model.B, model.P
     lam = model.forgetting_factor
     step = C if block_contexts == "walk" else int(block_contexts)
@@ -667,7 +720,7 @@ def make_backend(name: str) -> ExecBackend:
     return EXEC_REGISTRY[name]()
 
 
-def resolve_backend(spec) -> ExecBackend:
+def resolve_backend(spec: str | ExecBackend) -> ExecBackend:
     """Normalize an ``exec_backend`` argument: a registry name becomes a
     fresh instance with default knobs; an already-constructed
     :class:`ExecBackend` is used as-is (backends carry construction-time

@@ -27,6 +27,9 @@ rests on.
 
 from __future__ import annotations
 
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
 import numpy as np
 
 from repro.utils.rng import as_generator
@@ -137,13 +140,13 @@ class OSELM:
         rng = as_generator(seed)
         self.alpha = rng.uniform(-1.0, 1.0, size=(n_inputs, n_hidden))
         self.bias = rng.uniform(-1.0, 1.0, size=n_hidden)
-        self.beta = np.zeros((n_hidden, n_outputs))
-        self.P = np.eye(n_hidden) / self.reg
+        self.beta = np.zeros((n_hidden, n_outputs), dtype=np.float64)
+        self.P = np.eye(n_hidden, dtype=np.float64) / self.reg
         self.n_seen = 0
         # reusable scratch for the rank-1 fast path: the per-sample outer
         # products land here instead of allocating two temporaries per update
-        self._scratch_P = np.empty((n_hidden, n_hidden))
-        self._scratch_beta = np.empty((n_hidden, n_outputs))
+        self._scratch_P = np.empty((n_hidden, n_hidden), dtype=np.float64)
+        self._scratch_beta = np.empty((n_hidden, n_outputs), dtype=np.float64)
         self._since_sym = 0
 
     # ------------------------------------------------------------------ #
@@ -176,7 +179,7 @@ class OSELM:
             raise ValueError(
                 f"targets must be ({H0.shape[0]}, {self.n_outputs}), got {T0.shape}"
             )
-        A = H0.T @ H0 + self.reg * np.eye(self.n_hidden)
+        A = H0.T @ H0 + self.reg * np.eye(self.n_hidden, dtype=np.float64)
         self.P = np.linalg.inv(A)
         self.beta = self.P @ (H0.T @ T0)
         self.n_seen = H0.shape[0]
@@ -229,7 +232,7 @@ class OSELM:
         sequential training must reproduce (used by tests)."""
         H = self.hidden(X)
         T = np.atleast_2d(np.asarray(T, dtype=np.float64))
-        A = H.T @ H + self.reg * np.eye(self.n_hidden)
+        A = H.T @ H + self.reg * np.eye(self.n_hidden, dtype=np.float64)
         return np.linalg.solve(A, H.T @ T)
 
     def __repr__(self) -> str:

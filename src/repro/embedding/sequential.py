@@ -40,6 +40,9 @@ of Figure 7 ("alpha").  In both cases the embedding read out is B (= βᵀ).
 
 from __future__ import annotations
 
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
 import numpy as np
 
 from repro.embedding.base import EmbeddingModel, check_exec_backend
@@ -133,7 +136,7 @@ class OSELMSkipGram(EmbeddingModel):
 
         rng = as_generator(seed)
         self.B = rng.normal(0.0, init_scale, size=(n_nodes, dim))
-        self.P = np.eye(dim) * self.p0
+        self.P = np.eye(dim, dtype=np.float64) * self.p0
         self._alpha = None
         if weight_tying == "alpha":
             # original OS-ELM: fixed random input weights; one row per node
@@ -144,9 +147,9 @@ class OSELMSkipGram(EmbeddingModel):
         # state): the gain's outer product lands in _scratch_P, and the
         # batched duplicate policy's sample/target assembly in _ctx_samples /
         # _ctx_targets (keyed by (n_pos, ns) — same m can split differently)
-        self._scratch_P = np.empty((dim, dim))
+        self._scratch_P = np.empty((dim, dim), dtype=np.float64)
         self._ctx_samples = np.empty(0, dtype=np.int64)
-        self._ctx_targets = np.empty(0)
+        self._ctx_targets = np.empty(0, dtype=np.float64)
         self._ctx_shape = (0, 0)
 
     # ------------------------------------------------------------------ #
@@ -231,7 +234,7 @@ class OSELMSkipGram(EmbeddingModel):
         if self._ctx_shape != (n_pos, ns):
             self._ctx_shape = (n_pos, ns)
             self._ctx_samples = np.empty(m, dtype=np.int64)
-            self._ctx_targets = np.empty(m)
+            self._ctx_targets = np.empty(m, dtype=np.float64)
             self._ctx_targets[:n_pos] = 1.0
             self._ctx_targets[n_pos:] = 0.0
         samples = self._ctx_samples

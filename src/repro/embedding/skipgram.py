@@ -14,6 +14,9 @@ typically used for graph embedding").  Learning rate follows §4.3 (0.01).
 
 from __future__ import annotations
 
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
 import numpy as np
 
 from repro.embedding.base import EmbeddingModel, check_exec_backend as _check_exec_backend
@@ -72,11 +75,11 @@ class SkipGramSGD(EmbeddingModel):
         self.exec_backend = exec_backend
         rng = as_generator(seed)
         self.w_in = rng.uniform(-0.5 / dim, 0.5 / dim, size=(n_nodes, dim))
-        self.w_out = np.zeros((n_nodes, dim))
+        self.w_out = np.zeros((n_nodes, dim), dtype=np.float64)
         # reusable window buffers for the reference per-context loop (see
         # train_context): allocation reuse only, never carried state
         self._win_buf = np.empty(0, dtype=np.int64)
-        self._win_targets = np.empty(0)
+        self._win_targets = np.empty(0, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
 
@@ -112,7 +115,7 @@ class SkipGramSGD(EmbeddingModel):
         # are fully rewritten below, so reuse cannot change any result
         if self._win_buf.shape[0] != 1 + k:
             self._win_buf = np.empty(1 + k, dtype=np.int64)
-            self._win_targets = np.concatenate([[1.0], np.zeros(k)])
+            self._win_targets = np.concatenate([[1.0], np.zeros(k, dtype=np.float64)])
         buf, targets = self._win_buf, self._win_targets
         buf[1:] = negatives
         for pos in positives:

@@ -135,5 +135,5 @@ def calibrate_resource_model() -> dict[str, dict[str, float]]:
         A = np.array([[f[n] for n in names] for f in feats])
         y = np.array([PAPER_RESOURCES[d][res] for d in dims], dtype=float)
         coef, _ = nnls(A, y)
-        out[res] = dict(zip(names, (float(c) for c in coef)))
+        out[res] = dict(zip(names, (float(c) for c in coef), strict=True))
     return out

@@ -18,7 +18,7 @@ paper's host CPU batches DMA transfers.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 

@@ -25,7 +25,7 @@ def save_edge_list(graph: CSRGraph, path: str, *, with_labels: bool = True) -> N
     weighted = not np.allclose(weights, 1.0)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(f"# n_nodes={graph.n_nodes}\n")
-        for (u, v), w in zip(edges, weights):
+        for (u, v), w in zip(edges, weights, strict=True):
             if weighted:
                 fh.write(f"{u} {v} {float(w)!r}\n")
             else:

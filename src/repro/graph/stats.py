@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.utils.rng import as_generator
 
 __all__ = [
     "edge_homophily",
@@ -61,7 +62,7 @@ def clustering_coefficient(graph: CSRGraph, *, sample: int | None = None, seed=0
     n = graph.n_nodes
     nodes = np.arange(n)
     if sample is not None and sample < n:
-        nodes = np.random.default_rng(seed).choice(n, size=sample, replace=False)
+        nodes = as_generator(seed).choice(n, size=sample, replace=False)
     coeffs = []
     for v in nodes:
         nbrs = graph.neighbors(int(v))

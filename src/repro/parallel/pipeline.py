@@ -109,8 +109,9 @@ import multiprocessing as mp
 import os
 import time
 from collections import deque
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -127,10 +128,13 @@ from repro.parallel.shm_ring import ShmWalkRing
 from repro.parallel.snapshots import SnapshotStore, resolve_snapshot_ref
 from repro.parallel.tasks import WalkTask
 from repro.sampling.negative import walk_frequencies
-from repro.sampling.sources import NEGATIVE_SOURCES, resolve_source
+from repro.sampling.sources import NEGATIVE_SOURCES, NegativeSource, resolve_source
 from repro.sampling.walks import Node2VecWalker, WalkParams
-from repro.utils.rng import as_generator, draw_seed
+from repro.utils.rng import SeedLike, as_generator, draw_seed
 from repro.utils.validation import check_in_set, check_positive
+
+if TYPE_CHECKING:  # annotation-only: the experiments layer stays lazy
+    from repro.experiments.hyper import Node2VecParams
 
 __all__ = [
     "NEGATIVE_SOURCES",
@@ -173,7 +177,7 @@ def _init_worker(
 
 def _run_chunk(
     graph: CSRGraph, params: WalkParams, starts: np.ndarray, seed: int, lo: int
-) -> tuple[list, float]:
+) -> tuple[list[np.ndarray], float]:
     """Walk one chunk; returns ``(walks, generation_seconds)``.
 
     ``lo`` is the chunk's global walk offset: walk ``lo + k`` reseeds the
@@ -224,7 +228,7 @@ class _FlowStats:
     (submission is consumer-driven), so no locking is needed.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.submitted_walks = 0
         self.consumed_walks = 0
         self.peak_in_flight = 0
@@ -297,7 +301,7 @@ class PipelineTelemetry:
     peak_buffered_walks: int = 0
     transport: str = ""
     ipc_walk_bytes: int = 0
-    chunk_sizes: list = field(default_factory=list)
+    chunk_sizes: list[int] = field(default_factory=list)
     sampler_rebuilds: int = 0
     n_snapshots: int = 0
     snapshot_stall_s: float = 0.0
@@ -453,7 +457,7 @@ class ParallelWalkGenerator:
 
     def stream_timed(
         self, tasks: Iterable[WalkTask] | None = None
-    ) -> Iterator[tuple[list, float, int]]:
+    ) -> Iterator[tuple[list[np.ndarray], float, int]]:
         """Yield ``(walk_chunk, generation_seconds, snapshot_epoch)`` in
         deterministic chunk order, keeping at most ``prefetch`` chunks in
         flight.
@@ -600,7 +604,7 @@ class ParallelWalkGenerator:
 
     def generate_timed(
         self, starts: np.ndarray | None = None
-    ) -> Iterator[tuple[list, float]]:
+    ) -> Iterator[tuple[list[np.ndarray], float]]:
         """Yield ``(walk_chunk, generation_seconds)`` for the static-corpus
         task (``starts=None`` → the r-walks-per-node start list).  Shm
         chunks are slot views with the lifetime contract of
@@ -609,7 +613,7 @@ class ParallelWalkGenerator:
         for walks, gen_s, _ in self.stream_timed(tasks):
             yield walks, gen_s
 
-    def generate(self, starts: np.ndarray | None = None) -> Iterator[list]:
+    def generate(self, starts: np.ndarray | None = None) -> Iterator[list[np.ndarray]]:
         """Yield walk chunks in deterministic chunk order (timing stripped).
 
         Shm-transport chunks are views with the same lifetime contract as
@@ -617,9 +621,9 @@ class ParallelWalkGenerator:
         for walks, _ in self.generate_timed(starts):
             yield walks
 
-    def all_walks(self, starts: np.ndarray | None = None) -> list:
+    def all_walks(self, starts: np.ndarray | None = None) -> list[np.ndarray]:
         """The whole corpus as a list (chunks materialized, safe to keep)."""
-        out: list = []
+        out: list[np.ndarray] = []
         for chunk in self.generate(starts):
             if self.effective_transport == "shm":
                 out.extend(w.copy() for w in chunk)
@@ -628,7 +632,9 @@ class ParallelWalkGenerator:
         return out
 
 
-def _virtual_segments(walks: list, size: int, consumed: int) -> Iterator[list]:
+def _virtual_segments(
+    walks: list[np.ndarray], size: int, consumed: int
+) -> Iterator[list[np.ndarray]]:
     """Split one physical chunk so every yielded segment ends on a canonical
     virtual-chunk boundary (a multiple of ``size`` in global consumed-walk
     order) or at the chunk's end.  This is what pins the ``"decayed"``
@@ -647,18 +653,18 @@ def train_parallel(
     *,
     dim: int = 32,
     model: str | EmbeddingModel = "proposed",
-    hyper=None,
+    hyper: Node2VecParams | None = None,
     epochs: int = 1,
     n_workers: int = 0,
     chunk_size: int | str = DEFAULT_CHUNK_SIZE,
     prefetch: int | None = None,
     transport: str = "shm",
-    negative_source="corpus",
+    negative_source: str | NegativeSource = "corpus",
     negative_power: float = 0.75,
     exec_backend: str | None = None,
     tasks: Iterable[WalkTask] | Callable[[], Iterable[WalkTask]] | None = None,
-    seed=0,
-    **model_kwargs,
+    seed: SeedLike = 0,
+    **model_kwargs: Any,
 ) -> TrainingResult:
     """Streaming pipelined counterpart of :func:`repro.embedding.train_on_graph`.
 

@@ -10,6 +10,10 @@ chunks straight into a ``multiprocessing.shared_memory`` segment and the
 trainer reads NumPy *views* out of it, so the only bytes that still cross
 the pickle channel are a three-int control tuple per chunk.
 
+Segment lifecycle (create → close → unlink) is statically enforced by the
+``shm-lifecycle`` rule of ``tools/reprolint`` (README "Static analysis &
+typing").
+
 Layout
 ------
 The segment is one int64 array carved into ``n_slots`` identical slots::

@@ -18,6 +18,10 @@ job (bytes still cross per job, but the consumer-side pickling and the
 worker-side deserialization stay once-per-snapshot thanks to the same
 caches).
 
+Segment lifecycle (create → close → unlink) is statically enforced by the
+``shm-lifecycle`` rule of ``tools/reprolint`` (README "Static analysis &
+typing").
+
 Lifecycle
 ---------
 Snapshot ids (``sid``) are assigned per task in submission order, so they

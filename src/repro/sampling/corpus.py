@@ -16,7 +16,7 @@ Each (center, positive) pair is one "window" iteration of Algorithm 1 lines
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 

@@ -57,12 +57,16 @@ everywhere.
 from __future__ import annotations
 
 import copy
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.sampling.negative import NegativeSampler
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_set, check_positive
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
 
 __all__ = [
     "DEFAULT_VIRTUAL_CHUNK",
@@ -107,7 +111,7 @@ class NegativeSource:
     #: canonical virtual chunk size in walks, or ``None`` (see module docstring)
     virtual_chunk: int | None = None
 
-    def __init__(self, *, power: float | None = None, seed=None):
+    def __init__(self, *, power: float | None = None, seed: SeedLike = None):
         if power is not None:
             check_positive("power", power, strict=False)
         self.power = power
@@ -134,7 +138,9 @@ class NegativeSource:
             )
         return copy.deepcopy(self)
 
-    def configure(self, *, power: float | None = None, seed=None) -> "NegativeSource":
+    def configure(
+        self, *, power: float | None = None, seed: SeedLike = None
+    ) -> "NegativeSource":
         """Fill knobs left unset at construction (explicit values win)."""
         if self.power is None and power is not None:
             check_positive("power", power, strict=False)
@@ -143,7 +149,7 @@ class NegativeSource:
             self.seed = seed
         return self
 
-    def bootstrap(self, graph) -> None:
+    def bootstrap(self, graph: CSRGraph) -> None:
         """Initialize per-run state from the starting ``graph`` snapshot."""
         if self._bootstrapped:
             raise RuntimeError(
@@ -155,7 +161,7 @@ class NegativeSource:
         self._bootstrapped = True
         self._bootstrap(graph)
 
-    def _bootstrap(self, graph) -> None:  # pragma: no cover - overridden
+    def _bootstrap(self, graph: CSRGraph) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
@@ -200,7 +206,7 @@ class DegreeSource(NegativeSource):
     name = "degree"
     summary = "degree-bootstrapped sampler; streams immediately, bounded memory"
 
-    def _bootstrap(self, graph) -> None:
+    def _bootstrap(self, graph: CSRGraph) -> None:
         self._sampler = NegativeSampler.from_degrees(
             graph, power=self.power, seed=self.seed
         )
@@ -213,7 +219,7 @@ class _CountingSource(NegativeSource):
     """Shared machinery of the two paper-exact sources: accumulate int64
     corpus frequencies during a bootstrap pass, then freeze one sampler."""
 
-    def _bootstrap(self, graph) -> None:
+    def _bootstrap(self, graph: CSRGraph) -> None:
         self._counts = np.zeros(graph.n_nodes, dtype=np.int64)
         self._sampler: NegativeSampler | None = None
 
@@ -309,7 +315,7 @@ class DecayedSource(NegativeSource):
         rebuild_every: int = 4,
         virtual_chunk: int = DEFAULT_VIRTUAL_CHUNK,
         power: float | None = None,
-        seed=None,
+        seed: SeedLike = None,
     ):
         super().__init__(power=power, seed=seed)
         if not 0.0 < decay <= 1.0:
@@ -320,7 +326,7 @@ class DecayedSource(NegativeSource):
         self.rebuild_every = int(rebuild_every)
         self.virtual_chunk = int(virtual_chunk)
 
-    def _bootstrap(self, graph) -> None:
+    def _bootstrap(self, graph: CSRGraph) -> None:
         self._counts = graph.degree().astype(np.float64)
         self._pending = np.zeros(graph.n_nodes, dtype=np.float64)
         self._pending_walks = 0
@@ -391,13 +397,13 @@ SOURCE_REGISTRY: dict[str, type[NegativeSource]] = {
 NEGATIVE_SOURCES = tuple(SOURCE_REGISTRY)
 
 
-def make_source(name: str, **kwargs) -> NegativeSource:
+def make_source(name: str, **kwargs: Any) -> NegativeSource:
     """Instantiate a source by registry name, forwarding keyword knobs."""
     check_in_set("negative_source", name, NEGATIVE_SOURCES)
     return SOURCE_REGISTRY[name](**kwargs)
 
 
-def resolve_source(spec) -> NegativeSource:
+def resolve_source(spec: str | NegativeSource) -> NegativeSource:
     """Normalize a ``negative_source`` argument: a registry name becomes a
     fresh instance; an already-constructed :class:`NegativeSource` yields a
     :meth:`~NegativeSource.fresh` copy (the caller's knobs win over pipeline

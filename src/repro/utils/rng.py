@@ -15,14 +15,18 @@ Reproducibility policy
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-__all__ = ["as_generator", "draw_seed", "spawn_generators", "RngMixin"]
+__all__ = ["SeedLike", "as_generator", "draw_seed", "spawn_generators", "RngMixin"]
 
-SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+#: anything :func:`as_generator` accepts — the ``seed`` type of every
+#: stochastic component in the library
+SeedLike: TypeAlias = "int | None | np.random.Generator | np.random.SeedSequence"
 
 
-def as_generator(seed=None) -> np.random.Generator:
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any seed-like input.
 
     Parameters
@@ -37,11 +41,12 @@ def as_generator(seed=None) -> np.random.Generator:
     if isinstance(seed, np.random.SeedSequence):
         return np.random.Generator(np.random.PCG64(seed))
     if seed is None or isinstance(seed, (int, np.integer)):
+        # reprolint: disable=rng-discipline(this IS the canonical constructor)
         return np.random.default_rng(seed)
     raise TypeError(f"cannot interpret {type(seed).__name__!r} as a random seed")
 
 
-def draw_seed(rng) -> int:
+def draw_seed(rng: SeedLike) -> int:
     """Draw one 63-bit integer seed from ``rng``.
 
     The single seed-derivation rule shared by the sequential and pipelined
@@ -54,7 +59,7 @@ def draw_seed(rng) -> int:
     return int(as_generator(rng).integers(2**63))
 
 
-def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent generators from ``seed``."""
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
@@ -70,15 +75,16 @@ class RngMixin:
 
     _rng: np.random.Generator
 
-    def _init_rng(self, seed) -> None:
+    def _init_rng(self, seed: SeedLike) -> None:
         self._rng = as_generator(seed)
 
     @property
     def rng(self) -> np.random.Generator:
         if not hasattr(self, "_rng"):
+            # reprolint: disable=rng-discipline(documented unseeded fallback for subclasses that skip _init_rng)
             self._rng = np.random.default_rng()
         return self._rng
 
-    def reseed(self, seed) -> None:
+    def reseed(self, seed: SeedLike) -> None:
         """Replace the internal stream (used by tests to replay a component)."""
         self._rng = as_generator(seed)

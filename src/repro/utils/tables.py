@@ -6,7 +6,8 @@ them without external dependencies (no pandas/tabulate in the environment).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 __all__ = ["TextTable", "format_float"]
 
@@ -72,7 +73,7 @@ class TextTable:
         sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
 
         def fmt_line(cells: Sequence[str]) -> str:
-            return "|" + "|".join(f" {c:>{w}} " for c, w in zip(cells, widths)) + "|"
+            return "|" + "|".join(f" {c:>{w}} " for c, w in zip(cells, widths, strict=False)) + "|"
 
         lines = []
         if self.title:

@@ -7,14 +7,17 @@ NumPy broadcasting.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 
 __all__ = ["check_positive", "check_probability", "check_in_set", "check_shape"]
 
 
-def check_positive(name: str, value, *, strict: bool = True, integer: bool = False):
+def check_positive(
+    name: str, value: Any, *, strict: bool = True, integer: bool = False
+) -> Any:
     """Validate that ``value`` is a positive (or non-negative) scalar."""
     if integer and not isinstance(value, (int, np.integer)):
         raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
@@ -27,7 +30,7 @@ def check_positive(name: str, value, *, strict: bool = True, integer: bool = Fal
     return value
 
 
-def check_probability(name: str, value) -> float:
+def check_probability(name: str, value: Any) -> float:
     """Validate that ``value`` lies in [0, 1]."""
     value = float(value)
     if not 0.0 <= value <= 1.0:
@@ -35,7 +38,7 @@ def check_probability(name: str, value) -> float:
     return value
 
 
-def check_in_set(name: str, value, allowed: Iterable[Any]):
+def check_in_set(name: str, value: Any, allowed: Iterable[Any]) -> Any:
     """Validate a categorical option against its allowed values."""
     allowed = tuple(allowed)
     if value not in allowed:
@@ -43,12 +46,14 @@ def check_in_set(name: str, value, allowed: Iterable[Any]):
     return value
 
 
-def check_shape(name: str, array: np.ndarray, shape: tuple) -> np.ndarray:
+def check_shape(
+    name: str, array: np.ndarray, shape: tuple[int | None, ...]
+) -> np.ndarray:
     """Validate an array's shape; ``None`` entries are wildcards."""
     array = np.asarray(array)
     if array.ndim != len(shape):
         raise ValueError(f"{name} must have {len(shape)} dims, got shape {array.shape}")
-    for axis, (got, want) in enumerate(zip(array.shape, shape)):
+    for axis, (got, want) in enumerate(zip(array.shape, shape, strict=True)):
         if want is not None and got != want:
             raise ValueError(
                 f"{name} has shape {array.shape}, expected {want} along axis {axis}"

@@ -295,7 +295,7 @@ class TestBulkDrawContract:
         contexts = prepare_contexts(walks, WINDOW)
         negs = FusedKernel().draw_negatives(make_sampler(15), contexts, NS, "per_walk")
         assert len(negs) == 3
-        for ctx, n in zip(contexts, negs):
+        for ctx, n in zip(contexts, negs, strict=True):
             assert n.shape == (ctx.n, NS)
             assert (n == n[0]).all()
 
@@ -369,9 +369,11 @@ class TestBackendSelection:
 
     def test_invalid_backend_everywhere(self):
         with pytest.raises(ValueError, match="exec_backend"):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             make_model("proposed", 12, 4, seed=0, exec_backend="warp")
         model = make_model("proposed", 12, 4, seed=0)
         with pytest.raises(ValueError, match="exec_backend"):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             WalkTrainer(model, exec_backend="warp")
 
 

@@ -51,7 +51,7 @@ class TestMakeCorpus:
         # consecutive tokens share a topic far more often than chance
         same = total = 0
         for s in seqs:
-            for a, b in zip(s[:-1], s[1:]):
+            for a, b in zip(s[:-1], s[1:], strict=True):
                 total += 1
                 same += labels[a] == labels[b]
         n_topics = labels.max() + 1
@@ -61,4 +61,4 @@ class TestMakeCorpus:
         a, la = make_corpus(seed=9)
         b, lb = make_corpus(seed=9)
         assert np.array_equal(la, lb)
-        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b, strict=True))

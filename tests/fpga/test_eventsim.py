@@ -22,7 +22,7 @@ class TestScheduleWellFormed:
     def test_engines_never_overlap(self, schedule):
         for k in range(N_STAGES):
             tasks = sorted(schedule.stage_tasks(k), key=lambda t: t.start)
-            for a, b in zip(tasks, tasks[1:]):
+            for a, b in zip(tasks, tasks[1:], strict=False):
                 assert b.start >= a.end
 
     def test_durations_match_stage_model(self, schedule):

@@ -103,7 +103,7 @@ class TestCalibration:
             PipelineModel(AcceleratorSpec(dim=d), CALIBRATED_CONSTANTS).walk_milliseconds()
             for d in (16, 32, 48, 64, 80, 96, 128)
         ]
-        assert all(a <= b for a, b in zip(times, times[1:]))
+        assert all(a <= b for a, b in zip(times, times[1:], strict=False))
 
     def test_parallelism_sweep_improves_time(self):
         """More sample lanes → shorter walks (the ablation bench's axis)."""
@@ -113,4 +113,4 @@ class TestCalibration:
             ).walk_milliseconds()
             for p in (8, 16, 32, 64)
         ]
-        assert all(a >= b for a, b in zip(times, times[1:]))
+        assert all(a >= b for a, b in zip(times, times[1:], strict=False))

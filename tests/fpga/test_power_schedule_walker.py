@@ -96,7 +96,7 @@ class TestScheduleSolver:
         _, points = balance_stages(96)
         feasible = [p for p in points if p.fits]
         iis = [p.ii_cycles for p in feasible]
-        assert all(a >= b for a, b in zip(iis, iis[1:]))
+        assert all(a >= b for a, b in zip(iis, iis[1:], strict=False))
 
     def test_tiny_device_unfeasible(self):
         with pytest.raises(ValueError):

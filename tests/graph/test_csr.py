@@ -166,7 +166,7 @@ class TestQueries:
     def test_edge_array_with_weights(self):
         g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
         edges, w = g.edge_array(return_weights=True)
-        lookup = {tuple(e): wt for e, wt in zip(edges, w)}
+        lookup = {tuple(e): wt for e, wt in zip(edges, w, strict=True)}
         assert lookup[(0, 1)] == 2.0 and lookup[(1, 2)] == 3.0
 
     def test_iter_edges(self):

@@ -22,7 +22,7 @@ class TestParallelWalkGenerator:
         walks = gen.all_walks()
         assert len(walks) == graph.n_nodes
         for w in walks:
-            for a, b in zip(w[:-1], w[1:]):
+            for a, b in zip(w[:-1], w[1:], strict=True):
                 assert graph.has_edge(int(a), int(b))
 
     def test_corpus_starts_cover_every_node_r_times(self, graph):
@@ -43,7 +43,7 @@ class TestParallelWalkGenerator:
         params = WalkParams(length=10, walks_per_node=1)
         a = ParallelWalkGenerator(graph, params, seed=7).all_walks()
         b = ParallelWalkGenerator(graph, params, seed=7).all_walks()
-        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b, strict=True))
 
     def test_workers_match_inline(self, graph):
         """The headline invariant: identical corpus for any worker count."""
@@ -55,7 +55,7 @@ class TestParallelWalkGenerator:
             graph, params, n_workers=2, chunk_size=16, seed=3
         ).all_walks()
         assert len(inline) == len(pooled)
-        assert all(np.array_equal(x, y) for x, y in zip(inline, pooled))
+        assert all(np.array_equal(x, y) for x, y in zip(inline, pooled, strict=True))
 
     def test_chunk_size_does_not_change_walks_given_same_seeding(self, graph):
         # different chunk sizes reseed chunks differently — corpora differ,

@@ -176,6 +176,7 @@ class TestNegativeSources:
 
     def test_invalid_source(self, graph):
         with pytest.raises(ValueError):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             train_parallel(graph, hyper=HP, negative_source="oracle")
 
 
@@ -271,6 +272,7 @@ class TestFusedBackendPipeline:
 
     def test_invalid_backend_rejected(self, graph):
         with pytest.raises(ValueError, match="exec_backend"):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             train_parallel(graph, hyper=HP, exec_backend="warp", seed=5)
 
     def test_auto_chunking_rejected(self, graph):
@@ -520,7 +522,7 @@ class TestTaskStreams:
             for w in c
         ]
         assert len(one) == len(split) == 16
-        for a, b in zip(one, split):
+        for a, b in zip(one, split, strict=True):
             assert np.array_equal(a, b)
 
 

@@ -65,7 +65,7 @@ class TestShmWalkRing:
             assert ring.write(1, walks)
             back = ring.read(1)
             assert len(back) == 3
-            for w, b in zip(walks, back):
+            for w, b in zip(walks, back, strict=True):
                 assert np.array_equal(w, b)
 
     def test_read_returns_views_not_copies(self):
@@ -179,7 +179,7 @@ class TestTransportEquivalence:
             corpora[transport] = gen.all_walks()
             assert gen.effective_transport == transport
         assert len(corpora["shm"]) == len(corpora["pickle"])
-        for a, b in zip(corpora["shm"], corpora["pickle"]):
+        for a, b in zip(corpora["shm"], corpora["pickle"], strict=True):
             assert np.array_equal(a, b)
 
     @needs_shm
@@ -211,12 +211,15 @@ class TestTransportEquivalence:
 
     def test_invalid_transport(self, graph):
         with pytest.raises(ValueError):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             train_parallel(graph, hyper=HP, transport="carrier_pigeon")
         with pytest.raises(ValueError):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             ParallelWalkGenerator(graph, transport="osc")
 
     def test_invalid_chunk_size_string(self, graph):
         with pytest.raises(ValueError):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             train_parallel(graph, hyper=HP, chunk_size="adaptive")
 
 

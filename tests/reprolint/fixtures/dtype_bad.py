@@ -1,0 +1,12 @@
+# reprolint: kernel-module
+"""Float constructors leaving the dtype implicit in kernel code."""
+
+import numpy as np
+
+
+def init(n, d):
+    weights = np.zeros((n, d))  # expect: dtype-discipline
+    cov = np.eye(d)  # expect: dtype-discipline
+    scratch = np.empty((d, d))  # expect: dtype-discipline
+    ones = np.ones(n)  # expect: dtype-discipline
+    return weights, cov, scratch, ones

@@ -1,0 +1,12 @@
+# reprolint: kernel-module
+"""Kernel constructors with pinned dtypes; *_like inherits and is exempt."""
+
+import numpy as np
+
+
+def init(n, d, template):
+    weights = np.zeros((n, d), dtype=np.float64)
+    cov = np.eye(d, dtype=np.float64)
+    idx = np.empty(n, np.int64)  # positional dtype also counts
+    mirror = np.zeros_like(template)
+    return weights, cov, idx, mirror

@@ -1,0 +1,19 @@
+"""Closures and RNG/shm handles crossing the fork boundary."""
+
+from repro.utils.rng import as_generator
+
+
+def submit(pool, items):
+    rng = as_generator(0)
+    lam = pool.apply_async(lambda x: x + 1, (items,))  # expect: fork-safety
+    job = pool.apply_async(_work, (rng, items))  # expect: fork-safety
+
+    def local(x):
+        return x
+
+    closure = pool.apply_async(local, (items,))  # expect: fork-safety
+    return lam, job, closure
+
+
+def _work(rng, items):
+    return items

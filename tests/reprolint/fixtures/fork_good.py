@@ -1,0 +1,17 @@
+"""The pipeline contract: module-level callables, plain-data payloads."""
+
+from repro.parallel.shm_ring import ShmWalkRing
+from repro.utils.rng import draw_seed
+
+
+def submit(pool, chunk, seed):
+    ring = ShmWalkRing.create(4, 8, 16)
+    # ring.spec is plain data *derived from* the handle — allowed; the seed
+    # is an int, reconstructed into a Generator inside the worker
+    job = pool.apply_async(_work, ((ring.spec, chunk, draw_seed(seed)),))
+    return ring, job
+
+
+def _work(args):
+    spec, chunk, seed = args
+    return spec, chunk, seed

@@ -1,0 +1,15 @@
+# reprolint: kernel-module
+"""Per-walk allocations inside the training loop (the pre-PR-5 shape)."""
+
+import numpy as np
+
+
+def train(walks, dim):
+    out = np.zeros(dim, dtype=np.float64)
+    for walk in walks:
+        buf = np.concatenate([walk, walk])  # expect: hot-loop-alloc
+        tiles = np.tile(walk, (2, 1))  # expect: hot-loop-alloc
+        scratch = np.zeros(dim, dtype=np.float64)  # expect: hot-loop-alloc
+        scratch[:] = buf[:dim] + tiles[0, :dim]
+        out += scratch
+    return out

@@ -1,0 +1,15 @@
+# reprolint: kernel-module
+"""Buffers hoisted out of the loop (the PR-5 kernel shape)."""
+
+import numpy as np
+
+
+def train(walks, dim):
+    buf = np.empty(dim, dtype=np.float64)
+    acc = np.zeros((dim, dim), dtype=np.float64)
+    for walk in walks:
+        buf[:] = walk[:dim]
+        acc -= np.outer(buf, buf)  # rank-1 ops per step are the algorithm
+        counts = np.bincount(walk, minlength=dim)  # algorithmically per-block
+        acc[0] += counts[:dim]
+    return acc

@@ -1,0 +1,14 @@
+"""Name literals that drifted from the registries."""
+
+
+def run(graph, train_parallel):
+    """Docstring drift: recommends exec_backend="hypercube" here."""  # expect: registry-sync
+    return train_parallel(graph, negative_source="fancy")  # expect: registry-sync
+
+
+def helper(graph, transport="telegraph"):  # expect: registry-sync
+    raise ValueError('pass transport="osc_pipe" to enable streaming')  # expect: registry-sync
+
+
+def pick(make_model):
+    return make_model(model="perceptron", n_nodes=4, dim=2)  # expect: registry-sync

@@ -1,0 +1,21 @@
+"""Name literals that match the registries."""
+
+
+def run(graph, train_parallel):
+    """Defaults to exec_backend="reference"; try exec_backend="blocked"."""
+    return train_parallel(
+        graph,
+        negative_source="corpus",
+        exec_backend="fused",
+        transport="shm",
+        chunk_size="auto",
+    )
+
+
+def helper(graph, transport="pickle", negative_source="two_pass"):
+    # a bare quoted word ("seq", "walk", ...) is not a knob assignment
+    return graph, "decayed and degree are described elsewhere"
+
+
+def pick(make_model):
+    return make_model(model="proposed", n_nodes=4, dim=2)

@@ -1,0 +1,12 @@
+# reprolint: library
+"""Library code constructing generators / touching global RNG state."""
+
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng(0)  # expect: rng-discipline
+    np.random.seed(42)  # expect: rng-discipline
+    vals = np.random.normal(size=n)  # expect: rng-discipline
+    legacy = np.random.RandomState(7)  # expect: rng-discipline
+    return rng, vals, legacy

@@ -1,0 +1,13 @@
+# reprolint: library
+"""Library code routing every stream through the shared seed helpers."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+def sample(n, seed=None):
+    rng = as_generator(seed)
+    children = spawn_generators(seed, 2)
+    ss = np.random.SeedSequence([0, 1])  # explicit stream derivation is fine
+    return rng.normal(size=n), children, ss

@@ -1,0 +1,10 @@
+"""Test/bench code: unseeded constructors and global state are banned."""
+
+import numpy as np
+
+
+def noise(n):
+    rng = np.random.default_rng()  # expect: rng-discipline
+    np.random.shuffle(rng.normal(size=n))  # expect: rng-discipline
+    also = np.random.default_rng(None)  # expect: rng-discipline
+    return rng, also

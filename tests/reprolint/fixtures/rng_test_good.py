@@ -1,0 +1,9 @@
+"""Test/bench code may construct *seeded* generators directly."""
+
+import numpy as np
+
+rng = np.random.default_rng(1234)
+
+
+def noise(n, seed=0):
+    return np.random.default_rng(seed).normal(size=n)

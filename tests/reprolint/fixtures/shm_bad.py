@@ -1,0 +1,9 @@
+"""A SharedMemory owner with no cleanup reachable on exception paths."""
+
+from multiprocessing import shared_memory
+
+
+def leak(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)  # expect: shm-lifecycle
+    shm.buf[:4] = b"data"  # raises -> the segment leaks into /dev/shm
+    return shm.name

@@ -1,0 +1,33 @@
+"""SharedMemory owners with cleanup reachable on exception paths."""
+
+from multiprocessing import shared_memory
+
+
+class Segment:
+    """Owning class defines close()/unlink() (the ShmWalkRing pattern)."""
+
+    def __init__(self, size):
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self.shm.close()
+
+    def unlink(self):
+        self.shm.unlink()
+
+
+def guarded(size):
+    """Function-level creation guarded by an unlinking handler."""
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        shm.buf[:4] = b"data"
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm
+
+
+def attach_only(name):
+    """Attaching (create absent/False) is not a lifecycle obligation."""
+    return shared_memory.SharedMemory(name=name)

@@ -1,0 +1,8 @@
+"""A stale waiver that suppresses nothing is itself a violation."""
+
+import numpy as np
+
+
+def nothing():
+    # reprolint: disable=shm-lifecycle(stale waiver)  # expect: unused-waiver
+    return np.zeros(3)

@@ -1,0 +1,9 @@
+# reprolint: library
+"""A deliberate deviation, documented with an inline waiver."""
+
+import numpy as np
+
+
+def canonical_constructor(seed):
+    # reprolint: disable=rng-discipline(fixture demonstrates a used waiver)
+    return np.random.default_rng(seed)

@@ -71,7 +71,7 @@ class TestWalkBatch:
         w = BatchedWalker(graph, WalkParams(length=20), seed=0)
         batch = w.walk_batch(np.arange(20))
         for row in batch:
-            for a, b in zip(row[:-1], row[1:]):
+            for a, b in zip(row[:-1], row[1:], strict=True):
                 if a < 0 or b < 0:
                     break
                 assert graph.has_edge(int(a), int(b))

@@ -40,7 +40,7 @@ class TestWalkBasics:
         g = erdos_renyi(60, 0.1, seed=1)
         walker = Node2VecWalker(g, WalkParams(length=30), seed=0)
         w = walker.walk(0)
-        for a, b in zip(w[:-1], w[1:]):
+        for a, b in zip(w[:-1], w[1:], strict=True):
             assert g.has_edge(int(a), int(b))
 
     def test_isolated_node_truncates(self):
@@ -193,7 +193,7 @@ class TestPropertyBased:
         g = erdos_renyi(25, 0.2, seed=seed % 7)
         walker = Node2VecWalker(g, WalkParams(p=0.5, q=2.0, length=15), seed=seed)
         w = walker.walk(seed % 25)
-        for a, b in zip(w[:-1], w[1:]):
+        for a, b in zip(w[:-1], w[1:], strict=True):
             assert g.has_edge(int(a), int(b))
 
     @given(st.integers(min_value=0, max_value=200))

@@ -38,6 +38,7 @@ class TestTrainEmbedding:
 
     def test_unknown_model(self, graph):
         with pytest.raises(ValueError):
+            # reprolint: disable=registry-sync(deliberately invalid name for the error path)
             train_embedding(graph, model="gnn", hyper=HP, seed=0)
 
     def test_ops_telemetry_attached(self, graph):

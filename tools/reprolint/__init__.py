@@ -1,0 +1,46 @@
+"""reprolint — repo-specific AST invariant checker.
+
+The library's correctness contracts (bit-identical embeddings across
+workers/transports/chunk sizes, leak-free ``SharedMemory`` lifecycles,
+registry-rendered backend/source docs) are pinned by example-based tests but
+were previously enforced by nothing at the source level.  reprolint walks the
+AST of every file with the stdlib ``ast`` module — no third-party
+dependencies — and flags the code shapes that historically broke those
+contracts.
+
+Rules
+-----
+``rng-discipline``
+    All randomness flows through :mod:`repro.utils.rng`.  Library code may
+    not call ``np.random.default_rng`` / ``np.random.RandomState`` or sample
+    from the module-level ``np.random.*`` state; test code may not do so
+    *unseeded*.
+``shm-lifecycle``
+    Every ``SharedMemory(create=True)`` must have ``close()``/``unlink()``
+    reachable on exception paths (owning class defines/performs cleanup, or
+    the creation is guarded by a ``try`` whose handlers unlink).
+``registry-sync``
+    Backend / negative-source / model / transport name literals in code and
+    docstrings must be members of ``EXEC_REGISTRY`` / ``SOURCE_REGISTRY`` /
+    ``MODEL_REGISTRY`` / ``TRANSPORTS``.
+``fork-safety``
+    Objects submitted to ``multiprocessing.Pool`` must not be closures or
+    locally-constructed RNG/shm handles — only module-level callables and
+    plain data cross the fork boundary.
+``hot-loop-alloc``
+    No fresh ``np.zeros``/``np.concatenate``/``np.tile``/... allocation
+    inside ``for``/``while`` loops of kernel modules (PR 5 hoisted these by
+    hand; the rule keeps them hoisted).
+``dtype-discipline``
+    Float array constructors in kernel modules must pass an explicit
+    ``dtype`` so float32/float64 never mix implicitly.
+
+Waivers: ``# reprolint: disable=RULE(reason)`` on the offending line or the
+line directly above.  Unused waivers are themselves reported.
+
+Usage: ``python -m tools.reprolint src tests``
+"""
+
+from tools.reprolint.core import Violation, lint_file, lint_paths
+
+__all__ = ["Violation", "lint_file", "lint_paths"]

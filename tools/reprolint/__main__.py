@@ -1,0 +1,5 @@
+"""``python -m tools.reprolint`` dispatch."""
+
+from tools.reprolint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Command-line entry point: ``python -m tools.reprolint src tests``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint.core import lint_paths
+from tools.reprolint.rules import RULES
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in RULES:
+        rule_id = rule.__name__.removeprefix("rule_").replace("_", "-")
+        doc = (rule.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"  {rule_id:<18} {doc}")
+    lines.append(
+        "  unused-waiver      a `# reprolint: disable=...` comment that "
+        "suppresses nothing"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific AST invariant checker (stdlib-only).",
+        epilog=f"rules:\n{_list_rules()}",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root for registry extraction (default: walk up from cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations, n_files = lint_paths(args.paths, root=args.root or Path.cwd())
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        status = f"{len(violations)} violation(s)" if violations else "clean"
+        print(f"reprolint: checked {n_files} file(s): {status}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Engine: file collection, waiver handling, rule dispatch, reporting."""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.reprolint.registries import Registries, load_registries
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+]
+
+#: directory names never descended into — ``fixtures`` holds deliberately
+#: violating snippets for the self-tests.
+EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", "fixtures", ".mypy_cache", ".ruff_cache"}
+)
+
+_WAIVER_RE = re.compile(r"#\s*reprolint:\s*disable=(?P<spec>[A-Za-z0-9_,()\- .:'\"/]+)")
+_WAIVER_ITEM_RE = re.compile(r"(?P<rule>[a-z0-9-]+)(?:\((?P<reason>[^()]*)\))?")
+_KERNEL_MARKER_RE = re.compile(r"#\s*reprolint:\s*kernel-module\b")
+_LIBRARY_MARKER_RE = re.compile(r"#\s*reprolint:\s*library\b")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit, addressable as ``path:line: rule: message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Waiver:
+    """A ``# reprolint: disable=RULE(reason)`` comment."""
+
+    line: int
+    rules: dict[str, str]
+    used: set[str] = field(default_factory=set)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    registries: Registries
+    is_library: bool
+    is_kernel_module: bool
+    parents: dict[int, ast.AST]
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing(self, node: ast.AST, *kinds: type) -> ast.AST | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, kinds):
+                return anc
+        return None
+
+
+def _build_parents(tree: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def parse_waivers(lines: Sequence[str]) -> list[Waiver]:
+    waivers = []
+    for idx, line in enumerate(lines, start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        rules: dict[str, str] = {}
+        for item in _WAIVER_ITEM_RE.finditer(match.group("spec")):
+            rules[item.group("rule")] = item.group("reason") or ""
+        if rules:
+            waivers.append(Waiver(line=idx, rules=rules))
+    return waivers
+
+
+def _is_library_path(path: str) -> bool:
+    return "src" in Path(path).parts
+
+
+def lint_file(
+    path: str,
+    source: str | None = None,
+    registries: Registries | None = None,
+) -> list[Violation]:
+    """Lint one file; returns unwaived violations plus unused-waiver reports."""
+    from tools.reprolint.rules import RULES
+
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
+    if registries is None:
+        registries = load_registries(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 1, "syntax-error", str(exc.msg))]
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=path,
+        source=source,
+        lines=lines,
+        tree=tree,
+        registries=registries,
+        is_library=_is_library_path(path) or bool(_LIBRARY_MARKER_RE.search(source)),
+        is_kernel_module=bool(_KERNEL_MARKER_RE.search(source)),
+        parents=_build_parents(tree),
+    )
+    raw: list[Violation] = []
+    for rule in RULES:
+        raw.extend(rule(ctx))
+
+    waivers = parse_waivers(lines)
+    by_line: dict[int, Waiver] = {w.line: w for w in waivers}
+    kept: list[Violation] = []
+    for violation in sorted(raw):
+        waiver = by_line.get(violation.line) or by_line.get(violation.line - 1)
+        if waiver is not None and violation.rule in waiver.rules:
+            waiver.used.add(violation.rule)
+            continue
+        kept.append(violation)
+    for waiver in waivers:
+        for rule_id in sorted(set(waiver.rules) - waiver.used):
+            kept.append(
+                Violation(
+                    path,
+                    waiver.line,
+                    "unused-waiver",
+                    f"waiver for {rule_id!r} suppresses nothing — remove it",
+                )
+            )
+    return sorted(kept)
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_file():
+            if p.suffix == ".py":
+                out.add(p)
+        elif p.is_dir():
+            for sub in p.rglob("*.py"):
+                if not EXCLUDED_DIRS.intersection(sub.parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], root: Path | None = None
+) -> tuple[list[Violation], int]:
+    """Lint files/directories; returns ``(violations, files_checked)``."""
+    files = collect_files(paths)
+    registries = load_registries(root or Path.cwd())
+    violations: list[Violation] = []
+    for file in files:
+        violations.extend(lint_file(str(file), registries=registries))
+    return sorted(violations), len(files)
