@@ -33,6 +33,19 @@ Quickstart
 """
 
 from repro._version import __version__
-from repro.api import quick_embedding, train_dynamic, train_embedding
+from repro.api import (
+    PipelineConfig,
+    quick_embedding,
+    serve_embedding,
+    train_dynamic,
+    train_embedding,
+)
 
-__all__ = ["__version__", "quick_embedding", "train_dynamic", "train_embedding"]
+__all__ = [
+    "__version__",
+    "PipelineConfig",
+    "quick_embedding",
+    "serve_embedding",
+    "train_dynamic",
+    "train_embedding",
+]

@@ -5,15 +5,24 @@ bundle the walk corpus, model construction and training loop behind one call;
 everything they do can also be done piecewise via ``repro.sampling`` and
 ``repro.embedding`` (see examples/quickstart.py).  ``train_dynamic`` is the
 growing-graph counterpart: edge replay in, adapted embedding out, streamed
-through the same parallel pipeline.
+through the same parallel pipeline.  ``serve_embedding`` is the read side:
+any trained table (or a live :class:`~repro.store.base.EmbeddingStore` a
+training run published into) behind the async query front end of
+:mod:`repro.serving`.
+
+The pipeline's seven execution knobs also travel as one frozen
+:class:`repro.config.PipelineConfig` accepted by every training entry
+point as ``config=``; individually passed kwargs override config fields
+(conflicting duplicates warn ``DeprecationWarning``, equal ones are
+silent).
 
 Imports of the genuinely heavy subpackages (the scipy-backed evaluation
 stack, experiments, fpga) happen lazily so that ``import repro`` stays
-cheap.  One deliberate exception: rendering the ``negative_source``
-documentation from ``repro.sampling.sources`` pulls the pure-Python
-sampling/graph modules at import time (~10 ms, an order of magnitude below
-the unavoidable NumPy import) — the price of docs that can never drift
-from the validated registry.
+cheap.  One deliberate exception: rendering the ``negative_source`` /
+``exec_backend`` / ``store`` documentation from their registries pulls the
+pure-Python sampling/store modules at import time (~10 ms, an order of
+magnitude below the unavoidable NumPy import) — the price of docs that
+can never drift from the validated registries.
 """
 
 from __future__ import annotations
@@ -22,8 +31,10 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.config import PipelineConfig
 from repro.embedding.kernels import EXEC_REGISTRY
 from repro.sampling.sources import SOURCE_REGISTRY
+from repro.store import STORE_REGISTRY
 
 if TYPE_CHECKING:  # annotation-only: the heavy layers stay lazily imported
     from repro.dynamic import ScenarioResult
@@ -31,9 +42,17 @@ if TYPE_CHECKING:  # annotation-only: the heavy layers stay lazily imported
     from repro.experiments.hyper import Node2VecParams
     from repro.graph.csr import CSRGraph
     from repro.sampling.sources import NegativeSource
+    from repro.serving import EmbeddingService
+    from repro.store import EmbeddingStore
     from repro.utils.rng import SeedLike
 
-__all__ = ["train_embedding", "train_dynamic", "quick_embedding"]
+__all__ = [
+    "PipelineConfig",
+    "train_embedding",
+    "train_dynamic",
+    "quick_embedding",
+    "serve_embedding",
+]
 
 #: the ``negative_source`` section of the docstrings, rendered from the
 #: registry so the documented set can never drift from the validated one
@@ -46,6 +65,11 @@ _BACKEND_DOC = "\n".join(
     f"        * ``\"{name}\"`` — {cls.summary}." for name, cls in EXEC_REGISTRY.items()
 )
 
+#: and for the ``store`` serving backends, rendered from ``STORE_REGISTRY``
+_STORE_DOC = "\n".join(
+    f"        * ``\"{name}\"`` — {cls.summary}." for name, cls in STORE_REGISTRY.items()
+)
+
 
 def train_embedding(
     graph: CSRGraph,
@@ -56,10 +80,14 @@ def train_embedding(
     epochs: int = 1,
     n_workers: int | None = None,
     negative_source: str | NegativeSource | None = None,
-    negative_power: float = 0.75,
+    negative_power: float | None = None,
     transport: str | None = None,
     chunk_size: int | str | None = None,
+    prefetch: int | None = None,
     exec_backend: str | None = None,
+    config: PipelineConfig | None = None,
+    store: str | EmbeddingStore | None = None,
+    publish_every: int = 1,
     seed: SeedLike = None,
     **model_kwargs: Any,
 ) -> TrainingResult:
@@ -124,6 +152,30 @@ def train_embedding(
         across workers, prefetch and transports); ``"blocked"`` additionally
         accepts sub-walk block sizes via a pre-constructed
         ``BlockedKernel(block_contexts=...)`` instance.
+    prefetch:
+        pipeline-only knob: chunks kept in flight ahead of the trainer
+        (default ``max(2, 2 * n_workers)``).  Setting it implies the
+        pipelined path.
+    config:
+        a frozen :class:`repro.config.PipelineConfig` bundling the
+        pipeline knobs (n_workers, transport, chunk_size, prefetch,
+        exec_backend, negative_source, negative_power).  Individual kwargs
+        override config fields; a *conflicting* duplicate (both set,
+        different values) warns ``DeprecationWarning`` — the kwarg wins.
+        A config that sets any pipeline-routing knob implies the pipelined
+        path, exactly as the kwarg would.
+    store:
+        serving-store hookup (implies the pipelined path): a name from
+        :data:`repro.store.STORE_REGISTRY` or a pre-constructed
+        :class:`~repro.store.base.EmbeddingStore`:
+
+{stores}
+
+        The run publishes a versioned epoch snapshot into the store after
+        every ``publish_every``-th training epoch (zero-copy: unchanged
+        shards are shared by reference; ``telemetry.store_full_copies``
+        stays 0).  The live store rides out on ``TrainingResult.store`` —
+        pass it to :func:`serve_embedding`, then ``close()`` it.
     seed:
         deterministic seed for walks, sampling and initialization.
     model_kwargs:
@@ -136,28 +188,35 @@ def train_embedding(
     (n_nodes × dim), the trained model, op-count telemetry, and — on the
     pipelined path — per-stage ``telemetry``.
     """
-    pipelined = (
-        n_workers is not None
-        or negative_source is not None
-        or transport is not None
-        or chunk_size is not None
+    cfg = config if config is not None else PipelineConfig()
+    # routing only — knob *values* merge downstream (in train_parallel or
+    # just below for the sequential path) so conflicts warn exactly once
+    pipelined = store is not None or any(
+        knob is not None
+        for knob in (
+            n_workers, negative_source, transport, chunk_size, prefetch,
+            cfg.n_workers, cfg.negative_source, cfg.transport,
+            cfg.chunk_size, cfg.prefetch,
+        )
     )
     if not pipelined:
         from repro.embedding.trainer import train_on_graph
 
+        knobs = cfg.merged(negative_power=negative_power, exec_backend=exec_backend)
+        power = knobs["negative_power"]
         return train_on_graph(
             graph,
             dim=dim,
             model=model,
             hyper=hyper,
             epochs=epochs,
-            negative_power=negative_power,
-            exec_backend=exec_backend,
+            negative_power=0.75 if power is None else power,
+            exec_backend=knobs["exec_backend"],
             seed=seed,
             **model_kwargs,
         )
 
-    from repro.parallel import DEFAULT_CHUNK_SIZE, train_parallel
+    from repro.parallel import train_parallel
 
     return train_parallel(
         graph,
@@ -165,12 +224,16 @@ def train_embedding(
         model=model,
         hyper=hyper,
         epochs=epochs,
-        n_workers=0 if n_workers is None else int(n_workers),
-        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
-        transport=transport or "shm",
-        negative_source=negative_source if negative_source is not None else "corpus",
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        prefetch=prefetch,
+        transport=transport,
+        negative_source=negative_source,
         negative_power=negative_power,
         exec_backend=exec_backend,
+        config=config,
+        store=store,
+        publish_every=publish_every,
         seed=seed,
         **model_kwargs,
     )
@@ -187,12 +250,15 @@ def train_dynamic(
     initial_training: bool = False,
     walks_per_endpoint: int | None = None,
     n_workers: int | None = None,
-    negative_source: str | NegativeSource = "decayed",
-    negative_power: float = 0.75,
+    negative_source: str | NegativeSource | None = None,
+    negative_power: float | None = None,
     transport: str | None = None,
     chunk_size: int | None = None,
     prefetch: int | None = None,
     exec_backend: str | None = None,
+    config: PipelineConfig | None = None,
+    store: str | EmbeddingStore | None = None,
+    publish_every: int = 1,
     seed: SeedLike = None,
     **model_kwargs: Any,
 ) -> ScenarioResult:
@@ -220,6 +286,20 @@ def train_dynamic(
 
 {backends}
 
+    ``config`` accepts the same frozen :class:`repro.config.PipelineConfig`
+    as :func:`train_embedding`, with the same kwarg-wins precedence.
+    ``store`` hooks the replay up to the serving layer (a
+    :data:`repro.store.STORE_REGISTRY` name or an
+    :class:`~repro.store.base.EmbeddingStore` instance):
+
+{stores}
+
+    Each replayed task epoch publishes a versioned snapshot of the live
+    embedding (thinned by ``publish_every``; zero full-table copies —
+    readers pinned to an epoch keep seeing its exact vectors while the
+    replay publishes behind them).  The store rides out on
+    ``extras["training_result"].store``.
+
     Returns
     -------
     :class:`repro.dynamic.ScenarioResult` with ``.embedding``, the trained
@@ -238,13 +318,16 @@ def train_dynamic(
         max_events=max_events,
         initial_training=initial_training,
         walks_per_endpoint=walks_per_endpoint,
-        n_workers=0 if n_workers is None else int(n_workers),
+        n_workers=n_workers,
         chunk_size=chunk_size,
         prefetch=prefetch,
-        transport=transport or "shm",
+        transport=transport,
         negative_source=negative_source,
         negative_power=negative_power,
         exec_backend=exec_backend,
+        config=config,
+        store=store,
+        publish_every=publish_every,
         model_kwargs=model_kwargs or None,
     )
 
@@ -255,9 +338,81 @@ def quick_embedding(graph: CSRGraph, *, dim: int = 32, seed: SeedLike = None) ->
     return train_embedding(graph, dim=dim, model="proposed", seed=seed).embedding
 
 
-# Render the negative_source / exec_backend bullet lists from their
-# registries so the docs can never drift from the validated sets.
-for _fn in (train_embedding, train_dynamic):
+def serve_embedding(
+    source: TrainingResult | EmbeddingStore | np.ndarray | Any,
+    *,
+    store: str | None = None,
+    n_shards: int = 8,
+    retain: int = 4,
+    cache_capacity: int = 4096,
+) -> EmbeddingService:
+    """Put a trained embedding behind the async serving layer.
+
+    ``source`` is anything that holds a table:
+
+    * a :class:`~repro.embedding.trainer.TrainingResult` — if the run
+      published into a store (``store=`` at training time), that live
+      store is served *as-is*, versioned epochs and all; otherwise the
+      result's final embedding is published as epoch 0 of a fresh store;
+    * a live :class:`~repro.store.base.EmbeddingStore` — served as-is
+      (the caller keeps ownership, exactly as with ``TrainingResult``);
+    * an :class:`~repro.embedding.base.EmbeddingModel` or a plain
+      ``(n_nodes, dim)`` array — snapshotted as epoch 0 of a fresh store.
+
+    ``store`` names the backend for a *fresh* store
+    (:data:`repro.store.STORE_REGISTRY`; default ``"local"``):
+
+{stores}
+
+    It must stay ``None`` when ``source`` already is (or carries) a store
+    — re-homing a live store would silently copy the table.  ``n_shards``
+    / ``retain`` size a fresh store; ``cache_capacity`` is the service's
+    LRU budget either way.
+
+    Returns a :class:`repro.serving.EmbeddingService`; ``await`` its
+    ``get_vector`` / ``score_links`` / ``top_k`` coroutines (see
+    examples/serving_quickstart.py for the event-loop boilerplate).
+    """
+    from repro.serving import EmbeddingService
+    from repro.store import EmbeddingStore, make_store
+
+    live: EmbeddingStore | None = None
+    if isinstance(source, EmbeddingStore):
+        live = source
+    elif getattr(source, "store", None) is not None and isinstance(
+        source.store, EmbeddingStore
+    ):
+        live = source.store
+    if live is not None:
+        if store is not None:
+            raise ValueError(
+                "source already carries a live store; serve it as-is "
+                "(store= only names the backend of a fresh store)"
+            )
+        return EmbeddingService(live, cache_capacity=cache_capacity)
+
+    if hasattr(source, "embedding"):  # TrainingResult / EmbeddingModel
+        table = np.asarray(source.embedding)
+    else:
+        table = np.asarray(source)
+    if table.ndim != 2:
+        raise ValueError(f"embedding table must be 2-D, got shape {table.shape}")
+    fresh = make_store(
+        store if store is not None else "local",
+        table.shape[0],
+        table.shape[1],
+        n_shards=n_shards,
+        retain=retain,
+        dtype=table.dtype,
+    )
+    fresh.publish(0, table)
+    return EmbeddingService(fresh, cache_capacity=cache_capacity)
+
+
+# Render the negative_source / exec_backend / store bullet lists from
+# their registries so the docs can never drift from the validated sets.
+for _fn in (train_embedding, train_dynamic, serve_embedding):
     if _fn.__doc__:  # pragma: no branch - absent only under python -OO
         _fn.__doc__ = _fn.__doc__.replace("{sources}", _SOURCE_DOC)
         _fn.__doc__ = _fn.__doc__.replace("{backends}", _BACKEND_DOC)
+        _fn.__doc__ = _fn.__doc__.replace("{stores}", _STORE_DOC)

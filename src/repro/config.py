@@ -1,0 +1,84 @@
+"""Consolidated pipeline configuration for the public training APIs.
+
+The pipelined entry points grew seven orthogonal execution knobs
+(workers, transport, chunking, prefetch, kernel backend, negative
+sampling); :class:`PipelineConfig` bundles them into one frozen, reusable
+value accepted as ``config=`` by :func:`repro.api.train_embedding`,
+:func:`repro.api.train_dynamic` and
+:func:`repro.parallel.train_parallel`.
+
+Precedence contract (pinned by ``tests/test_config.py``): an explicitly
+passed individual kwarg **overrides** the config field; a field set only
+in the config applies as if passed; everything else falls back to the
+function's documented default.  Passing both a kwarg and a config field
+with *different* values emits a ``DeprecationWarning`` naming the knob
+(the kwarg still wins) — passing equal values is silent, so callers can
+pin a config and tweak one knob without ceremony.
+
+Only *execution* knobs live here — they never change the trained
+embedding (the global-walk-index seeding contract), except
+``negative_source`` / ``negative_power`` / ``exec_backend``, which select
+the documented sampling/kernel semantics.  Model knobs (``dim``,
+``model``, ``hyper``, ``seed``) stay individual arguments: they define
+*what* is trained, not *how* the pipeline runs it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Execution knobs of the streaming pipeline, as one frozen value.
+
+    Every field defaults to ``None`` = "use the entry point's default";
+    see :func:`repro.parallel.train_parallel` for each knob's semantics.
+    Name-typed knobs (``transport``, ``negative_source``,
+    ``exec_backend``) are validated downstream against their registries —
+    the config is a carrier, not a second source of truth.
+    """
+
+    n_workers: int | None = None
+    transport: str | None = None
+    chunk_size: int | str | None = None
+    prefetch: int | None = None
+    exec_backend: str | None = None
+    negative_source: Any | None = None
+    negative_power: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("n_workers", "prefetch"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 0):
+                raise ValueError(f"{name} must be a non-negative int, got {value!r}")
+        if self.negative_power is not None:
+            object.__setattr__(self, "negative_power", float(self.negative_power))
+
+    def merged(self, **explicit: Any) -> dict[str, Any]:
+        """Resolve config fields against explicitly-passed kwargs.
+
+        ``explicit`` maps knob name → the caller's kwarg value, where
+        ``None`` means "not passed" (every pipeline knob uses a ``None``
+        sentinel at the API boundary).  Returns a full knob dict with the
+        kwarg winning over the config field; a conflicting duplicate
+        (both set, different values) warns.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            configured = getattr(self, f.name)
+            passed = explicit.get(f.name)
+            if passed is not None and configured is not None and passed != configured:
+                warnings.warn(
+                    f"{f.name} passed both as a kwarg ({passed!r}) and in "
+                    f"config= ({configured!r}); the kwarg wins — drop one "
+                    "(conflicting duplicates are deprecated)",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            out[f.name] = passed if passed is not None else configured
+        return out

@@ -118,13 +118,16 @@ def run_seq_scenario(
     max_events: int | None = None,
     initial_training: bool = False,
     walks_per_endpoint: int | None = None,
-    n_workers: int = 0,
+    n_workers: int | None = None,
     chunk_size: int | None = None,
     prefetch: int | None = None,
-    transport: str = "shm",
-    negative_source="decayed",
-    negative_power: float = 0.75,
+    transport: str | None = None,
+    negative_source=None,
+    negative_power: float | None = None,
     exec_backend: str | None = None,
+    config=None,
+    store=None,
+    publish_every: int = 1,
     model_kwargs: dict | None = None,
 ) -> ScenarioResult:
     """Figure 6's "seq" case: forest first, then per-edge sequential training
@@ -157,7 +160,8 @@ def run_seq_scenario(
     negative_source:
         any :data:`repro.sampling.sources.SOURCE_REGISTRY` name or
         :class:`~repro.sampling.sources.NegativeSource` instance.  Default
-        ``"decayed"``: the online source that folds the replay's walk
+        (when neither the kwarg nor ``config`` set it) ``"decayed"``: the
+        online source that folds the replay's walk
         frequencies into an exponentially-decayed count vector and rebuilds
         its alias table every K virtual chunks — the streaming successor of
         the old per-event ``sampler_refresh`` loop (tune via a
@@ -169,13 +173,33 @@ def run_seq_scenario(
         path for the OS-ELM ``"proposed"`` model this scenario defaults
         to — the rank-k RLS block solves batch each event's walk updates.
 
+    config:
+        a frozen :class:`repro.config.PipelineConfig` bundling the
+        pipeline knobs; individual kwargs override its fields (the
+        :meth:`~repro.config.PipelineConfig.merged` precedence contract,
+        enforced inside :func:`~repro.parallel.train_parallel`).
+    store / publish_every:
+        serving-store hookup, forwarded to
+        :func:`~repro.parallel.train_parallel`: each replayed task epoch
+        publishes a pinned, versioned snapshot of the live embedding into
+        the store (thinned by ``publish_every``), and the store rides out
+        on ``extras["training_result"].store``.
+
     The pipeline telemetry (snapshots consumed, per-snapshot stalls,
     sampler rebuilds, transport, stage timings, publish-once snapshot
-    bytes) lands in ``extras["telemetry"]``.
+    bytes, store publishes) lands in ``extras["telemetry"]``.
     """
     from repro.experiments.hyper import Node2VecParams
-    from repro.parallel import DEFAULT_CHUNK_SIZE, train_parallel
+    from repro.parallel import train_parallel
     from repro.parallel.tasks import WalkTask
+
+    # the scenario's own default negative source is the online "decayed"
+    # (not the pipeline's "corpus"); it applies only when neither the kwarg
+    # nor the config names a source, so config precedence stays intact
+    if negative_source is None and (
+        config is None or config.negative_source is None
+    ):
+        negative_source = "decayed"
 
     check_positive("edges_per_event", edges_per_event, integer=True)
     hp = hyper or Node2VecParams()
@@ -220,12 +244,15 @@ def run_seq_scenario(
         hyper=hp,
         epochs=1,
         n_workers=n_workers,
-        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        chunk_size=chunk_size,
         prefetch=prefetch,
         transport=transport,
         negative_source=negative_source,
         negative_power=negative_power,
         exec_backend=exec_backend,
+        config=config,
+        store=store,
+        publish_every=publish_every,
         tasks=replay_tasks,
         seed=train_seed,
         **(model_kwargs or {}),

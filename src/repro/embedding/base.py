@@ -142,6 +142,21 @@ class EmbeddingModel(abc.ABC):
             self, walks, sampler, window=window, ns=ns, negative_reuse=negative_reuse
         )
 
+    def embedding_view(self) -> np.ndarray | None:
+        """The current embedding as a **read-only zero-copy view**, or None.
+
+        The serving-store publish path (:meth:`repro.store.base.EmbeddingStore.publish`)
+        prefers this over :attr:`embedding` because the property contract
+        allows (and our models use) a defensive full-table copy per read —
+        exactly the cost a per-epoch publish hook must not pay.  The view
+        aliases live training state: it is only valid to *read, then
+        drop* (the store's per-shard compare/write consumes it within the
+        publish call).  Models whose embedding is derived rather than
+        stored return None and the publisher falls back to
+        :attr:`embedding`, counting a full-table copy in the telemetry.
+        """
+        return None
+
     def _check_walk_inputs(
         self, contexts: WalkContexts, negatives: np.ndarray
     ) -> np.ndarray:

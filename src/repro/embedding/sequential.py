@@ -160,6 +160,12 @@ class OSELMSkipGram(EmbeddingModel):
         input-side weights, so it *is* the representation)."""
         return self.B.copy()
 
+    def embedding_view(self) -> np.ndarray:
+        """β as a read-only zero-copy view (the store publish path)."""
+        view = self.B.view()
+        view.flags.writeable = False
+        return view
+
     def hidden(self, center: int) -> np.ndarray:
         """H for one center node (Algorithm 1 line 2)."""
         if self.weight_tying == "beta":

@@ -87,6 +87,12 @@ class SkipGramSGD(EmbeddingModel):
     def embedding(self) -> np.ndarray:
         return self.w_in.copy()
 
+    def embedding_view(self) -> np.ndarray:
+        """``w_in`` as a read-only zero-copy view (the store publish path)."""
+        view = self.w_in.view()
+        view.flags.writeable = False
+        return view
+
     def train_pair(self, center: int, samples: np.ndarray, targets: np.ndarray):
         """One window iteration: the positive + its negatives, one SGD step.
 

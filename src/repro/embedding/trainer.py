@@ -51,6 +51,10 @@ class TrainingResult:
     ``telemetry`` is ``None`` for the sequential path; the pipelined
     :func:`repro.parallel.train_parallel` attaches its per-stage
     :class:`repro.parallel.PipelineTelemetry` here.
+
+    ``store`` is the live :class:`repro.store.base.EmbeddingStore` the run
+    published epoch versions into (``None`` when no ``store=`` was
+    requested).  The caller owns it — serve from it, then ``close()`` it.
     """
 
     model: EmbeddingModel
@@ -60,6 +64,7 @@ class TrainingResult:
     ops: OpCount
     hyper: "object" = None
     telemetry: "object" = None
+    store: "object" = None
 
     def __repr__(self) -> str:
         return (
@@ -175,7 +180,7 @@ class WalkTrainer:
         self.ops = self.ops + stats.ops
         return stats.n_contexts
 
-    def result(self, hyper=None, telemetry=None) -> TrainingResult:
+    def result(self, hyper=None, telemetry=None, store=None) -> TrainingResult:
         return TrainingResult(
             model=self.model,
             embedding=self.model.embedding,
@@ -184,6 +189,7 @@ class WalkTrainer:
             ops=self.ops,
             hyper=hyper,
             telemetry=telemetry,
+            store=store,
         )
 
 

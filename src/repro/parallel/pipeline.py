@@ -115,6 +115,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.config import PipelineConfig
 from repro.embedding.base import EmbeddingModel
 from repro.embedding.kernels import resolve_backend
 from repro.embedding.trainer import TrainingResult, WalkTrainer, make_model
@@ -288,6 +289,16 @@ class PipelineTelemetry:
     are the consumer-side training throughput the kernel benchmarks track
     (contexts/s is the RLS-step rate the ``"blocked"`` OS-ELM kernel is
     built to lift).
+
+    Store publishing (``store=``): ``store_publishes`` counts the epoch
+    versions published into the serving store; ``store_publish_s`` the
+    wall-clock spent on the publish path (including any fallback table
+    copy); ``store_publish_bytes`` the shard bytes actually (re)written
+    (unchanged shards are shared by reference, so this is the incremental
+    cost, not ``publishes × table``); ``store_full_copies`` how many
+    publishes had to materialize a full-table copy because the model
+    exposes no :meth:`~repro.embedding.base.EmbeddingModel.embedding_view`
+    — 0 is the zero-copy contract the acceptance tests pin.
     """
 
     negative_source: str
@@ -310,6 +321,10 @@ class PipelineTelemetry:
     exec_backend: str = ""
     train_walks: int = 0
     train_contexts: int = 0
+    store_publishes: int = 0
+    store_publish_s: float = 0.0
+    store_publish_bytes: int = 0
+    store_full_copies: int = 0
 
     @property
     def overlap_efficiency(self) -> float:
@@ -655,13 +670,16 @@ def train_parallel(
     model: str | EmbeddingModel = "proposed",
     hyper: Node2VecParams | None = None,
     epochs: int = 1,
-    n_workers: int = 0,
-    chunk_size: int | str = DEFAULT_CHUNK_SIZE,
+    n_workers: int | None = None,
+    chunk_size: int | str | None = None,
     prefetch: int | None = None,
-    transport: str = "shm",
-    negative_source: str | NegativeSource = "corpus",
-    negative_power: float = 0.75,
+    transport: str | None = None,
+    negative_source: str | NegativeSource | None = None,
+    negative_power: float | None = None,
     exec_backend: str | None = None,
+    config: PipelineConfig | None = None,
+    store: Any | None = None,
+    publish_every: int = 1,
     tasks: Iterable[WalkTask] | Callable[[], Iterable[WalkTask]] | None = None,
     seed: SeedLike = 0,
     **model_kwargs: Any,
@@ -722,10 +740,53 @@ def train_parallel(
     ``None`` follows the model's own :attr:`~repro.embedding.base.EmbeddingModel.exec_backend`
     preference (``"reference"`` unless a checkpoint says otherwise).
 
+    ``config`` accepts a frozen :class:`repro.config.PipelineConfig`
+    bundling the execution knobs above; an explicitly passed kwarg
+    overrides the corresponding config field (a *conflicting* duplicate
+    warns ``DeprecationWarning``; equal duplicates are silent).
+
+    ``store`` hooks the run up to the serving layer: pass a
+    :data:`repro.store.STORE_REGISTRY` name or a live
+    :class:`~repro.store.base.EmbeddingStore` and the pipeline publishes
+    versioned epoch snapshots into it as training proceeds — one version
+    per training epoch on the static path, one per task-epoch transition
+    on the dynamic path (thinned by ``publish_every``; the final epoch
+    always publishes).  Publishes read the model through its zero-copy
+    :meth:`~repro.embedding.base.EmbeddingModel.embedding_view` and write
+    only the shards that changed, so a live run ships no full-table
+    copies (``telemetry.store_full_copies`` pins this; the per-publish
+    accounting lands in the ``store_*`` telemetry fields).  The store
+    rides out on ``TrainingResult.store`` — the caller owns it (serve
+    from it, then ``close()`` it), and readers pinned to an epoch see
+    bit-identical vectors while training publishes behind them.
+
     Returns a :class:`TrainingResult` whose ``telemetry`` field carries the
     per-stage :class:`PipelineTelemetry`.
     """
     from repro.experiments.hyper import Node2VecParams
+
+    knobs = (config or PipelineConfig()).merged(
+        n_workers=n_workers,
+        transport=transport,
+        chunk_size=chunk_size,
+        prefetch=prefetch,
+        exec_backend=exec_backend,
+        negative_source=negative_source,
+        negative_power=negative_power,
+    )
+    n_workers = knobs["n_workers"] if knobs["n_workers"] is not None else 0
+    chunk_size = (
+        knobs["chunk_size"] if knobs["chunk_size"] is not None else DEFAULT_CHUNK_SIZE
+    )
+    prefetch = knobs["prefetch"]
+    transport = knobs["transport"] if knobs["transport"] is not None else "shm"
+    negative_source = (
+        knobs["negative_source"] if knobs["negative_source"] is not None else "corpus"
+    )
+    negative_power = (
+        knobs["negative_power"] if knobs["negative_power"] is not None else 0.75
+    )
+    exec_backend = knobs["exec_backend"]
 
     check_positive("epochs", epochs, integer=True)
     check_in_set("transport", transport, TRANSPORTS)
@@ -764,6 +825,14 @@ def train_parallel(
         raise ValueError("model_kwargs only apply when model is a registry name")
     else:
         mdl = model
+
+    emb_store = None
+    if store is not None:
+        check_positive("publish_every", publish_every, integer=True)
+        # lazy: repro.store pulls the shm backend, which imports this package
+        from repro.store import resolve_store
+
+        emb_store = resolve_store(store, mdl.n_nodes, mdl.dim)
 
     # Draw every seed up front, independent of negative_source, so that
     # "corpus" and "two_pass" (same sampler distribution, same walk order)
@@ -813,6 +882,27 @@ def train_parallel(
 
     seen_epochs: set[int] = set()
     consumed_walks = [0]  # global counter pinning the virtual-chunk schedule
+    last_published = [None]  # dedup guard: a version publishes exactly once
+    last_task_epoch: list[int | None] = [None]
+
+    def _publish(version: int) -> None:
+        """Publish the model's current table as ``version`` (idempotent per
+        version).  Zero-copy: the table is read through ``embedding_view``
+        and only changed shards are written; a model without a view falls
+        back to ``.embedding`` and the copy is counted in the telemetry."""
+        if emb_store is None or last_published[0] == version:
+            return
+        t0 = time.perf_counter()
+        view = mdl.embedding_view()
+        full = view is None
+        stats = emb_store.publish(
+            version, mdl.embedding if full else view, full_copy=full
+        )
+        last_published[0] = version
+        tele.store_publishes += 1
+        tele.store_publish_s += time.perf_counter() - t0
+        tele.store_publish_bytes += stats.bytes_written
+        tele.store_full_copies += stats.full_table_copies
 
     def _consume(gen: ParallelWalkGenerator, stream, on_chunk) -> None:
         """Drain one generation pass, folding stall/generation times, the
@@ -836,7 +926,7 @@ def train_parallel(
                     tele.n_snapshots = len(seen_epochs)
             tele.generation_s += gen_s
             tele.n_chunks += 1
-            on_chunk(walks)
+            on_chunk(walks, epoch)
             t_wait = time.perf_counter()
         tele.peak_buffered_walks = max(
             tele.peak_buffered_walks, gen.last_stats.peak_in_flight
@@ -846,12 +936,22 @@ def train_parallel(
         tele.ipc_snapshot_bytes_saved += gen.last_stats.snapshot_bytes_saved
         tele.transport = gen.effective_transport
 
-    def _train_chunk(walks: list) -> None:
+    def _train_chunk(walks: list, epoch: int | None = None) -> None:
         """Train one consumed chunk, threading its walk frequencies back to
         the source.  For a source with a virtual-chunk schedule the chunk
         is split at canonical boundaries so the fold/rebuild points — and
         therefore the sampler every walk trains against — are independent
-        of the physical chunking."""
+        of the physical chunking.
+
+        On the dynamic path (task streams) this is also the publish point:
+        the first chunk of a *new* task epoch proves the previous epoch's
+        training is complete (FIFO chunk order), so the previous epoch's
+        table publishes before the new epoch's first update lands."""
+        if emb_store is not None and tasks is not None and epoch is not None:
+            prev = last_task_epoch[0]
+            if prev is not None and epoch > prev and (prev + 1) % publish_every == 0:
+                _publish(prev)
+            last_task_epoch[0] = epoch if prev is None else max(prev, epoch)
         if source.wants_frequencies:
             segments = (
                 _virtual_segments(walks, source.virtual_chunk, consumed_walks[0])
@@ -872,7 +972,7 @@ def train_parallel(
             tele.train_s += time.perf_counter() - t0
             consumed_walks[0] += len(walks)
 
-    def _count_chunk(walks: list) -> None:
+    def _count_chunk(walks: list, epoch: int | None = None) -> None:
         source.observe(walk_frequencies(walks, graph.n_nodes), len(walks))
 
     for epoch in range(epochs):
@@ -893,7 +993,9 @@ def train_parallel(
             # (the one path that retains walks) must materialize them.
             buffered: list = []
 
-            def _buffer_chunk(walks: list, _buf=buffered, _gen=gen) -> None:
+            def _buffer_chunk(
+                walks: list, epoch: int | None = None, _buf=buffered, _gen=gen
+            ) -> None:
                 if _gen.effective_transport == "shm":
                     _buf.extend(w.copy() for w in walks)
                 else:
@@ -912,6 +1014,15 @@ def train_parallel(
                 source.finalize()
             _consume(gen, _task_stream(), _train_chunk)
 
+        # static-path publishing: the training-epoch index is the version
+        # (task streams version by task epoch inside _train_chunk instead)
+        if (
+            emb_store is not None
+            and tasks is None
+            and ((epoch + 1) % publish_every == 0 or epoch == epochs - 1)
+        ):
+            _publish(epoch)
+
         if controller is not None and not bootstrap_epoch:
             controller.observe(
                 EpochStats(
@@ -924,7 +1035,13 @@ def train_parallel(
                 )
             )
 
+    # dynamic-path final publish: the last task epoch has no successor to
+    # trigger its transition publish, so it always publishes here (also the
+    # sole publish of bootstrap-buffered task runs, which train all at once)
+    if emb_store is not None and tasks is not None and seen_epochs:
+        _publish(max(seen_epochs))
+
     tele.total_s = time.perf_counter() - t_total
     tele.train_walks = trainer.n_walks
     tele.train_contexts = trainer.n_contexts
-    return trainer.result(hyper=hp, telemetry=tele)
+    return trainer.result(hyper=hp, telemetry=tele, store=emb_store)

@@ -1,0 +1,13 @@
+"""Async serving layer over the sharded embedding store.
+
+:class:`EmbeddingService` answers get-vector, link-prediction score and
+top-k nearest-neighbor queries against any ``STORE_REGISTRY`` backend,
+with per-shard LRU caching and per-query latency telemetry — see
+:mod:`repro.serving.service` for the query semantics and
+:mod:`repro.store` for the epoch-versioning contract underneath.
+"""
+
+from repro.serving.service import TOPK_METRICS, EmbeddingService
+from repro.serving.telemetry import QueryStats, ServingTelemetry
+
+__all__ = ["EmbeddingService", "ServingTelemetry", "QueryStats", "TOPK_METRICS"]

@@ -1,0 +1,238 @@
+"""Asyncio serving front end over a sharded embedding store.
+
+The paper's sequential-training premise is that embeddings are *usable
+while training proceeds*; this module is the read side of that promise.
+:class:`EmbeddingService` answers three query shapes against any
+:class:`~repro.store.base.EmbeddingStore` backend:
+
+* ``get_vector`` / ``get_vectors`` — point lookups through a per-shard LRU
+  (hot nodes answer from cache without touching the store);
+* ``score_links`` — link-prediction scores for node pairs, reusing the
+  node2vec edge operators of :mod:`repro.evaluation.linkpred`;
+* ``top_k`` — nearest neighbors by cosine or dot product, scanning shard
+  blocks with one GEMV each (per-``(epoch, shard)`` norm caches make the
+  cosine path one multiply more than dot).
+
+Every query resolves against one published *epoch* — by default the
+store's latest, or an explicitly pinned one via :meth:`EmbeddingService.reader`
+(the epoch-pinning contract of :mod:`repro.store.base`: reads of a pinned
+epoch stay bit-identical while the trainer publishes behind it).  Methods
+are ``async`` so the service drops into any asyncio server loop; the
+NumPy work itself is synchronous and fast enough that a query never
+yields mid-computation (single-digit microseconds for cached gets — see
+``benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from time import perf_counter
+from typing import Any
+
+import numpy as np
+
+from repro.serving.telemetry import ServingTelemetry
+from repro.store.base import EmbeddingStore, EpochReader
+from repro.utils.validation import check_in_set, check_positive
+
+__all__ = ["EmbeddingService"]
+
+#: similarity metrics understood by :meth:`EmbeddingService.top_k`
+TOPK_METRICS = ("cosine", "dot")
+
+
+class EmbeddingService:
+    """Serve get-vector / link-score / top-k queries from a store.
+
+    Parameters
+    ----------
+    store:
+        any :class:`~repro.store.base.EmbeddingStore`; the service reads,
+        never publishes, and does not take ownership (closing the service
+        leaves the store open).
+    cache_capacity:
+        total vectors held by the point-lookup LRU, split evenly across
+        shards so one hot shard cannot evict the whole working set.
+        0 disables caching.
+    """
+
+    def __init__(self, store: EmbeddingStore, *, cache_capacity: int = 4096):
+        check_positive("cache_capacity", cache_capacity, strict=False, integer=True)
+        self.store = store
+        self.telemetry = ServingTelemetry()
+        self._per_shard = (
+            max(1, int(cache_capacity) // store.n_shards) if cache_capacity else 0
+        )
+        #: per-shard LRU: (epoch, node) → owned vector copy
+        self._caches: list[OrderedDict[tuple[int, int], np.ndarray]] = [
+            OrderedDict() for _ in range(store.n_shards)
+        ]
+        #: (epoch, shard) → row norms for the cosine top-k path
+        self._norms: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Epoch handling
+    # ------------------------------------------------------------------ #
+
+    def reader(self, epoch: int | None = None) -> EpochReader:
+        """Pin an epoch on the underlying store (see
+        :class:`repro.store.base.EpochReader`); pass ``reader.epoch`` as
+        the ``epoch=`` of any query to serve that frozen version."""
+        return self.store.reader(epoch)
+
+    def _resolve_epoch(self, epoch: int | None) -> int:
+        if epoch is not None:
+            return int(epoch)
+        latest = self.store.latest_epoch
+        if latest is None:
+            raise RuntimeError("store has no published epochs yet")
+        return latest
+
+    # ------------------------------------------------------------------ #
+    # Point lookups
+    # ------------------------------------------------------------------ #
+
+    def _lookup(self, node: int, epoch: int) -> np.ndarray:
+        shard = int(np.searchsorted(self.store.bounds[1:], node, side="right"))
+        if not self._per_shard:
+            self.telemetry.cache_misses += 1
+            return self.store.get_one(node, epoch=epoch)
+        cache = self._caches[shard]
+        key = (epoch, node)
+        vec = cache.get(key)
+        if vec is not None:
+            cache.move_to_end(key)
+            self.telemetry.cache_hits += 1
+            return vec
+        self.telemetry.cache_misses += 1
+        # own a copy: cache entries must survive epoch retirement
+        vec = np.array(self.store.get_one(node, epoch=epoch))
+        vec.flags.writeable = False
+        cache[key] = vec
+        if len(cache) > self._per_shard:
+            cache.popitem(last=False)
+        return vec
+
+    async def get_vector(self, node: int, *, epoch: int | None = None) -> np.ndarray:
+        """One node's embedding (read-only) at ``epoch`` (default latest)."""
+        t0 = perf_counter()
+        vec = self._lookup(int(node), self._resolve_epoch(epoch))
+        self.telemetry.stats("get").record(perf_counter() - t0)
+        return vec
+
+    async def get_vectors(
+        self, nodes: Any, *, epoch: int | None = None
+    ) -> np.ndarray:
+        """Many nodes' embeddings as a fresh ``(len(nodes), dim)`` array."""
+        t0 = perf_counter()
+        out = self.store.get(np.asarray(nodes), epoch=self._resolve_epoch(epoch))
+        self.telemetry.stats("get_batch").record(perf_counter() - t0)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Link-prediction scoring
+    # ------------------------------------------------------------------ #
+
+    async def score_links(
+        self,
+        pairs: Any,
+        *,
+        epoch: int | None = None,
+        operator: str = "hadamard",
+    ) -> np.ndarray:
+        """Link-prediction scores for ``(k, 2)`` node pairs.
+
+        Features come from the node2vec edge operators of
+        :func:`repro.evaluation.linkpred.edge_features`; the score is the
+        feature sum, which for the default ``"hadamard"`` operator is
+        exactly the dot product ``⟨emb[u], emb[v]⟩`` — the standard
+        unsupervised link score.  (Training a calibrated classifier on
+        top remains :func:`repro.evaluation.linkpred.evaluate_link_prediction`'s
+        job; the serving path is scoring only.)
+        """
+        t0 = perf_counter()
+        resolved = self._resolve_epoch(epoch)
+        # lazy import: evaluation pulls the scipy-backed logreg module,
+        # which the serving hot path must not pay for at import time
+        from repro.evaluation.linkpred import edge_features
+
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        unique, inverse = np.unique(pairs, return_inverse=True)
+        table = self.store.get(unique, epoch=resolved)
+        features = edge_features(table, inverse.reshape(-1, 2), operator)
+        scores = features.sum(axis=1)
+        self.telemetry.stats("score").record(perf_counter() - t0)
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Top-k nearest neighbors
+    # ------------------------------------------------------------------ #
+
+    def _shard_norms(self, epoch: int, shard: int, block: np.ndarray) -> np.ndarray:
+        key = (epoch, shard)
+        norms = self._norms.get(key)
+        if norms is None:
+            norms = np.linalg.norm(block, axis=1)
+            norms[norms == 0.0] = 1.0  # zero rows score 0, not nan
+            self._norms[key] = norms
+            if len(self._norms) > 4 * self.store.n_shards:
+                self._norms.pop(next(iter(self._norms)))
+        return norms
+
+    async def top_k(
+        self,
+        node: int,
+        *,
+        k: int = 10,
+        epoch: int | None = None,
+        metric: str = "cosine",
+    ) -> list[tuple[int, float]]:
+        """The ``k`` nearest neighbors of ``node`` (excluded itself),
+        best first, as ``(node_id, similarity)`` pairs.
+
+        Scans every shard block with one GEMV and merges the per-shard
+        ``argpartition`` candidates — O(n·dim) per query, the exact
+        brute-force scan the sharded layout makes cache-friendly.
+        """
+        t0 = perf_counter()
+        check_in_set("metric", metric, TOPK_METRICS)
+        check_positive("k", k, integer=True)
+        resolved = self._resolve_epoch(epoch)
+        node = int(node)
+        query = np.asarray(self._lookup(node, resolved), dtype=np.float64)
+        qnorm = float(np.linalg.norm(query))
+        candidates: list[tuple[float, int]] = []
+        bounds = self.store.bounds
+        for shard in range(self.store.n_shards):
+            block = self.store.shard_view(shard, epoch=resolved)
+            scores = block @ query
+            if metric == "cosine":
+                scores = scores / (self._shard_norms(resolved, shard, block) * (qnorm or 1.0))
+            base = int(bounds[shard])
+            if base <= node < int(bounds[shard + 1]):
+                scores = scores.copy()
+                scores[node - base] = -np.inf
+            take = min(int(k), scores.shape[0])
+            idx = np.argpartition(scores, -take)[-take:]
+            candidates.extend(
+                (float(scores[i]), base + int(i)) for i in idx
+            )
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        result = [(nid, score) for score, nid in candidates[: int(k)] if score != -np.inf]
+        self.telemetry.stats("topk").record(perf_counter() - t0)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached vector and norm block (e.g. after closing a
+        store the service outlived)."""
+        for cache in self._caches:
+            cache.clear()
+        self._norms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingService(store={self.store!r}, "
+            f"cache_per_shard={self._per_shard})"
+        )

@@ -1,0 +1,92 @@
+"""Per-query serving telemetry: counts, latency percentiles, cache hits.
+
+Mirrors :class:`repro.parallel.pipeline.PipelineTelemetry` in spirit — a
+cheap always-on record the benches and tests read — but for the query
+path: every service call records its kind and wall-clock latency here, and
+the per-shard LRU reports hits/misses.  Latency percentiles come from a
+bounded most-recent-samples window (a deque, not a full trace) so a
+long-lived service stays O(1) in memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryStats", "ServingTelemetry"]
+
+#: latency samples retained per query kind for percentile estimates
+_SAMPLE_WINDOW = 8192
+
+
+@dataclass
+class QueryStats:
+    """Latency account of one query kind (``get``/``score``/``topk``)."""
+
+    n: int = 0
+    total_s: float = 0.0
+    samples: deque = field(default_factory=lambda: deque(maxlen=_SAMPLE_WINDOW))
+
+    def record(self, seconds: float) -> None:
+        self.n += 1
+        self.total_s += seconds
+        self.samples.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile (seconds) over the retained sample window."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.fromiter(self.samples, dtype=np.float64), q))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def qps(self) -> float:
+        """Sustained rate implied by the recorded service time."""
+        return self.n / self.total_s if self.total_s > 0 else 0.0
+
+
+@dataclass
+class ServingTelemetry:
+    """Everything one :class:`~repro.serving.service.EmbeddingService`
+    records: per-kind query stats plus LRU hit accounting."""
+
+    queries: dict[str, QueryStats] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def stats(self, kind: str) -> QueryStats:
+        stats = self.queries.get(kind)
+        if stats is None:
+            stats = self.queries[kind] = QueryStats()
+        return stats
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly summary (the bench report payload)."""
+        out: dict = {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+        for kind, stats in self.queries.items():
+            out[kind] = {
+                "n": stats.n,
+                "total_s": stats.total_s,
+                "p50_s": stats.p50_s,
+                "p99_s": stats.p99_s,
+                "qps": stats.qps,
+            }
+        return out

@@ -1,0 +1,70 @@
+"""Sharded, versioned embedding stores (the serving-side table).
+
+See :mod:`repro.store.base` for the versioning contract (incremental
+per-shard publish, reader pins, FIFO retirement).  ``STORE_REGISTRY`` is
+the single source of truth for the ``store`` knob, mirroring
+``SOURCE_REGISTRY``/``EXEC_REGISTRY``: the API docs, the pipeline's
+validation and reprolint's ``registry-sync`` rule all render from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.store.base import EmbeddingStore, EpochReader, PublishStats
+from repro.store.local import LocalEmbeddingStore
+from repro.store.sharding import shard_bounds, shard_of
+from repro.store.shm import ShmEmbeddingStore, ShmEpochReader
+from repro.utils.validation import check_in_set
+
+__all__ = [
+    "EmbeddingStore",
+    "EpochReader",
+    "PublishStats",
+    "LocalEmbeddingStore",
+    "ShmEmbeddingStore",
+    "ShmEpochReader",
+    "STORE_REGISTRY",
+    "STORE_BACKENDS",
+    "make_store",
+    "resolve_store",
+    "shard_bounds",
+    "shard_of",
+]
+
+#: Single source of truth for the valid ``store`` backends: the API docs,
+#: the serving layer and the tests all render from this registry.
+STORE_REGISTRY: dict[str, type[EmbeddingStore]] = {
+    cls.name: cls for cls in (LocalEmbeddingStore, ShmEmbeddingStore)
+}
+
+#: Valid ``store`` names, in registry order.
+STORE_BACKENDS = tuple(STORE_REGISTRY)
+
+
+def make_store(name: str, n_nodes: int, dim: int, **kwargs: Any) -> EmbeddingStore:
+    """Instantiate a store backend by registry name, forwarding knobs."""
+    check_in_set("store", name, STORE_BACKENDS)
+    return STORE_REGISTRY[name](n_nodes, dim, **kwargs)
+
+
+def resolve_store(
+    spec: str | EmbeddingStore, n_nodes: int, dim: int, **kwargs: Any
+) -> EmbeddingStore:
+    """Normalize a ``store`` argument: a registry name becomes a fresh
+    backend of the given geometry; an already-constructed
+    :class:`EmbeddingStore` is used as-is (its geometry must match — the
+    caller keeps ownership and its knobs win over defaults)."""
+    if isinstance(spec, EmbeddingStore):
+        if (spec.n_nodes, spec.dim) != (int(n_nodes), int(dim)):
+            raise ValueError(
+                f"store geometry ({spec.n_nodes}, {spec.dim}) does not match "
+                f"the table ({n_nodes}, {dim})"
+            )
+        return spec
+    if isinstance(spec, str):
+        return make_store(spec, n_nodes, dim, **kwargs)
+    raise TypeError(
+        f"store must be an EmbeddingStore instance or one of {STORE_BACKENDS}, "
+        f"got {spec!r}"
+    )

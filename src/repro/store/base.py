@@ -1,0 +1,423 @@
+"""Sharded, versioned embedding stores: the serving-side home of a table.
+
+The paper's whole point is that embeddings are usable *while* training
+proceeds (sequential training, §1) — but in this repo an embedding was a
+dense in-process ndarray living inside the trainer.  This package turns it
+into a **store**: the table is partitioned into contiguous row shards
+(:mod:`repro.store.sharding`), every published training epoch becomes an
+immutable *version*, and readers address ``(epoch, node)`` coordinates
+through a stable protocol while the trainer keeps publishing newer epochs
+behind them.  The model is DGL's partition-book KV store
+(``dis_kvstore.py`` / ``sparse_emb.py``): an id-range partition per shard,
+push on the training side, pull on the serving side.
+
+Versioning contract
+-------------------
+* ``publish(epoch, vectors)`` freezes the current table as ``epoch``.
+  Epochs are caller-assigned ints, strictly increasing.  The publish path
+  is **per-shard incremental**: each shard is compared against the latest
+  published version and only *changed* shards get a new segment — an
+  unchanged shard is shared with the previous epoch by reference (the
+  refcounted segment, not a copy).  No step of the path ever materializes
+  a full-table temporary; :class:`PublishStats.full_table_copies` counts
+  the (caller-declared) fallbacks where the *input* had to be copied out
+  of a model, and stays 0 whenever the model exposes
+  :meth:`~repro.embedding.base.EmbeddingModel.embedding_view`.
+* Readers **pin** an epoch (:meth:`EmbeddingStore.pin` /
+  :meth:`~EmbeddingStore.reader`): a pinned epoch's segments survive any
+  number of newer publishes, and every read of it stays bit-identical to
+  the moment it was published.
+* Old epochs retire **FIFO** like the snapshot sids of
+  :class:`repro.parallel.snapshots.SnapshotStore`: publishing trims the
+  version list to the ``retain`` newest, skipping pinned epochs (they
+  retire at unpin), and a segment is freed only when its last referencing
+  epoch retires.
+
+Backends live in ``STORE_REGISTRY`` (``repro/store/__init__.py``):
+``"local"`` keeps shard segments as plain in-process arrays; ``"shm"``
+places them in ``multiprocessing.shared_memory`` so independent reader
+processes attach zero-copy (create → close + unlink enforced by
+reprolint's ``shm-lifecycle`` rule, like every segment owner in
+``repro.parallel``).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.store.sharding import shard_bounds
+from repro.utils.validation import check_positive
+
+__all__ = ["EmbeddingStore", "EpochReader", "PublishStats"]
+
+
+@dataclass(frozen=True)
+class PublishStats:
+    """What one :meth:`EmbeddingStore.publish` actually did.
+
+    ``shards_written`` + ``shards_reused`` always equals the shard count;
+    ``bytes_written`` counts only the rewritten shards' bytes (0 when the
+    table did not change), and ``full_table_copies`` is 1 only when the
+    caller had to materialize the input table as a copy first (no
+    zero-copy view available) — the quantity the pipeline telemetry
+    asserts stays 0 on the live publish path.
+    """
+
+    epoch: int
+    n_shards: int
+    shards_written: int
+    shards_reused: int
+    bytes_written: int
+    full_table_copies: int
+    seconds: float
+
+
+class EmbeddingStore(abc.ABC):
+    """Sharded, versioned store of one embedding table.
+
+    Subclasses implement segment storage only (:meth:`_new_segment` /
+    :meth:`_free_segment` and a ``name``/``summary`` registry identity);
+    manifests, refcounts, pins and FIFO retirement live here, so both
+    backends share one versioning semantics.
+
+    Parameters
+    ----------
+    n_nodes, dim:
+        the table geometry; :meth:`publish` enforces it.
+    n_shards:
+        contiguous row shards (clamped to ``n_nodes``); the unit of
+        incremental publishing, top-k scanning and serving-cache locality.
+    retain:
+        versions kept after each publish (FIFO; pinned epochs are exempt
+        and retire at unpin).  At least 1 — the latest epoch never
+        retires before a newer one exists.
+    """
+
+    #: registry identity ("?" on this abstract base, skipped by the doc
+    #: rendering and the reprolint registry extraction)
+    name: str = "?"
+    #: one-line trade-off summary rendered into the API docs
+    summary: str = ""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        dim: int,
+        *,
+        n_shards: int = 8,
+        retain: int = 4,
+        dtype: Any = np.float64,
+    ):
+        check_positive("n_nodes", n_nodes, integer=True)
+        check_positive("dim", dim, integer=True)
+        check_positive("retain", retain, integer=True)
+        self.n_nodes = int(n_nodes)
+        self.dim = int(dim)
+        self.retain = int(retain)
+        self.dtype = np.dtype(dtype)
+        self._bounds = shard_bounds(self.n_nodes, n_shards)
+        self.n_shards = int(self._bounds.shape[0] - 1)
+        #: epoch → per-shard segment list (segments shared across epochs)
+        self._manifests: dict[int, list[Any]] = {}
+        #: publish order (ascending epochs) — the FIFO retirement queue
+        self._order: list[int] = []
+        #: epoch → pin count (reader-held)
+        self._pins: dict[int, int] = {}
+        #: high-water retirement mark: epochs below it retire when unpinned
+        self._retire_mark: int | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Segment storage (backend-specific)
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _new_segment(self, n_rows: int) -> Any:
+        """Allocate one shard segment of ``(n_rows, dim)`` rows."""
+
+    @abc.abstractmethod
+    def _segment_array(self, segment: Any) -> np.ndarray:
+        """The segment's writable ``(n_rows, dim)`` array (no copy)."""
+
+    @abc.abstractmethod
+    def _free_segment(self, segment: Any) -> None:
+        """Release one segment (idempotent; never raises)."""
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Read-only shard boundaries (``n_shards + 1`` ascending offsets)."""
+        view = self._bounds.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def latest_epoch(self) -> int | None:
+        """Newest published epoch (None before the first publish)."""
+        return self._order[-1] if self._order else None
+
+    def epochs(self) -> tuple[int, ...]:
+        """Currently-readable epochs, oldest first."""
+        return tuple(self._order)
+
+    def publish(
+        self, epoch: int, vectors: np.ndarray, *, full_copy: bool = False
+    ) -> PublishStats:
+        """Freeze ``vectors`` as version ``epoch`` (strictly increasing).
+
+        ``vectors`` is read, never retained — pass a read-only view (e.g.
+        :meth:`repro.embedding.base.EmbeddingModel.embedding_view`) and the
+        publish path performs zero full-table copies: per shard, either an
+        ``array_equal`` comparison against the previous epoch (unchanged →
+        the segment is shared by reference) or one shard-sized write into a
+        fresh segment.  ``full_copy`` declares that the *caller* had to
+        copy the table to produce ``vectors`` (recorded in the stats; the
+        store itself adds no copies either way).  The dtype must match the
+        store's — a silent cast would itself be a full-table copy.
+        """
+        self._check_open()
+        t0 = time.perf_counter()
+        vectors = np.asarray(vectors)
+        if vectors.shape != (self.n_nodes, self.dim):
+            raise ValueError(
+                f"vectors must be ({self.n_nodes}, {self.dim}), got {vectors.shape}"
+            )
+        if vectors.dtype != self.dtype:
+            raise ValueError(
+                f"vectors dtype {vectors.dtype} != store dtype {self.dtype} — "
+                "casting on the publish path would copy the full table; "
+                "construct the store with the model's dtype instead"
+            )
+        latest = self.latest_epoch
+        if latest is not None and epoch <= latest:
+            raise ValueError(
+                f"epochs must be strictly increasing: got {epoch} after {latest}"
+            )
+        prev = self._manifests[latest] if latest is not None else None
+        segments: list[Any] = []
+        written = reused = 0
+        bytes_written = 0
+        for s in range(self.n_shards):
+            lo, hi = int(self._bounds[s]), int(self._bounds[s + 1])
+            shard = vectors[lo:hi]
+            if prev is not None and np.array_equal(
+                self._segment_array(prev[s]), shard
+            ):
+                seg = prev[s]
+                seg.refs += 1
+                reused += 1
+            else:
+                seg = self._new_segment(hi - lo)
+                self._segment_array(seg)[:] = shard
+                written += 1
+                bytes_written += shard.nbytes
+            segments.append(seg)
+        self._manifests[epoch] = segments
+        self._order.append(epoch)
+        if len(self._order) > self.retain:
+            cutoff = self._order[-self.retain]
+            self._retire_mark = (
+                cutoff
+                if self._retire_mark is None
+                else max(self._retire_mark, cutoff)
+            )
+            self._sweep()
+        return PublishStats(
+            epoch=int(epoch),
+            n_shards=self.n_shards,
+            shards_written=written,
+            shards_reused=reused,
+            bytes_written=bytes_written,
+            full_table_copies=int(bool(full_copy)),
+            seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def _manifest(self, epoch: int | None) -> tuple[int, list[Any]]:
+        self._check_open()
+        if not self._order:
+            raise RuntimeError("store has no published epochs yet")
+        if epoch is None:
+            epoch = self._order[-1]
+        segments = self._manifests.get(int(epoch))
+        if segments is None:
+            raise KeyError(
+                f"epoch {epoch} is not readable (available: {self._order}) — "
+                "unpinned epochs retire FIFO after `retain` newer publishes; "
+                "pin an epoch to keep it readable"
+            )
+        return int(epoch), segments
+
+    def get_one(self, node: int, *, epoch: int | None = None) -> np.ndarray:
+        """One node's vector as a read-only zero-copy view (valid while the
+        epoch stays readable — pin it to retain past ``retain`` publishes)."""
+        _, segments = self._manifest(epoch)
+        node = int(node)
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        s = int(np.searchsorted(self._bounds[1:], node, side="right"))
+        row = self._segment_array(segments[s])[node - int(self._bounds[s])]
+        view = row.view()
+        view.flags.writeable = False
+        return view
+
+    def get(self, nodes: np.ndarray, *, epoch: int | None = None) -> np.ndarray:
+        """Gather many vectors into a fresh ``(len(nodes), dim)`` array
+        (a copy, safe to keep across publishes and retirement)."""
+        _, segments = self._manifest(epoch)
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.n_nodes):
+            raise ValueError(f"node ids out of range [0, {self.n_nodes})")
+        out = np.empty((nodes.shape[0], self.dim), dtype=self.dtype)
+        shards = np.searchsorted(self._bounds[1:], nodes, side="right")
+        for s in np.unique(shards):
+            mask = shards == s
+            arr = self._segment_array(segments[s])
+            out[mask] = arr[nodes[mask] - int(self._bounds[s])]
+        return out
+
+    def shard_view(self, shard: int, *, epoch: int | None = None) -> np.ndarray:
+        """One shard's full ``(rows, dim)`` block as a read-only zero-copy
+        view (the top-k scan path; same lifetime contract as :meth:`get_one`)."""
+        _, segments = self._manifest(epoch)
+        if not 0 <= int(shard) < self.n_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.n_shards})")
+        view = self._segment_array(segments[int(shard)]).view()
+        view.flags.writeable = False
+        return view
+
+    def reader(self, epoch: int | None = None) -> EpochReader:
+        """Pin an epoch (default: latest) and return a reader bound to it;
+        close the reader (or exit its context) to release the pin."""
+        resolved, _ = self._manifest(epoch)
+        return EpochReader(self, resolved)
+
+    # ------------------------------------------------------------------ #
+    # Pinning + retirement
+    # ------------------------------------------------------------------ #
+
+    def pin(self, epoch: int) -> None:
+        """Protect ``epoch`` from retirement until :meth:`unpin`."""
+        resolved, _ = self._manifest(epoch)
+        self._pins[resolved] = self._pins.get(resolved, 0) + 1
+
+    def unpin(self, epoch: int) -> None:
+        """Release one pin; a fully-unpinned epoch past the retirement mark
+        retires immediately."""
+        epoch = int(epoch)
+        count = self._pins.get(epoch, 0)
+        if count <= 1:
+            self._pins.pop(epoch, None)
+        else:
+            self._pins[epoch] = count - 1
+        self._sweep()
+
+    def retire_below(self, epoch: int) -> None:
+        """Retire every unpinned epoch < ``epoch`` (FIFO, like snapshot
+        sids); pinned epochs survive and retire at unpin."""
+        self._retire_mark = (
+            int(epoch)
+            if self._retire_mark is None
+            else max(self._retire_mark, int(epoch))
+        )
+        self._sweep()
+
+    def _sweep(self) -> None:
+        if self._retire_mark is None:
+            return
+        for epoch in [e for e in self._order if e < self._retire_mark]:
+            if self._pins.get(epoch) or epoch == self.latest_epoch:
+                continue
+            self._retire(epoch)
+
+    def _retire(self, epoch: int) -> None:
+        segments = self._manifests.pop(epoch, None)
+        if segments is None:
+            return
+        self._order.remove(epoch)
+        for seg in segments:
+            seg.refs -= 1
+            if seg.refs <= 0:
+                self._free_segment(seg)
+
+    def close(self) -> None:
+        """Retire everything, pinned or not (teardown; idempotent, never
+        raises)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pins.clear()
+        for epoch in list(self._order):
+            self._retire(epoch)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def __enter__(self) -> EmbeddingStore:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_nodes={self.n_nodes}, dim={self.dim}, "
+            f"n_shards={self.n_shards}, epochs={list(self._order)})"
+        )
+
+
+class EpochReader:
+    """A read handle pinned to one epoch of a store.
+
+    Every read through the reader is bit-identical to the pinned epoch at
+    publish time, no matter how many newer epochs the trainer publishes in
+    the meantime — the pin exempts the epoch's segments from FIFO
+    retirement until :meth:`close` (or context exit) releases it.
+    """
+
+    def __init__(self, store: EmbeddingStore, epoch: int):
+        store.pin(epoch)
+        self._store: EmbeddingStore | None = store
+        self.epoch = int(epoch)
+
+    def _pinned(self) -> EmbeddingStore:
+        if self._store is None:
+            raise RuntimeError("reader is closed (pin released)")
+        return self._store
+
+    def get_one(self, node: int) -> np.ndarray:
+        return self._pinned().get_one(node, epoch=self.epoch)
+
+    def get(self, nodes: np.ndarray) -> np.ndarray:
+        return self._pinned().get(nodes, epoch=self.epoch)
+
+    def shard_view(self, shard: int) -> np.ndarray:
+        return self._pinned().shard_view(shard, epoch=self.epoch)
+
+    def close(self) -> None:
+        """Release the pin (idempotent)."""
+        store, self._store = self._store, None
+        if store is not None:
+            store.unpin(self.epoch)
+
+    def __enter__(self) -> EpochReader:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._store is None else "pinned"
+        return f"EpochReader(epoch={self.epoch}, {state})"

@@ -1,0 +1,47 @@
+"""In-process store backend: shard segments as plain ndarrays."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.store.base import EmbeddingStore
+
+__all__ = ["LocalEmbeddingStore"]
+
+
+class _LocalSegment:
+    """One shard's rows in ordinary process memory, refcounted by the
+    epochs whose manifests share it."""
+
+    __slots__ = ("array", "refs")
+
+    def __init__(self, array: np.ndarray):
+        self.array = array
+        self.refs = 1
+
+    def free(self) -> None:
+        self.array = None  # type: ignore[assignment]
+
+
+class LocalEmbeddingStore(EmbeddingStore):
+    """Dense in-process shard arrays — the single-process default.
+
+    All versioning semantics (incremental publish, pins, FIFO retirement)
+    live in :class:`~repro.store.base.EmbeddingStore`; this backend only
+    allocates shard segments on the process heap.  Readers must share the
+    owning process (use ``"shm"`` for cross-process serving).
+    """
+
+    name = "local"
+    summary = "dense in-process shard arrays; zero setup, single-process readers"
+
+    def _new_segment(self, n_rows: int) -> _LocalSegment:
+        return _LocalSegment(np.empty((n_rows, self.dim), dtype=self.dtype))
+
+    def _segment_array(self, segment: Any) -> np.ndarray:
+        return segment.array
+
+    def _free_segment(self, segment: Any) -> None:
+        segment.free()

@@ -1,0 +1,56 @@
+"""Row-range sharding of the embedding table.
+
+Shards are *contiguous* row ranges (the DGL partition-book convention:
+``dis_kvstore.py`` maps an id range per machine rather than hashing), so a
+shard is one dense slice of the table — sliceable with zero copies on the
+publish side, scannable with one GEMV on the top-k side, and addressable by
+a single ``searchsorted`` on the lookup side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["shard_bounds", "shard_of"]
+
+
+def shard_bounds(n_nodes: int, n_shards: int) -> np.ndarray:
+    """Balanced contiguous shard boundaries: ``bounds[s] .. bounds[s+1]``
+    is shard ``s``'s row range.
+
+    Returns an int64 array of ``n_shards + 1`` ascending offsets with
+    ``bounds[0] == 0`` and ``bounds[-1] == n_nodes``; the first
+    ``n_nodes % n_shards`` shards are one row larger (sizes differ by at
+    most one).  ``n_shards`` is clamped to ``n_nodes`` so no shard is ever
+    empty.
+    """
+    check_positive("n_nodes", n_nodes, integer=True)
+    check_positive("n_shards", n_shards, integer=True)
+    n_shards = min(int(n_shards), int(n_nodes))
+    base, extra = divmod(int(n_nodes), n_shards)
+    sizes = np.full(n_shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(n_shards + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def shard_of(bounds: np.ndarray, nodes: np.ndarray | int) -> np.ndarray | int:
+    """Shard index (or indices) owning ``nodes`` under ``bounds``.
+
+    Vectorized: an int returns an int, an array returns an int64 array of
+    the same shape.  Out-of-range ids raise ``ValueError`` rather than
+    mapping to a phantom shard.
+    """
+    arr = np.asarray(nodes, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= int(bounds[-1])):
+        raise ValueError(
+            f"node ids must lie in [0, {int(bounds[-1])}), got range "
+            f"[{int(arr.min())}, {int(arr.max())}]"
+        )
+    shards = np.searchsorted(bounds[1:], arr, side="right")
+    if np.isscalar(nodes) or getattr(nodes, "ndim", 0) == 0:
+        return int(shards)
+    return shards

@@ -1,0 +1,227 @@
+"""Shared-memory store backend: shard segments in ``/dev/shm``.
+
+Generalizes the ``SnapshotStore``/``ShmWalkRing`` machinery from one-shot
+graph payloads and walk slots to *long-lived, versioned* embedding shards:
+each shard segment is one ``multiprocessing.shared_memory`` block, so any
+number of reader processes attach to a published epoch zero-copy while the
+owning trainer keeps publishing newer epochs.
+
+Ownership follows the repo-wide shm contract (create → close + unlink,
+statically enforced by reprolint's ``shm-lifecycle`` rule): the store's
+process owns every segment and unlinks it when its last referencing epoch
+retires.  Readers attach via :class:`ShmEpochReader` **without** tracker
+ownership (:func:`repro.parallel.shm_ring._open_untracked`) and merely
+close their mapping — a crashed reader therefore leaks nothing, because
+the owner's unlink is the single point of removal.  The owner must hold a
+pin on an epoch for as long as its :meth:`ShmEmbeddingStore.manifest_spec`
+is outstanding (the reader pins on its side of the contract only within
+the owning process; across processes the pin travels with the spec).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.parallel.shm_ring import _open_untracked
+from repro.store.base import EmbeddingStore
+
+__all__ = ["ShmEmbeddingStore", "ShmEpochReader"]
+
+
+def _detach(shm: Any) -> None:
+    """Detach a SharedMemory handle whose ``close()`` raised ``BufferError``
+    (outstanding numpy views pin the buffer): dropping the handle's
+    internals (the :meth:`repro.parallel.shm_ring.ShmWalkRing.close` idiom)
+    lets the mapping die with the last view — and keeps ``__del__`` from
+    raising the same error unraisably at GC time."""
+    if hasattr(shm, "_buf"):
+        shm._buf = None
+    if hasattr(shm, "_mmap"):
+        shm._mmap = None
+    fd = getattr(shm, "_fd", -1)
+    if fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        shm._fd = -1
+
+
+class _ShmSegment:
+    """One shard's rows in an owned shared-memory block, refcounted by the
+    epochs whose manifests share it.
+
+    ``free()`` is the create→close+unlink cleanup point: readers may still
+    hold zero-copy views into the block, in which case ``close()`` raises
+    ``BufferError`` — we then detach the handle's internals the way
+    :meth:`repro.parallel.shm_ring.ShmWalkRing.close` does, so the mapping
+    dies with the last view instead of raising unraisably at GC time.
+    ``unlink`` removes the name either way.
+    """
+
+    __slots__ = ("array", "refs", "shm")
+
+    def __init__(self, shm: Any, array: np.ndarray):
+        self.shm = shm
+        self.array = array
+        self.refs = 1
+
+    @classmethod
+    def create(cls, n_rows: int, dim: int, dtype: np.dtype) -> _ShmSegment:
+        from multiprocessing import shared_memory
+
+        nbytes = int(n_rows) * int(dim) * dtype.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        array = np.frombuffer(shm.buf, dtype=dtype, count=n_rows * dim)
+        return cls(shm, array.reshape(n_rows, dim))
+
+    def free(self) -> None:
+        """Close + unlink the block (idempotent; never raises)."""
+        shm, self.shm = self.shm, None
+        self.array = None  # type: ignore[assignment]
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            _detach(shm)  # outstanding reader views; mapping dies with them
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+class ShmEmbeddingStore(EmbeddingStore):
+    """Shared-memory shard segments — multi-reader, cross-process serving.
+
+    Same versioning semantics as every backend (see
+    :class:`~repro.store.base.EmbeddingStore`); the difference is that a
+    published epoch is attachable from *other processes*: pin the epoch,
+    ship :meth:`manifest_spec` to the reader, and it maps the shards with
+    :meth:`ShmEpochReader.attach` — zero bytes copied, reads bit-identical
+    to the publish for as long as the pin holds.
+    """
+
+    name = "shm"
+    summary = "shared-memory shard segments; multi-reader cross-process serving"
+
+    def _new_segment(self, n_rows: int) -> _ShmSegment:
+        return _ShmSegment.create(n_rows, self.dim, self.dtype)
+
+    def _segment_array(self, segment: Any) -> np.ndarray:
+        return segment.array
+
+    def _free_segment(self, segment: Any) -> None:
+        segment.free()
+
+    def manifest_spec(self, epoch: int | None = None) -> dict:
+        """Everything a reader process needs to attach to ``epoch``
+        (picklable).
+
+        The caller must hold a :meth:`~repro.store.base.EmbeddingStore.pin`
+        on the epoch for as long as the spec is outstanding — retirement
+        unlinks segment names, after which attach fails cleanly rather
+        than reading freed memory.
+        """
+        resolved, segments = self._manifest(epoch)
+        return {
+            "epoch": resolved,
+            "dim": self.dim,
+            "dtype": self.dtype.str,
+            "bounds": self._bounds.tolist(),
+            "names": [seg.shm.name for seg in segments],
+        }
+
+
+class ShmEpochReader:
+    """Cross-process, read-only view of one published epoch.
+
+    Attach with a :meth:`ShmEmbeddingStore.manifest_spec`; every read is a
+    zero-copy view into the owner's segments (bit-identical to the publish
+    while the owner's pin holds).  ``close()`` drops this process's
+    mappings only — readers never own segments, so a reader crash leaks
+    nothing into ``/dev/shm``.
+    """
+
+    def __init__(self, epoch: int, bounds: np.ndarray, shms: list, shards: list):
+        self.epoch = int(epoch)
+        self._bounds = bounds
+        self._shms = shms
+        self._shards = shards
+
+    @classmethod
+    def attach(cls, spec: dict) -> ShmEpochReader:
+        dtype = np.dtype(spec["dtype"])
+        dim = int(spec["dim"])
+        bounds = np.asarray(spec["bounds"], dtype=np.int64)
+        shms: list = []
+        shards: list[np.ndarray] = []
+        try:
+            for s, name in enumerate(spec["names"]):
+                n_rows = int(bounds[s + 1] - bounds[s])
+                shm = _open_untracked(name)
+                shms.append(shm)
+                arr = np.frombuffer(shm.buf, dtype=dtype, count=n_rows * dim)
+                arr = arr.reshape(n_rows, dim)
+                arr.flags.writeable = False
+                shards.append(arr)
+        except Exception:
+            for shm in shms:
+                try:
+                    shm.close()
+                except Exception:
+                    pass
+            raise
+        return cls(spec["epoch"], bounds, shms, shards)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self._bounds[-1])
+
+    def get_one(self, node: int) -> np.ndarray:
+        """One node's vector as a read-only zero-copy view."""
+        node = int(node)
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        s = int(np.searchsorted(self._bounds[1:], node, side="right"))
+        return self._shards[s][node - int(self._bounds[s])]
+
+    def get(self, nodes: np.ndarray) -> np.ndarray:
+        """Gather many vectors into a fresh array (a copy)."""
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.n_nodes):
+            raise ValueError(f"node ids out of range [0, {self.n_nodes})")
+        dim = self._shards[0].shape[1]
+        out = np.empty((nodes.shape[0], dim), dtype=self._shards[0].dtype)
+        shards = np.searchsorted(self._bounds[1:], nodes, side="right")
+        for s in np.unique(shards):
+            mask = shards == s
+            out[mask] = self._shards[s][nodes[mask] - int(self._bounds[s])]
+        return out
+
+    def close(self) -> None:
+        """Drop this process's mappings (idempotent; never raises).
+
+        Outstanding views returned by :meth:`get_one` keep their mapping
+        alive until they die (the zero-copy lifetime contract)."""
+        shms, self._shms = self._shms, []
+        self._shards = []
+        for shm in shms:
+            try:
+                shm.close()
+            except BufferError:
+                _detach(shm)
+            except Exception:
+                pass
+
+    def __enter__(self) -> ShmEpochReader:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ShmEpochReader(epoch={self.epoch}, shards={len(self._shards)})"

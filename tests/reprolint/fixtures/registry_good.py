@@ -19,3 +19,8 @@ def helper(graph, transport="pickle", negative_source="two_pass"):
 
 def pick(make_model):
     return make_model(model="proposed", n_nodes=4, dim=2)
+
+
+def serve(train_dynamic, graph, store="local"):
+    """Publish through store="shm" for cross-process readers."""
+    return train_dynamic(graph, store=store) or train_dynamic(graph, store="shm")

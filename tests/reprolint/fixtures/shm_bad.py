@@ -7,3 +7,17 @@ def leak(size):
     shm = shared_memory.SharedMemory(create=True, size=size)  # expect: shm-lifecycle
     shm.buf[:4] = b"data"  # raises -> the segment leaks into /dev/shm
     return shm.name
+
+
+class HalfSegment:
+    """Owning class that detaches but never unlinks: the mapping goes away,
+    the /dev/shm name stays until reboot."""
+
+    @classmethod
+    def create(cls, size):
+        seg = cls()
+        seg.shm = shared_memory.SharedMemory(create=True, size=size)  # expect: shm-lifecycle
+        return seg
+
+    def free(self):
+        self.shm.close()

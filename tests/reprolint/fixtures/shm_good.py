@@ -31,3 +31,19 @@ def guarded(size):
 def attach_only(name):
     """Attaching (create absent/False) is not a lifecycle obligation."""
     return shared_memory.SharedMemory(name=name)
+
+
+class StoreSegment:
+    """Owning class *performs* close+unlink (the store _ShmSegment pattern):
+    one ``free()`` method releases everything instead of separate
+    close()/unlink() methods."""
+
+    @classmethod
+    def create(cls, size):
+        seg = cls()
+        seg.shm = shared_memory.SharedMemory(create=True, size=size)
+        return seg
+
+    def free(self):
+        self.shm.close()
+        self.shm.unlink()

@@ -105,6 +105,8 @@ class TestEngine:
         assert registries.models is not None
         assert {"original", "proposed", "dataflow", "block"} <= registries.models
         assert registries.transports == frozenset({"shm", "pickle"})
+        assert registries.stores == frozenset({"local", "shm"})
+        assert registries.vocabulary("store") == registries.stores
 
     def test_find_repo_root(self):
         assert find_repo_root(Path(__file__)) == REPO_ROOT

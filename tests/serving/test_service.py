@@ -1,0 +1,174 @@
+"""EmbeddingService: point lookups through the LRU, link scoring, top-k
+neighbors, epoch pinning, and the per-query telemetry."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import TOPK_METRICS, EmbeddingService
+from repro.store import STORE_BACKENDS, make_store
+
+N, DIM = 25, 8
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def table(seed, n=N, dim=DIM):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, dim))
+
+
+@pytest.fixture(params=STORE_BACKENDS)
+def store(request):
+    with make_store(request.param, N, DIM, n_shards=4, retain=3) as st:
+        st.publish(0, table(0))
+        yield st
+
+
+@pytest.fixture
+def service(store):
+    return EmbeddingService(store, cache_capacity=16)
+
+
+class TestGetVector:
+    def test_lookup_matches_table(self, service):
+        t = table(0)
+        for node in (0, 7, N - 1):
+            assert np.array_equal(run(service.get_vector(node)), t[node])
+
+    def test_batch_lookup(self, service):
+        t = table(0)
+        nodes = np.array([4, 4, 0, 19])
+        assert np.array_equal(run(service.get_vectors(nodes)), t[nodes])
+
+    def test_cache_hits_and_result_stability(self, service):
+        first = run(service.get_vector(3))
+        assert service.telemetry.cache_misses == 1
+        second = run(service.get_vector(3))
+        assert service.telemetry.cache_hits == 1
+        assert np.array_equal(first, second)
+        assert not second.flags.writeable
+
+    def test_cached_vector_survives_epoch_retirement(self, store):
+        service = EmbeddingService(store, cache_capacity=16)
+        t0 = table(0)
+        cached = run(service.get_vector(5))  # populates the cache at epoch 0
+        for e in range(1, 5):
+            store.publish(e, table(e))  # retain=3 -> epoch 0 retires
+        assert 0 not in store.epochs()
+        assert np.array_equal(cached, t0[5])
+        assert np.array_equal(run(service.get_vector(5, epoch=0)), t0[5])  # cache
+
+    def test_zero_capacity_disables_cache(self, store):
+        service = EmbeddingService(store, cache_capacity=0)
+        run(service.get_vector(3))
+        run(service.get_vector(3))
+        assert service.telemetry.cache_hits == 0
+        assert service.telemetry.cache_misses == 2
+
+    def test_lru_evicts_within_shard_budget(self, store):
+        service = EmbeddingService(store, cache_capacity=4)  # 1 per shard
+        lo = 0
+        run(service.get_vector(lo))
+        run(service.get_vector(lo + 1))  # same shard -> evicts node 0
+        run(service.get_vector(lo))
+        assert service.telemetry.cache_hits == 0
+        assert service.telemetry.cache_misses == 3
+
+
+class TestEpochs:
+    def test_default_is_latest_explicit_pins_old(self, store):
+        service = EmbeddingService(store, cache_capacity=0)
+        t0, t1 = table(0), table(1)
+        store.publish(1, t1)
+        assert np.array_equal(run(service.get_vector(2)), t1[2])
+        assert np.array_equal(run(service.get_vector(2, epoch=0)), t0[2])
+
+    def test_reader_pins_through_service(self, store):
+        service = EmbeddingService(store, cache_capacity=0)
+        with service.reader() as reader:
+            assert reader.epoch == 0
+            for e in range(1, 6):
+                store.publish(e, table(e))
+            assert np.array_equal(
+                run(service.get_vector(9, epoch=reader.epoch)), table(0)[9]
+            )
+        assert 0 not in store.epochs()
+
+    def test_empty_store_raises(self):
+        with make_store("local", N, DIM) as st:
+            service = EmbeddingService(st)
+            with pytest.raises(RuntimeError, match="no published epochs"):
+                run(service.get_vector(0))
+
+
+class TestScoreLinks:
+    def test_hadamard_score_is_dot_product(self, service):
+        t = table(0)
+        pairs = np.array([[0, 1], [3, 17], [5, 5]])
+        scores = run(service.score_links(pairs))
+        expected = np.einsum("ij,ij->i", t[pairs[:, 0]], t[pairs[:, 1]])
+        assert np.allclose(scores, expected)
+
+    def test_other_operators_accepted(self, service):
+        pairs = np.array([[0, 1], [2, 3]])
+        for operator in ("average", "l1", "l2"):
+            scores = run(service.score_links(pairs, operator=operator))
+            assert scores.shape == (2,)
+
+    def test_telemetry_counts_scores(self, service):
+        run(service.score_links(np.array([[0, 1]])))
+        assert service.telemetry.stats("score").n == 1
+
+
+class TestTopK:
+    @pytest.mark.parametrize("metric", TOPK_METRICS)
+    def test_matches_brute_force(self, service, metric):
+        t = table(0)
+        node = 11
+        scores = t @ t[node]
+        if metric == "cosine":
+            norms = np.linalg.norm(t, axis=1)
+            scores = scores / (norms * norms[node])
+        scores[node] = -np.inf
+        expected = sorted(
+            ((float(scores[i]), i) for i in range(N)), key=lambda p: (-p[0], p[1])
+        )[:5]
+        got = run(service.top_k(node, k=5, metric=metric))
+        assert [nid for _, nid in expected] == [nid for nid, _ in got]
+        assert np.allclose([s for s, _ in expected], [s for _, s in got])
+
+    def test_k_larger_than_table(self, service):
+        got = run(service.top_k(0, k=100))
+        assert len(got) == N - 1  # everyone but the query node
+
+    def test_query_node_excluded(self, service):
+        got = run(service.top_k(6, k=N))
+        assert 6 not in [nid for nid, _ in got]
+
+    def test_invalid_metric(self, service):
+        with pytest.raises(ValueError, match="metric"):
+            run(service.top_k(0, metric="euclidean"))
+
+
+class TestTelemetry:
+    def test_as_dict_shape(self, service):
+        run(service.get_vector(1))
+        run(service.get_vector(1))
+        run(service.top_k(1, k=3))  # its query lookup hits the cache too
+        out = service.telemetry.as_dict()
+        assert out["cache_hits"] == 2 and out["cache_misses"] == 1
+        assert out["cache_hit_rate"] == 2 / 3
+        assert out["get"]["n"] == 2
+        assert out["get"]["qps"] > 0
+        assert out["topk"]["p99_s"] >= out["topk"]["p50_s"] >= 0.0
+
+    def test_invalidate_cache(self, service):
+        run(service.get_vector(1))
+        service.invalidate_cache()
+        run(service.get_vector(1))
+        assert service.telemetry.cache_hits == 0
+        assert service.telemetry.cache_misses == 2

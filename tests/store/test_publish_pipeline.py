@@ -1,0 +1,148 @@
+"""Live-publish integration: training runs publish versioned epochs into a
+store with zero full-table copies, and a reader pinned mid-run stays
+bit-identical to a post-hoc reference checkpoint of the same epoch.
+
+The reference checkpoint exploits prefix determinism: a run truncated after
+epoch *e* (same seed) reproduces exactly the model state the longer run
+published as version *e* — so "what the pinned reader serves" can be checked
+against an independently recomputed table, not just the store's own bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import run_seq_scenario
+from repro.experiments.hyper import Node2VecParams
+from repro.graph import ring_of_cliques
+from repro.parallel import train_parallel
+from repro.store import STORE_BACKENDS, ShmEmbeddingStore, make_store
+
+HP = Node2VecParams(r=1, l=10, w=4, ns=2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(3, 6, seed=0)
+
+
+class TestStaticPublish:
+    @pytest.mark.parametrize("backend", STORE_BACKENDS)
+    def test_every_epoch_published_zero_copies(self, graph, backend):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, epochs=2, seed=0, store=backend
+        )
+        store = res.store
+        try:
+            assert store.epochs() == (0, 1)
+            assert res.telemetry.store_publishes == 2
+            assert res.telemetry.store_full_copies == 0
+            assert res.telemetry.store_publish_s > 0.0
+            assert res.telemetry.store_publish_bytes > 0
+            # the final version IS the returned embedding, bit for bit
+            assert np.array_equal(store.get(np.arange(graph.n_nodes), epoch=1), res.embedding)
+        finally:
+            store.close()
+
+    def test_publish_every_thins_versions(self, graph):
+        res = train_parallel(
+            graph, dim=8, hyper=HP, epochs=4, seed=0, store="local", publish_every=2
+        )
+        try:
+            assert res.store.epochs() == (1, 3)
+            assert res.telemetry.store_publishes == 2
+        finally:
+            res.store.close()
+
+    def test_published_epoch_matches_truncated_reference_run(self, graph):
+        """Version *e* of a long run == the final table of a run stopped
+        after epoch *e* (the post-hoc reference checkpoint)."""
+        res = train_parallel(graph, dim=8, hyper=HP, epochs=3, seed=7, store="local")
+        try:
+            reference = train_parallel(graph, dim=8, hyper=HP, epochs=2, seed=7)
+            assert np.array_equal(
+                res.store.get(np.arange(graph.n_nodes), epoch=1),
+                reference.embedding,
+            )
+        finally:
+            res.store.close()
+
+    def test_no_store_means_no_publishing(self, graph):
+        res = train_parallel(graph, dim=8, hyper=HP, epochs=1, seed=0)
+        assert res.store is None
+        assert res.telemetry.store_publishes == 0
+
+
+class _PinAtEpoch(ShmEmbeddingStore):
+    """A store whose publish hook pins one epoch the moment it appears —
+    the concurrent reader of the acceptance test, sitting inside the live
+    run while training keeps publishing behind it."""
+
+    def __init__(self, *args, pin_epoch, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pin_epoch = pin_epoch
+        self.pinned_reader = None
+        self.frozen = None
+
+    def publish(self, epoch, vectors, **kwargs):
+        stats = super().publish(epoch, vectors, **kwargs)
+        if epoch == self._pin_epoch:
+            self.pinned_reader = self.reader(epoch)
+            self.frozen = self.get(np.arange(self.n_nodes), epoch=epoch)
+        return stats
+
+
+class TestDynamicPublish:
+    def test_seq_replay_publishes_task_epochs(self, graph):
+        res = run_seq_scenario(
+            graph, dim=8, hyper=HP, seed=0, max_events=4, store="shm"
+        )
+        tr = res.extras["training_result"]
+        try:
+            tele = res.extras["telemetry"]
+            assert tele.store_publishes >= 2
+            assert tele.store_full_copies == 0
+            assert tr.store.epochs() == (0, 1, 2, 3)
+            assert np.array_equal(
+                tr.store.get(np.arange(graph.n_nodes), epoch=3), res.embedding
+            )
+        finally:
+            tr.store.close()
+
+    def test_acceptance_pinned_reader_bit_identical_under_live_publishes(self, graph):
+        """The ISSUE's acceptance scenario: a live ``train_dynamic``-path
+        run publishes ≥2 epochs through ``"shm"`` with zero full-table
+        copies while a reader pinned to an early epoch — under retirement
+        pressure from ``retain=1`` — serves vectors bit-identical to a
+        post-hoc reference checkpoint of that epoch."""
+        n = graph.n_nodes
+        store = _PinAtEpoch(n, 8, n_shards=4, retain=1, pin_epoch=1)
+        try:
+            res = run_seq_scenario(
+                graph, dim=8, hyper=HP, seed=3, max_events=4, store=store
+            )
+            tele = res.extras["telemetry"]
+            assert tele.store_publishes >= 2
+            assert tele.store_full_copies == 0
+            # retain=1 retired everything unpinned except the latest ...
+            assert set(store.epochs()) == {1, 3}
+            # ... but the pinned epoch still reads, bit-identical to the
+            # moment it was published
+            reader = store.pinned_reader
+            assert np.array_equal(reader.get(np.arange(n)), store.frozen)
+            # and to an independent truncated rerun of the same seed
+            reference = run_seq_scenario(graph, dim=8, hyper=HP, seed=3, max_events=2)
+            assert np.array_equal(reader.get(np.arange(n)), reference.embedding)
+            reader.close()
+            assert store.epochs() == (3,)
+        finally:
+            store.close()
+
+    def test_dynamic_publish_every(self, graph):
+        res = run_seq_scenario(
+            graph, dim=8, hyper=HP, seed=0, max_events=4, store="local", publish_every=2
+        )
+        tr = res.extras["training_result"]
+        try:
+            assert tr.store.epochs() == (1, 3)
+        finally:
+            tr.store.close()

@@ -1,0 +1,155 @@
+"""Shm-backend specifics: cross-process attach, /dev/shm hygiene, and the
+reader-crash story (readers own nothing, so crashes leak nothing)."""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import ShmEmbeddingStore, ShmEpochReader
+
+N, DIM = 19, 6
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+def _shm_available() -> bool:
+    try:
+        store = ShmEmbeddingStore(2, 2, n_shards=1)
+    except Exception:
+        return False
+    store.close()
+    return True
+
+
+needs_shm = pytest.mark.skipif(
+    not _shm_available(), reason="shared memory unavailable on this host"
+)
+
+
+def shm_segments() -> set:
+    return set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+
+def table(seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((N, DIM))
+
+
+def _child_read(spec, expected, out):
+    """Attach in a separate process and report what the reads returned."""
+    with ShmEpochReader.attach(spec) as reader:
+        ok_one = np.array_equal(reader.get_one(3), expected[3])
+        nodes = np.arange(N)
+        ok_all = np.array_equal(reader.get(nodes), expected)
+    out.put(bool(ok_one and ok_all))
+
+
+def _child_crash(spec, conn):
+    """Attach, read, then die without closing anything (simulated crash)."""
+    reader = ShmEpochReader.attach(spec)
+    conn.send(float(reader.get_one(0)[0]))  # synchronous: survives os._exit
+    os._exit(1)  # no cleanup runs: no close(), no atexit, nothing
+
+
+@needs_shm
+class TestCrossProcess:
+    def test_manifest_spec_is_plain_data(self):
+        with ShmEmbeddingStore(N, DIM, n_shards=3) as store:
+            store.publish(0, table(0))
+            spec = store.manifest_spec()
+            assert spec["epoch"] == 0
+            assert len(spec["names"]) == store.n_shards
+            assert all(isinstance(n, str) for n in spec["names"])
+            import pickle
+
+            pickle.loads(pickle.dumps(spec))  # ships across any transport
+
+    def test_reader_process_sees_bit_identical_vectors(self):
+        t = table(1)
+        ctx = mp.get_context("fork")
+        with ShmEmbeddingStore(N, DIM, n_shards=3) as store:
+            store.publish(0, t)
+            store.pin(0)
+            try:
+                out = ctx.Queue()
+                proc = ctx.Process(target=_child_read, args=(store.manifest_spec(0), t, out))
+                proc.start()
+                assert out.get(timeout=30) is True
+                proc.join(timeout=30)
+                assert proc.exitcode == 0
+            finally:
+                store.unpin(0)
+
+    def test_in_process_attach_is_zero_copy(self):
+        with ShmEmbeddingStore(N, DIM, n_shards=2) as store:
+            t = table(2)
+            store.publish(0, t)
+            with ShmEpochReader.attach(store.manifest_spec(0)) as reader:
+                assert np.array_equal(reader.get(np.arange(N)), t)
+                view = reader.get_one(4)
+                assert view.base is not None  # a view, not a copy
+                with pytest.raises(ValueError):
+                    view[0] = 1.0
+
+    def test_attach_after_retirement_fails_cleanly(self):
+        with ShmEmbeddingStore(N, DIM, n_shards=2, retain=1) as store:
+            store.publish(0, table(0))
+            spec = store.manifest_spec(0)  # spec outlives its pin: caller bug
+            store.publish(1, table(1))  # retires epoch 0 -> names unlinked
+            with pytest.raises(FileNotFoundError):
+                ShmEpochReader.attach(spec)
+
+
+@needs_shm
+@needs_dev_shm
+class TestShmHygiene:
+    def test_close_removes_every_segment(self):
+        before = shm_segments()
+        store = ShmEmbeddingStore(N, DIM, n_shards=4, retain=3)
+        for e in range(5):
+            store.publish(e, table(e))
+        assert shm_segments() != before  # segments really are in /dev/shm
+        store.close()
+        assert shm_segments() - before == set()
+
+    def test_retirement_frees_only_unshared_segments(self):
+        before = shm_segments()
+        with ShmEmbeddingStore(N, DIM, n_shards=4, retain=1) as store:
+            t = table(0)
+            store.publish(0, t)
+            n_after_first = len(shm_segments() - before)
+            assert n_after_first == store.n_shards
+            t2 = t.copy()
+            t2[0] += 1.0
+            store.publish(1, t2)  # epoch 0 retires; 3 shards still shared
+            assert len(shm_segments() - before) == store.n_shards + 1 - 1
+        assert shm_segments() - before == set()
+
+    def test_reader_crash_during_pinned_epoch_leaks_nothing(self):
+        """A reader that dies mid-serve (no close, no cleanup) must leave
+        /dev/shm exactly as the owner's lifecycle dictates: readers attach
+        untracked and own nothing, the owner's unlink is the single point
+        of removal."""
+        before = shm_segments()
+        ctx = mp.get_context("fork")
+        with ShmEmbeddingStore(N, DIM, n_shards=3) as store:
+            t = table(3)
+            store.publish(0, t)
+            store.pin(0)
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_crash, args=(store.manifest_spec(0), send))
+            proc.start()
+            send.close()  # parent's copy; the child's stays open until exit
+            assert recv.poll(30)
+            first = recv.recv()
+            proc.join(timeout=30)
+            assert proc.exitcode == 1  # the crash really happened
+            assert first == t[0, 0]
+            # the owner still serves the pinned epoch, bit-identically
+            assert np.array_equal(store.get(np.arange(N), epoch=0), t)
+            store.unpin(0)
+        assert shm_segments() - before == set()

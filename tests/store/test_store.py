@@ -1,0 +1,198 @@
+"""Backend-agnostic store semantics: both registry backends must share one
+versioning behavior (incremental publish, pins, FIFO retirement)."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    STORE_BACKENDS,
+    STORE_REGISTRY,
+    EmbeddingStore,
+    make_store,
+    resolve_store,
+    shard_bounds,
+    shard_of,
+)
+
+N, DIM = 23, 4
+
+
+def table(seed, n=N, dim=DIM):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, dim))
+
+
+@pytest.fixture(params=STORE_BACKENDS)
+def store(request):
+    with make_store(request.param, N, DIM, n_shards=4, retain=2) as st:
+        yield st
+
+
+class TestRegistry:
+    def test_backends_registered(self):
+        assert set(STORE_BACKENDS) == {"local", "shm"}
+
+    def test_registry_classes_carry_identity(self):
+        for name, cls in STORE_REGISTRY.items():
+            assert cls.name == name
+            assert issubclass(cls, EmbeddingStore)
+            assert cls.summary  # rendered into the API docs
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="store"):
+            make_store("ramdisk", N, DIM)
+
+    def test_resolve_passes_instances_through(self):
+        with make_store("local", N, DIM) as st:
+            assert resolve_store(st, N, DIM) is st
+            with pytest.raises(ValueError, match="geometry"):
+                resolve_store(st, N + 1, DIM)
+        with pytest.raises(TypeError):
+            resolve_store(42, N, DIM)
+
+
+class TestSharding:
+    def test_bounds_cover_and_balance(self):
+        bounds = shard_bounds(23, 4)
+        assert bounds[0] == 0 and bounds[-1] == 23
+        sizes = np.diff(bounds)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_more_shards_than_nodes_clamps(self):
+        bounds = shard_bounds(3, 8)
+        assert bounds.shape[0] - 1 == 3
+
+    def test_shard_of_matches_bounds(self):
+        bounds = shard_bounds(23, 4)
+        nodes = np.arange(23)
+        shards = shard_of(bounds, nodes)
+        for s in range(4):
+            lo, hi = bounds[s], bounds[s + 1]
+            assert np.all(shards[lo:hi] == s)
+        with pytest.raises(ValueError):
+            shard_of(bounds, 23)
+
+
+class TestPublishRead:
+    def test_round_trip_views_and_gather(self, store):
+        t = table(0)
+        store.publish(0, t)
+        assert np.array_equal(store.get_one(7), t[7])
+        nodes = np.array([3, 21, 0, 7, 7])
+        assert np.array_equal(store.get(nodes), t[nodes])
+        lo, hi = int(store.bounds[1]), int(store.bounds[2])
+        assert np.array_equal(store.shard_view(1), t[lo:hi])
+
+    def test_views_are_read_only(self, store):
+        store.publish(0, table(0))
+        with pytest.raises(ValueError):
+            store.get_one(0)[0] = 1.0
+        with pytest.raises(ValueError):
+            store.shard_view(0)[0, 0] = 1.0
+
+    def test_epochs_strictly_increasing(self, store):
+        store.publish(3, table(0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            store.publish(3, table(1))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            store.publish(2, table(1))
+
+    def test_dtype_mismatch_rejected_not_cast(self, store):
+        with pytest.raises(ValueError, match="dtype"):
+            store.publish(0, table(0).astype(np.float32))
+
+    def test_geometry_mismatch_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.publish(0, table(0, n=N + 1))
+
+    def test_read_before_publish(self, store):
+        with pytest.raises(RuntimeError, match="no published epochs"):
+            store.get_one(0)
+
+    def test_out_of_range_nodes(self, store):
+        store.publish(0, table(0))
+        with pytest.raises(ValueError):
+            store.get_one(N)
+        with pytest.raises(ValueError):
+            store.get(np.array([0, -1]))
+
+
+class TestIncrementalPublish:
+    def test_identical_republish_writes_nothing(self, store):
+        t = table(0)
+        first = store.publish(0, t)
+        assert first.shards_written == store.n_shards
+        again = store.publish(1, t)
+        assert again.shards_written == 0
+        assert again.shards_reused == store.n_shards
+        assert again.bytes_written == 0
+
+    def test_single_shard_change_rewrites_one(self, store):
+        t = table(0)
+        store.publish(0, t)
+        t2 = t.copy()
+        t2[0] += 1.0  # node 0 lives in shard 0
+        stats = store.publish(1, t2)
+        assert stats.shards_written == 1
+        assert stats.shards_reused == store.n_shards - 1
+        lo, hi = int(store.bounds[0]), int(store.bounds[1])
+        assert stats.bytes_written == t2[lo:hi].nbytes
+
+    def test_full_copy_flag_is_caller_declared(self, store):
+        assert store.publish(0, table(0)).full_table_copies == 0
+        assert store.publish(1, table(1), full_copy=True).full_table_copies == 1
+
+
+class TestRetirement:
+    def test_fifo_retirement_honors_retain(self, store):
+        for e in range(4):
+            store.publish(e, table(e))
+        assert store.epochs() == (2, 3)  # retain=2
+        with pytest.raises(KeyError, match="retire"):
+            store.get_one(0, epoch=0)
+
+    def test_pinned_epoch_survives_and_stays_bit_identical(self, store):
+        t0 = table(0)
+        store.publish(0, t0)
+        with store.reader(0) as reader:
+            for e in range(1, 5):
+                store.publish(e, table(e))
+            assert 0 in store.epochs()
+            assert np.array_equal(reader.get(np.arange(N)), t0)
+            assert np.array_equal(reader.get_one(5), t0[5])
+        # pin released -> the overdue epoch retires immediately
+        assert 0 not in store.epochs()
+
+    def test_reader_default_is_latest(self, store):
+        store.publish(0, table(0))
+        store.publish(1, table(1))
+        with store.reader() as reader:
+            assert reader.epoch == 1
+
+    def test_closed_reader_refuses(self, store):
+        store.publish(0, table(0))
+        reader = store.reader(0)
+        reader.close()
+        reader.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            reader.get_one(0)
+
+    def test_retire_below(self, store):
+        for e in range(3):
+            store.publish(e, table(e))
+        store.retire_below(2)
+        assert store.epochs() == (2,)
+
+    def test_latest_never_retires(self, store):
+        store.publish(0, table(0))
+        store.retire_below(10)
+        assert store.epochs() == (0,)
+
+    def test_close_is_idempotent_and_final(self, store):
+        store.publish(0, table(0))
+        store.close()
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.publish(1, table(1))
+        with pytest.raises(RuntimeError, match="closed"):
+            store.get_one(0)

@@ -24,6 +24,7 @@ class Registries:
     backends: frozenset[str] | None = None
     models: frozenset[str] | None = None
     transports: frozenset[str] | None = None
+    stores: frozenset[str] | None = None
     chunk_size_tokens: frozenset[str] = field(default=frozenset({"auto"}))
 
     def vocabulary(self, knob: str) -> frozenset[str] | None:
@@ -32,6 +33,7 @@ class Registries:
             "exec_backend": self.backends,
             "model": self.models,
             "transport": self.transports,
+            "store": self.stores,
             "chunk_size": self.chunk_size_tokens,
         }.get(knob)
 
@@ -119,7 +121,7 @@ def load_registries(start: Path) -> Registries:
     if root is None:
         return Registries()
     repro = root / "src" / "repro"
-    sources = backends = models = transports = None
+    sources = backends = models = transports = stores = None
 
     tree = _parse(repro / "sampling" / "sources.py")
     if tree is not None:
@@ -135,6 +137,16 @@ def load_registries(start: Path) -> Registries:
     tree = _parse(repro / "parallel" / "pipeline.py")
     if tree is not None:
         transports = _tuple_literal(tree, "TRANSPORTS")
+    store_names: set[str] = set()
+    for path in sorted((repro / "store").glob("*.py")):
+        tree = _parse(path)
+        if tree is not None:
+            store_names |= _class_name_attrs(tree)
+    stores = frozenset(store_names) or None
     return Registries(
-        sources=sources, backends=backends, models=models, transports=transports
+        sources=sources,
+        backends=backends,
+        models=models,
+        transports=transports,
+        stores=stores,
     )

@@ -207,9 +207,11 @@ def rule_shm_lifecycle(ctx: FileContext) -> Iterator[Violation]:
 # rule: registry-sync
 # ---------------------------------------------------------------------------#
 
-_KNOBS = ("negative_source", "exec_backend", "model", "transport", "chunk_size")
+_KNOBS = (
+    "negative_source", "exec_backend", "model", "transport", "chunk_size", "store",
+)
 _STRING_KNOB_RE = re.compile(
-    r"\b(negative_source|exec_backend|transport)\s*=\s*\"([A-Za-z_0-9]+)\""
+    r"\b(negative_source|exec_backend|transport|store)\s*=\s*\"([A-Za-z_0-9]+)\""
 )
 
 
@@ -234,11 +236,12 @@ def _check_knob(
 def rule_registry_sync(ctx: FileContext) -> Iterator[Violation]:
     """Name literals for registry knobs must be registry members.
 
-    ``EXEC_REGISTRY``/``SOURCE_REGISTRY``/``MODEL_REGISTRY``/``TRANSPORTS``
-    are the single source of truth; the rule checks every
-    ``negative_source=``/``exec_backend=``/``model=``/``transport=`` keyword
-    argument, function-signature default, and ``knob="value"`` token inside
-    string constants (docstrings, error messages) against them.
+    ``EXEC_REGISTRY``/``SOURCE_REGISTRY``/``MODEL_REGISTRY``/``TRANSPORTS``/
+    ``STORE_REGISTRY`` are the single source of truth; the rule checks every
+    ``negative_source=``/``exec_backend=``/``model=``/``transport=``/
+    ``store=`` keyword argument, function-signature default, and
+    ``knob="value"`` token inside string constants (docstrings, error
+    messages) against them.
     """
     # (a) keyword arguments at call sites
     for call in _calls_of(ctx.tree):
