@@ -18,10 +18,13 @@ Assertions: ``"fused"`` must hold ≥ 3× reference throughput for the
 exist to kill), ``"blocked"`` must hold ≥ 3× reference for the paper's
 ``"proposed"`` OS-ELM model (the rank-k RLS block solve this backend
 exists for — ``"fused"`` only managed ~1.3× because Algorithm 1 ran one
-tiny matvec per context), and no model may regress below parity-with-noise
-under any backend.  The ``BENCH_*.json`` twin is uploaded by CI, so the
-walks/s trajectory — now including OS-ELM throughput — is tracked PR over
-PR.
+tiny matvec per context), ``"compiled"`` must hold ≥ 5× reference for
+``"original"`` **when numba is installed** (without it the entry runs the
+warned reference fallback — held only to the parity band, and the report
+records ``numba_available`` so the committed JSON stays honest), and no
+model may regress below parity-with-noise under any backend.  The
+``BENCH_*.json`` twin is uploaded by CI, so the walks/s trajectory — now
+including OS-ELM throughput — is tracked PR over PR.
 """
 
 import time
@@ -29,6 +32,7 @@ import time
 import numpy as np
 
 from repro.embedding import WalkTrainer, make_model
+from repro.embedding.compiled import NUMBA_AVAILABLE
 from repro.embedding.kernels import EXEC_BACKENDS
 from repro.experiments.hyper import Node2VecParams
 from repro.experiments.report import ExperimentReport
@@ -44,6 +48,11 @@ MIN_SPEEDUP = {
     ("original", "fused"): 3.0,
     ("proposed", "blocked"): 3.0,
 }
+if NUMBA_AVAILABLE:
+    # the compiled backend's raison d'être: the reference per-window SGD
+    # loop, bit-identical but JIT-compiled.  Gated only when numba is
+    # importable — the fallback IS reference (parity band below applies).
+    MIN_SPEEDUP[("original", "compiled")] = 5.0
 #: no model may regress below parity minus noise under any backend
 MIN_SPEEDUP_ANY = 0.8
 
@@ -122,7 +131,15 @@ def test_train_kernels(benchmark, emit_report, profile):
         )
         report.add_note(
             "gates: fused >= 3x reference for 'original', blocked >= 3x "
-            "reference for 'proposed', no model below 0.8x anywhere"
+            "reference for 'proposed', compiled >= 5x reference for "
+            "'original' when numba is installed, no model below 0.8x "
+            "anywhere"
+        )
+        report.add_note(
+            "numba_available="
+            + ("true (compiled = JIT kernels)" if NUMBA_AVAILABLE else
+               "false (compiled = warned bit-identical reference fallback; "
+               "5x gate waived, parity band still enforced)")
         )
         return report
 

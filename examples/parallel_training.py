@@ -23,7 +23,10 @@ Knobs demonstrated below:
   ``"fused"`` (vectorized chunk kernels: bulk negative draw + batched
   gather/scatter updates — the big walks/s lever for the SGD baseline) vs
   ``"blocked"`` (fused draws + rank-k RLS block solves — the lever for the
-  paper's proposed OS-ELM model);
+  paper's proposed OS-ELM model) vs ``"compiled"`` (numba-JIT'd reference
+  kernels, **bit-identical to reference**; without numba — the ``perf``
+  extra — it warns once and falls back to reference, and telemetry shows
+  ``compiled[fallback=reference]``);
 * ``result.telemetry`` — per-stage timing, IPC bytes, training walks/s and
   contexts/s, realized overlap.
 
@@ -31,6 +34,7 @@ Run:  python examples/parallel_training.py
 """
 
 import time
+import warnings
 
 import numpy as np
 
@@ -83,26 +87,36 @@ def main() -> None:
             f"walk bytes over pickle channel {t.ipc_walk_bytes:>9,}"
         )
 
-    # -- execution backends: reference vs fused vs blocked kernels ------ #
+    # -- execution backends: reference vs fused/blocked/compiled kernels - #
     # the SGD baseline's per-window Python loop is where the fused kernels
     # shine; the proposed OS-ELM model needs the blocked backend's rank-k
-    # RLS block solves (fused alone leaves its recursion per-context)
-    for model, backend in (
-        ("original", "reference"), ("original", "fused"),
-        ("proposed", "reference"), ("proposed", "blocked"),
-    ):
-        res = train_parallel(
-            graph, dim=32, hyper=hyper, model=model, n_workers=4,
-            chunk_size=128, negative_source="degree",
-            exec_backend=backend, seed=7,
-        )
-        t = res.telemetry
-        print(
-            f"model={model:8s} exec_backend={t.exec_backend:9s}: "
-            f"train {t.train_s:5.2f}s  "
-            f"{t.train_walks_per_s:7.0f} walks/s  "
-            f"{t.train_contexts_per_s:8.0f} contexts/s"
-        )
+    # RLS block solves (fused alone leaves its recursion per-context); the
+    # compiled backend JITs the reference loop itself — same bits, machine
+    # code.  Without numba (`pip install .[perf]`) "compiled" emits one
+    # RuntimeWarning and trains through the bit-identical reference
+    # fallback — telemetry records it as compiled[fallback=reference].
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for model, backend in (
+            ("original", "reference"), ("original", "fused"),
+            ("original", "compiled"),
+            ("proposed", "reference"), ("proposed", "blocked"),
+        ):
+            res = train_parallel(
+                graph, dim=32, hyper=hyper, model=model, n_workers=4,
+                chunk_size=128, negative_source="degree",
+                exec_backend=backend, seed=7,
+            )
+            t = res.telemetry
+            print(
+                f"model={model:8s} exec_backend={t.exec_backend:28s}: "
+                f"train {t.train_s:5.2f}s  "
+                f"{t.train_walks_per_s:7.0f} walks/s  "
+                f"{t.train_contexts_per_s:8.0f} contexts/s"
+            )
+    for w in caught:
+        if issubclass(w.category, RuntimeWarning):
+            print(f"(fallback warning seen: {w.message})")
 
     # -- determinism across worker counts, transports, chunk sizes ------ #
     a = train_parallel(

@@ -151,7 +151,12 @@ def train_embedding(
         their embedding is pinned to the chunk schedule (still bit-identical
         across workers, prefetch and transports); ``"blocked"`` additionally
         accepts sub-walk block sizes via a pre-constructed
-        ``BlockedKernel(block_contexts=...)`` instance.
+        ``BlockedKernel(block_contexts=...)`` instance.  ``"compiled"``
+        needs the optional numba extra (``pip install .[perf]``) to
+        actually JIT; without it the run falls back to the bit-identical
+        ``"reference"`` path with a one-time :class:`RuntimeWarning`, and
+        the result's ``telemetry.exec_backend`` reads
+        ``"compiled[fallback=reference]"``.
     prefetch:
         pipeline-only knob: chunks kept in flight ahead of the trainer
         (default ``max(2, 2 * n_workers)``).  Setting it implies the

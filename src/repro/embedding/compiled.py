@@ -1,0 +1,388 @@
+"""Compiled (numba-JIT) training and walk kernels — the ``"compiled"`` seam.
+
+The paper's premise is that sequential OS-ELM training is bottlenecked by
+software overhead the hardware removes; the execution-backend registry
+(:mod:`repro.embedding.kernels`) made that seam explicit, and this module
+fills it in software: the ``"reference"`` backend's per-walk loops —
+Algorithm 1's per-context RLS recursion and the SGD baseline's per-window
+updates — rewritten as ``@njit(cache=True)`` kernels with **no objmode in
+the hot path**, plus a compiled scatter for the blocked rank-k kernel and a
+compiled transition kernel for :class:`repro.sampling.batched.BatchedWalker`.
+
+Bit-exactness contract
+----------------------
+Every training kernel here reproduces the ``"reference"`` semantics
+**bit-exactly**: the golden sha256 regressions of
+``tests/parallel/test_streaming.py`` must pass verbatim under
+``exec_backend="compiled"``.  Two disciplines make that possible:
+
+* **RNG order** — kernels never draw randomness.  Negatives arrive
+  pre-drawn from Python in the reference per-walk order
+  (:class:`~repro.embedding.kernels.CompiledKernel` inherits
+  ``ReferenceKernel.draw_negatives``), and the walk kernel consumes a
+  pre-drawn uniform pool in exactly the per-lane order the vectorized
+  NumPy walker realizes (see :func:`walk_fill`).
+* **float64 update order** — reductions that NumPy routes through BLAS
+  (``rows @ h``, ``P @ H``, ``H @ Ph``) stay array-level ``np.dot`` calls
+  (numba lowers them to the same BLAS), while everything NumPy executes
+  elementwise (sigmoid, outer-product downdate, ordered ``np.add.at``
+  scatters) is written as scalar loops in the exact accumulation order
+  NumPy documents.  ``np.add.at`` accumulates duplicate indices in index
+  order, which is precisely a sequential loop over rows.
+
+The kernels are deliberately written in the numba-compatible subset of
+Python/NumPy so that they also *run unchanged as plain Python*
+(``py_func(kernel)``): the test suite pins the golden hashes through the
+pure-Python forms on numba-free hosts, and the numba CI leg pins the same
+hashes through the JIT — so a BLAS/libm divergence on any platform fails
+loudly instead of silently drifting.
+
+numba is an optional extra (``pip install .[perf]``, ``numba>=0.59``).
+When it is absent, :data:`NUMBA_AVAILABLE` is False, :func:`_jit` is the
+identity, and the ``"compiled"`` registry entry falls back to the
+bit-identical ``"reference"`` path with a one-time :class:`RuntimeWarning`
+(:func:`warn_fallback`).
+
+This module imports nothing from the rest of :mod:`repro` (only numpy and,
+optionally, numba) so the kernel registry can import it without cycles.
+"""
+
+from __future__ import annotations
+
+# reprolint: kernel-module — hot-loop allocation and dtype discipline are
+# enforced here (tools/reprolint; see README "Static analysis & typing")
+
+import warnings
+
+import numpy as np
+
+try:  # optional perf extra: pip install .[perf]
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised on numba-free CI legs
+    numba = None  # type: ignore[assignment]
+    NUMBA_AVAILABLE = False
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "blocked_scatter",
+    "oselm_walk",
+    "py_func",
+    "sgd_walk",
+    "walk_fill",
+    "warn_fallback",
+]
+
+#: gain-denominator floor of the literal Algorithm 1 line 5 — must equal
+#: ``repro.embedding.sequential._EPS`` (kept as a literal so this module
+#: imports nothing from the model layer; a test pins the equality)
+_EPS = 1e-12
+
+
+def _jit(func):
+    """``numba.njit(cache=True)`` when numba is importable, else identity.
+
+    Identity (not a stub) on numba-free hosts: the kernels are written in
+    the numba subset, so the undecorated Python functions execute the same
+    arithmetic — that is what the fallback tests and ``mode="python"`` run.
+    """
+    if numba is not None:
+        return numba.njit(cache=True)(func)
+    return func
+
+
+def py_func(kernel):
+    """The pure-Python form of a kernel: ``kernel.py_func`` under numba
+    (the Dispatcher keeps the original), the kernel itself otherwise."""
+    return getattr(kernel, "py_func", kernel)
+
+
+_FALLBACK_WARNED = False
+
+
+def warn_fallback() -> None:
+    """One-time (per process) warning that ``"compiled"`` is running as
+    ``"reference"`` because numba is absent.
+
+    A :class:`RuntimeWarning` — deliberately not a ``DeprecationWarning``,
+    which the config layer reserves for conflicting-knob reports — emitted
+    on the first fallback construction only, so a pipeline that builds many
+    kernel instances warns exactly once.
+    """
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        'exec_backend="compiled" requires numba (install the perf extra: '
+        "pip install .[perf], numba>=0.59); falling back to the "
+        'bit-identical "reference" kernels for this process',
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+# ---------------------------------------------------------------------------#
+# scalar helpers
+# ---------------------------------------------------------------------------#
+
+
+@_jit
+def _sigmoid_scalar(x: float) -> float:
+    # the scalar form of skipgram._sigmoid's numerically stable two-sided
+    # formulation; branch structure (and therefore rounding) identical
+    if x >= 0.0:
+        return 1.0 / (1.0 + np.exp(-x))
+    e = np.exp(x)
+    return e / (1.0 + e)
+
+
+# ---------------------------------------------------------------------------#
+# SGD skip-gram: one walk of the reference per-window loop
+# ---------------------------------------------------------------------------#
+
+
+@_jit
+def sgd_walk(w_in, w_out, lr, centers, positives, negatives):
+    """One walk of ``SkipGramSGD.train_walk``, bit-exact.
+
+    Per context *i*, per positive *j* (one window): the sample row is
+    ``[positives[i, j], negatives[i, :]]`` and the update replays
+    ``train_pair`` exactly — BLAS ``np.dot`` for the forward scores and the
+    hidden gradient (what ``rows @ h`` / ``g @ rows`` lower to), scalar
+    loops in ``np.add.at`` index order for the scatters.
+    """
+    C, J = positives.shape
+    ns = negatives.shape[1]
+    d = w_in.shape[1]
+    k = 1 + ns
+    samples = np.empty(k, np.int64)
+    g = np.empty(k, np.float64)
+    for i in range(C):
+        samples[1:] = negatives[i]
+        c = centers[i]
+        h = w_in[c]  # view: window j+1 sees window j's w_in update
+        for j in range(J):
+            samples[0] = positives[i, j]
+            rows = w_out[samples]  # (k, d) gather, copy
+            scores = np.dot(rows, h)
+            g[0] = lr * (1.0 - _sigmoid_scalar(scores[0]))
+            for t in range(1, k):
+                g[t] = lr * (0.0 - _sigmoid_scalar(scores[t]))
+            grad_h = np.dot(g, rows)  # accumulate before rows change
+            for t in range(k):
+                r = samples[t]
+                gt = g[t]
+                for e in range(d):
+                    w_out[r, e] += gt * h[e]
+            for e in range(d):
+                w_in[c, e] += grad_h[e]
+
+
+# ---------------------------------------------------------------------------#
+# OS-ELM skip-gram: one walk of Algorithm 1's per-context recursion
+# ---------------------------------------------------------------------------#
+
+
+@_jit
+def oselm_walk(
+    B, P, mu, lam, tied, alpha, standard, sequential, centers, positives, negatives
+):
+    """One walk of ``OSELMSkipGram.train_walk``, bit-exact for both
+    duplicate policies, both tyings, both denominators and ``lam`` < 1.
+
+    The RLS recursion stays sequential (context *i* reads the ``P``/``B``
+    context *i−1* wrote); ``P @ H`` / gathers stay BLAS ``np.dot``; the
+    rank-1 ``P`` downdate and the β scatter are scalar loops in the exact
+    elementwise/``np.add.at`` order of the reference.
+    """
+    C, J = positives.shape
+    ns = negatives.shape[1]
+    d = B.shape[1]
+    m = J * (1 + ns)
+    H = np.empty(d, np.float64)
+    samples = np.empty(m, np.int64)
+    targets = np.empty(m, np.float64)
+    targets[:J] = 1.0
+    targets[J:] = 0.0
+    for i in range(C):
+        c = centers[i]
+        if tied:
+            for e in range(d):  # H = mu * B[c]: context-start copy
+                H[e] = mu * B[c, e]
+        else:
+            for e in range(d):
+                H[e] = alpha[c, e]
+        Ph = np.dot(P, H)
+        hph = np.dot(H, Ph)
+        if standard:
+            denom = lam + hph
+        else:  # literal Algorithm 1 line 5
+            denom = hph if abs(hph) > _EPS else _EPS
+        gain = Ph / denom
+        for a in range(d):  # P -= outer(gain, Ph), elementwise order
+            ga = gain[a]
+            for b in range(d):
+                P[a, b] -= ga * Ph[b]
+        if lam != 1.0:
+            for a in range(d):
+                for b in range(d):
+                    P[a, b] /= lam
+        if sequential:
+            for j in range(J):
+                p = positives[i, j]
+                err = 1.0 - np.dot(H, B[p])
+                for e in range(d):
+                    B[p, e] += gain[e] * err
+                for q in range(ns):
+                    ng = negatives[i, q]
+                    err = 0.0 - np.dot(H, B[ng])
+                    for e in range(d):
+                        B[ng, e] += gain[e] * err
+        else:
+            # batched policy: [positives, negatives tiled J times], errors
+            # against context-start B, then the ordered scatter
+            samples[:J] = positives[i]
+            for j in range(J):
+                for q in range(ns):
+                    samples[J + j * ns + q] = negatives[i, q]
+            errs = targets - np.dot(B[samples], H)
+            for t in range(m):
+                r = samples[t]
+                et = errs[t]
+                for e in range(d):
+                    B[r, e] += et * gain[e]
+
+
+# ---------------------------------------------------------------------------#
+# blocked rank-k scatter: the bincount + unique-rows GEMM of BlockedKernel
+# ---------------------------------------------------------------------------#
+
+
+@_jit
+def blocked_scatter(B, rows, inv, E, K):
+    """The blocked kernel's one-pass scatter, compiled.
+
+    Reproduces ``M = bincount(inv + c*R, weights=E); B[rows] += M.T @ K.T``
+    (:func:`repro.embedding.kernels._train_oselm_blocked`): per-(row,
+    context) error coefficients accumulate in ``np.bincount``'s flat input
+    order, then one ``(R, k) @ (k, d)`` GEMM over the block's unique rows
+    lands every update.  Used only when numba is importable — the NumPy
+    form stays the (identical-contract) fallback.
+    """
+    k, S = inv.shape
+    R = rows.shape[0]
+    d = B.shape[1]
+    M = np.zeros((R, k), np.float64)
+    for c in range(k):
+        for s in range(S):
+            M[inv[c, s], c] += E[c, s]
+    upd = np.dot(M, np.ascontiguousarray(K.T))  # (R, k) @ (k, d)
+    for r in range(R):
+        row = rows[r]
+        for e in range(d):
+            B[row, e] += upd[r, e]
+
+
+# ---------------------------------------------------------------------------#
+# batched walk transition kernel
+# ---------------------------------------------------------------------------#
+
+
+@_jit
+def _pick_neighbor(indptr, indices, deg, cumw, weighted, cur, u):
+    """One neighbor draw from ``cur`` given one uniform ``u`` — the scalar
+    form of ``BatchedWalker._propose`` for one lane (uniform CSR gather, or
+    the weighted cumulative-sum search)."""
+    lo = indptr[cur]
+    if weighted:
+        hi = indptr[cur + 1]
+        base = cumw[lo]
+        t = base + u * (cumw[hi] - base)
+        # bisect_right(cumw, t) restricted to [lo, hi + 1): the first index
+        # with cumw[idx] > t, exactly np.searchsorted(..., side="right")
+        l = lo
+        r = hi + 1
+        while l < r:
+            mid = (l + r) // 2
+            if cumw[mid] > t:
+                r = mid
+            else:
+                l = mid + 1
+        j = l - 1
+        if j > hi - 1:  # u*total rounding up to the row total
+            j = hi - 1
+        return indices[j]
+    return indices[lo + int(u * deg[cur])]
+
+
+@_jit
+def walk_fill(
+    out, indptr, indices, deg, cumw, weighted, p_inv, alpha_max, pool, col, pos, pend, cand
+):
+    """Fill ``out[:, col:]`` with biased walk steps, consuming ``pool``.
+
+    The compiled form of ``BatchedWalker.walk_batch``'s step loop: per
+    column, the pending lanes (ascending lane order — ``out[:, i] == -1``
+    with a live, non-dangling predecessor, recomputable from ``out`` alone)
+    run rejection rounds of one proposal uniform + one acceptance uniform
+    each, in exactly the order the NumPy path draws them — so both paths
+    consume the same prefix of the walker's uniform stream and produce
+    bitwise-identical batches.
+
+    Returns ``(col, pos)``: ``col == out.shape[1]`` when the batch is
+    complete; otherwise the pool cannot cover the next round and the caller
+    must refill (unconsumed tail first, fresh draws appended) and re-enter —
+    resumption state is entirely ``(out, col)``.
+
+    ``pend``/``cand`` are caller-provided int64 scratch of length
+    ``out.shape[0]``.
+    """
+    W, length = out.shape
+    n_pool = pool.shape[0]
+    i = col
+    while i < length:
+        n_pend = 0
+        for w in range(W):
+            c = out[w, i - 1]
+            if out[w, i] == -1 and c >= 0 and deg[c] > 0:
+                pend[n_pend] = w
+                n_pend += 1
+        if n_pend == 0:  # no lane can ever revive: remaining columns stay -1
+            i += 1
+            continue
+        if i == 1:
+            # first step: uniform neighbor, no bias — one draw per lane
+            if n_pool - pos < n_pend:
+                return i, pos
+            for t in range(n_pend):
+                w = pend[t]
+                out[w, 1] = _pick_neighbor(
+                    indptr, indices, deg, cumw, weighted, out[w, 0], pool[pos + t]
+                )
+            pos += n_pend
+            i += 1
+            continue
+        while n_pend > 0:
+            if n_pool - pos < 2 * n_pend:
+                return i, pos
+            for t in range(n_pend):
+                w = pend[t]
+                cand[t] = _pick_neighbor(
+                    indptr, indices, deg, cumw, weighted, out[w, i - 1], pool[pos + t]
+                )
+            pos += n_pend
+            m = 0
+            for t in range(n_pend):
+                w = pend[t]
+                a = p_inv if cand[t] == out[w, i - 2] else 1.0
+                if pool[pos + t] * alpha_max <= a:
+                    out[w, i] = cand[t]
+                else:  # retry only the rejected lanes, order preserved
+                    pend[m] = w
+                    m += 1
+            pos += n_pend
+            n_pend = m
+        i += 1
+    return i, pos

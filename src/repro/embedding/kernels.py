@@ -109,6 +109,21 @@ Backends
     per context (the same per-walk treatment
     :class:`~repro.embedding.block.BlockOSELMSkipGram` documents).
 
+``"compiled"``
+    The reference per-walk loops as numba-JIT kernels
+    (:mod:`repro.embedding.compiled`): same negative draw order (the
+    reference's per-walk ``sample_for_walk`` calls), same float64 update
+    order, so — unlike ``"fused"``/``"blocked"`` — the golden sha256
+    regressions pass under ``"compiled"`` **verbatim**, and results stay
+    chunk-invariant (``chunk_size="auto"`` is allowed).  numba is an
+    optional extra (``pip install .[perf]``); without it the backend
+    registers and constructs normally but falls back to the bit-identical
+    reference path with a one-time :class:`RuntimeWarning`, reported
+    through :attr:`~ExecBackend.telemetry_name` as
+    ``"compiled[fallback=reference]"``.  ``mode="python"`` runs the same
+    kernel source uncompiled (the test seam that pins the arithmetic on
+    numba-free hosts); ``mode="jit"`` requires numba.
+
 Tolerance contract
 ------------------
 ``"fused"`` differs from ``"reference"`` in two documented ways:
@@ -156,6 +171,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.embedding import compiled as _compiled
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
 from repro.embedding.oselm import rank_k_update
@@ -179,6 +195,7 @@ __all__ = [
     "FUSED_RTOL",
     "BlockedKernel",
     "ChunkStats",
+    "CompiledKernel",
     "ExecBackend",
     "FusedKernel",
     "ReferenceKernel",
@@ -284,6 +301,15 @@ class ExecBackend:
     #: the pipeline refuses ``chunk_size="auto"`` (a timing-driven,
     #: worker-dependent schedule) for non-invariant backends.
     chunk_invariant: bool = True
+
+    @property
+    def telemetry_name(self) -> str:
+        """The backend name as telemetry reports it.  Equal to :attr:`name`
+        for every backend that runs what its name says; backends that can
+        degrade (``"compiled"`` without numba) append their effective
+        execution path so ``PipelineTelemetry.exec_backend`` records what
+        actually ran."""
+        return self.name
 
     def draw_negatives(
         self,
@@ -689,13 +715,19 @@ def _train_oselm_blocked(
         # one scatter pass: per-(row, context) coefficients via bincount,
         # then a single GEMM over the block's unique rows lands every
         # update (duplicates accumulate, matching the batched duplicate
-        # policy)
-        M = np.bincount(
-            (inv + np.arange(k)[:, None] * R).ravel(),
-            weights=E.ravel(),
-            minlength=k * R,
-        ).reshape(k, R)
-        B[rows] += M.T @ K.T
+        # policy).  With numba the whole pass runs as one compiled kernel
+        # (same accumulation order, same GEMM — inside BLOCKED_RTOL's
+        # eps-level headroom); the NumPy form is the identical-contract
+        # fallback.
+        if _compiled.NUMBA_AVAILABLE:
+            _compiled.blocked_scatter(B, rows, np.ascontiguousarray(inv), E, K)
+        else:
+            M = np.bincount(
+                (inv + np.arange(k)[:, None] * R).ravel(),
+                weights=E.ravel(),
+                minlength=k * R,
+            ).reshape(k, R)
+            B[rows] += M.T @ K.T
     # square-root downdates keep P symmetric by construction; re-symmetrize
     # once per walk so eps-level GEMM residue cannot compound (bitwise
     # no-op while P is already symmetric)
@@ -703,11 +735,131 @@ def _train_oselm_blocked(
     model.n_walks_trained += 1
 
 
+class CompiledKernel(ReferenceKernel):
+    """The reference per-walk loops as numba-JIT kernels, bit-identical to
+    ``"reference"`` (module docstring, ``"compiled"`` entry).
+
+    Inherits the reference backend's negative draws — one
+    ``sample_for_walk`` per walk, in corpus order — so the sampler RNG
+    stream is identical to ``"reference"`` and chunk invariance holds; only
+    the training arithmetic moves into :mod:`repro.embedding.compiled`.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default) — JIT kernels when numba is importable, else
+        fall back to the inherited reference path with a one-time
+        :class:`RuntimeWarning`; ``"jit"`` — require numba, raise
+        :class:`RuntimeError` without it; ``"python"`` — run the kernels'
+        pure-Python form (``py_func``) regardless of numba, silently: the
+        test seam that pins the kernel arithmetic on numba-free hosts.
+    """
+
+    name = "compiled"
+    summary = (
+        "numba-JIT per-walk kernels, bit-identical to reference (same "
+        "RNG draw order and float64 update order; falls back to "
+        "reference with a warning when numba is missing)"
+    )
+    #: staged like the fused backend when compiled (block staging touches
+    #: neither the draw order — draws are per-walk — nor the arithmetic);
+    #: reset to 1 on fallback so the reference memory profile is preserved
+    block_walks = 1024
+
+    def __init__(self, mode: str = "auto"):
+        check_in_set("mode", mode, ("auto", "jit", "python"))
+        if mode == "jit" and not _compiled.NUMBA_AVAILABLE:
+            raise RuntimeError(
+                'CompiledKernel(mode="jit") requires numba; install the '
+                "perf extra (pip install .[perf]) or use mode=\"auto\" "
+                "to fall back to the reference kernels"
+            )
+        self.mode = mode
+        self.fallback = mode == "auto" and not _compiled.NUMBA_AVAILABLE
+        if self.fallback:
+            _compiled.warn_fallback()
+            self.block_walks = 1
+            self._sgd_walk = None
+            self._oselm_walk = None
+        elif mode == "python":
+            self._sgd_walk = _compiled.py_func(_compiled.sgd_walk)
+            self._oselm_walk = _compiled.py_func(_compiled.oselm_walk)
+        else:
+            self._sgd_walk = _compiled.sgd_walk
+            self._oselm_walk = _compiled.oselm_walk
+
+    @property
+    def telemetry_name(self) -> str:
+        if self.fallback:
+            return f"{self.name}[fallback={ReferenceKernel.name}]"
+        return self.name
+
+    def train_prepared(
+        self,
+        model: EmbeddingModel,
+        contexts: list[WalkContexts],
+        negatives: list[np.ndarray],
+    ) -> None:
+        if self.fallback:  # bit-identical by construction: it IS reference
+            super().train_prepared(model, contexts, negatives)
+            return
+        # subclass checks first, mirroring FusedKernel: the deferred models
+        # are OSELMSkipGram subclasses with their own walk-vectorized
+        # updates (already batched NumPy — train_walk as-is)
+        if isinstance(model, (DataflowOSELMSkipGram, BlockOSELMSkipGram)):
+            for ctx, negs in zip(contexts, negatives, strict=True):
+                model.train_walk(ctx, negs)
+        elif isinstance(model, OSELMSkipGram):
+            for ctx, negs in zip(contexts, negatives, strict=True):
+                self._train_oselm(model, ctx, negs)
+        elif isinstance(model, SkipGramSGD):
+            for ctx, negs in zip(contexts, negatives, strict=True):
+                self._train_sgd(model, ctx, negs)
+        else:  # any other EmbeddingModel: its own walk update
+            for ctx, negs in zip(contexts, negatives, strict=True):
+                model.train_walk(ctx, negs)
+
+    def _train_oselm(
+        self, model: OSELMSkipGram, ctx: WalkContexts, negatives: np.ndarray
+    ) -> None:
+        negatives = model._check_walk_inputs(ctx, negatives)
+        tied = model.weight_tying == "beta"
+        # alpha is typed as a float64 matrix in the kernel signature; under
+        # beta tying it is never read, so pass B as the placeholder
+        alpha = model.B if model._alpha is None else model._alpha
+        self._oselm_walk(
+            model.B,
+            model.P,
+            model.mu,
+            model.forgetting_factor,
+            tied,
+            alpha,
+            model.denominator == "standard",
+            model.duplicate_policy == "sequential",
+            ctx.centers,
+            ctx.positives,
+            negatives,
+        )
+        model.n_walks_trained += 1
+
+    def _train_sgd(
+        self, model: SkipGramSGD, ctx: WalkContexts, negatives: np.ndarray
+    ) -> None:
+        negatives = model._check_walk_inputs(ctx, negatives)
+        self._sgd_walk(
+            model.w_in, model.w_out, model.lr, ctx.centers, ctx.positives, negatives
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mode={self.mode!r})"
+
+
 #: Single source of truth for the valid ``exec_backend`` strategies: the
 #: trainer's validation, the API docs and the tests all render from this
 #: registry (the ``SOURCE_REGISTRY`` pattern, applied to execution).
 EXEC_REGISTRY: dict[str, type[ExecBackend]] = {
-    cls.name: cls for cls in (ReferenceKernel, FusedKernel, BlockedKernel)
+    cls.name: cls
+    for cls in (ReferenceKernel, FusedKernel, BlockedKernel, CompiledKernel)
 }
 
 #: Valid ``exec_backend`` names, in registry order.

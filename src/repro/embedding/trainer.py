@@ -91,7 +91,7 @@ class WalkTrainer:
     exec_backend:
         chunk-execution backend for :meth:`train_corpus` — an
         :data:`repro.embedding.kernels.EXEC_REGISTRY` name
-        (``"reference"`` | ``"fused"`` | ``"blocked"``) or an
+        (``"reference"`` | ``"fused"`` | ``"blocked"`` | ``"compiled"``) or an
         :class:`~repro.embedding.kernels.ExecBackend` instance (e.g. a
         ``BlockedKernel(block_contexts=8)`` with sub-walk blocks).  ``None``
         (default) uses the model's own :attr:`~EmbeddingModel.exec_backend`
@@ -210,7 +210,8 @@ def train_on_graph(
     ``hyper`` is a :class:`repro.experiments.hyper.Node2VecParams` (or None
     for the paper's defaults).  ``model`` may be a registry name or an
     already-built :class:`EmbeddingModel`.  ``exec_backend`` selects the
-    chunk-execution kernel (``"reference"`` | ``"fused"`` | ``"blocked"``,
+    chunk-execution kernel (``"reference"`` | ``"fused"`` | ``"blocked"`` |
+    ``"compiled"``,
     see :mod:`repro.embedding.kernels`); ``None`` follows the model's own
     preference (``"reference"`` unless restored from a checkpoint that says
     otherwise).

@@ -60,8 +60,12 @@ Consumed chunks train through the kernel layer
 (:mod:`repro.embedding.kernels`): ``"reference"`` is the bit-identical
 per-walk loop, ``"fused"`` the vectorized chunk kernels (bulk negative
 draw + batched per-walk gather/scatter updates), ``"blocked"`` the rank-k
-RLS block solves for the OS-ELM family on top of the fused draws.
-``telemetry.exec_backend`` records the kernel used;
+RLS block solves for the OS-ELM family on top of the fused draws, and
+``"compiled"`` the reference loops as numba-JIT kernels — bit-identical to
+``"reference"`` (same goldens) when numba is installed, a warned fallback
+to the reference path otherwise.
+``telemetry.exec_backend`` records the kernel that actually ran
+(``"compiled[fallback=reference]"`` marks the degraded path);
 ``telemetry.train_walks_per_s`` / ``train_contexts_per_s`` its realized
 training throughput (the context rate is the number the OS-ELM kernels
 move, one RLS step per context).
@@ -876,7 +880,9 @@ def train_parallel(
         negative_source=source.name,
         n_workers=int(n_workers),
         epochs=int(epochs),
-        exec_backend=trainer.exec_backend,
+        # telemetry_name, not name: a degraded backend ("compiled" without
+        # numba) reports what actually ran, e.g. "compiled[fallback=reference]"
+        exec_backend=trainer.backend.telemetry_name,
     )
     t_total = time.perf_counter()
 

@@ -14,6 +14,10 @@ def pick(make_model):
     return make_model(model="perceptron", n_nodes=4, dim=2)  # expect: registry-sync
 
 
+def jit(graph, train_parallel):
+    return train_parallel(graph, exec_backend="compield")  # expect: registry-sync
+
+
 def serve(train_dynamic, graph, store="ramdisk"):  # expect: registry-sync
     """Docstring drift: recommends store="tmpfs" for fast serving."""  # expect: registry-sync
     return train_dynamic(graph, store="mmap")  # expect: registry-sync

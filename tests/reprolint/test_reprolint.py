@@ -101,7 +101,7 @@ class TestEngine:
         assert registries.sources is not None
         assert {"corpus", "degree", "two_pass", "decayed"} <= registries.sources
         assert registries.backends is not None
-        assert {"reference", "fused", "blocked"} <= registries.backends
+        assert {"reference", "fused", "blocked", "compiled"} <= registries.backends
         assert registries.models is not None
         assert {"original", "proposed", "dataflow", "block"} <= registries.models
         assert registries.transports == frozenset({"shm", "pickle"})

@@ -92,7 +92,7 @@ class TestExecBackendConfig:
     training through the kernel it was trained with."""
 
     @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
-    @pytest.mark.parametrize("backend", ("reference", "fused", "blocked"))
+    @pytest.mark.parametrize("backend", ("reference", "fused", "blocked", "compiled"))
     def test_backend_round_trips(self, tmp_path, name, backend):
         m = make_model(name, 20, 8, seed=3, exec_backend=backend)
         path = str(tmp_path / "b.npz")
@@ -128,7 +128,7 @@ class TestExecBackendConfig:
         assert load_model(path).exec_backend == "reference"
 
     @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
-    @pytest.mark.parametrize("backend", ("fused", "blocked"))
+    @pytest.mark.parametrize("backend", ("fused", "blocked", "compiled"))
     def test_save_load_continue_training(self, tmp_path, name, backend):
         """save → load → continue: the restored model's trajectory through
         the kernel layer must match the uninterrupted one bit-for-bit, for
