@@ -1,0 +1,122 @@
+"""Batch-RLS accuracy bench (Fig-5-style): link-prediction AUC vs
+``defer_span``.
+
+Figure 5 of the paper prices the *dataflow* deferral (Algorithm 2 vs
+Algorithm 1) in accuracy; this bench prices the ``"batch_rls"`` model's
+*span* deferral the same way.  On a planted-partition SBM with a held-out
+edge split, one model per ``defer_span`` ∈ {walk, 4, 16, 64, chunk} trains
+through the span-aware ``"blocked"`` backend on an identical stream of
+``CHUNK_WALKS``-walk work items — the pipeline's staging geometry, so
+``defer_span="chunk"`` means what it means in deployment: one rank-k span
+per staged chunk (~1.5k contexts here), not one degenerate corpus-wide
+solve.  Identical walks, sampler seeds and hyper-parameters throughout;
+only the deferral unit varies.
+
+Assertions: every span setting must actually learn (AUC far above the 0.5
+coin-flip floor), and the maximal-GEMM setting — ``defer_span="chunk"``,
+the ≥2× throughput headline of ``bench_train_kernels.py`` — may cost at
+most ``MAX_AUC_DROP`` (2%) relative AUC vs the exact per-walk ``"walk"``
+degeneration.  The ``BENCH_batch_rls_accuracy.json`` twin is uploaded by
+CI, so the accuracy-vs-span trade-off is tracked PR over PR.
+"""
+
+from repro.embedding import WalkTrainer, make_model
+from repro.evaluation.linkpred import evaluate_link_prediction, split_edges
+from repro.experiments.hyper import Node2VecParams
+from repro.experiments.report import ExperimentReport
+from repro.graph.generators import planted_partition
+from repro.sampling.negative import NegativeSampler
+from repro.sampling.walks import Node2VecWalker
+
+DEFER_SPANS = ("walk", 4, 16, 64, "chunk")
+
+#: walks per staged work item — the pipeline-style chunk every setting
+#: streams through (and the span size ``defer_span="chunk"`` resolves to)
+CHUNK_WALKS = 48
+
+#: relative AUC the chunk-wide span may give up vs the per-walk exact
+#: degeneration (the ISSUE's accuracy acceptance bar)
+MAX_AUC_DROP = 0.02
+#: every span setting must clearly learn (coin flip = 0.5)
+MIN_AUC = 0.65
+
+
+def test_batch_rls_accuracy(benchmark, emit_report, profile):
+    n = 1200 if profile == "paper" else 400
+    graph = planted_partition(n, 4, avg_degree=16.0, homophily=0.9, seed=0)
+    train_graph, test_edges = split_edges(graph, test_frac=0.2, seed=1)
+    hyper = Node2VecParams(r=4, l=40, w=8, ns=10)
+
+    walker = Node2VecWalker(train_graph, hyper.walk_params(), seed=3)
+    walks = walker.simulate()
+
+    def measure(span):
+        model = make_model(
+            "batch_rls", train_graph.n_nodes, 32, seed=7, defer_span=span
+        )
+        trainer = WalkTrainer(
+            model, window=hyper.w, ns=hyper.ns, exec_backend="blocked"
+        )
+        sampler = NegativeSampler.from_walks(
+            walks, train_graph.n_nodes, seed=4
+        )
+        for lo in range(0, len(walks), CHUNK_WALKS):
+            trainer.train_corpus(walks[lo : lo + CHUNK_WALKS], sampler)
+        scored = evaluate_link_prediction(
+            model.embedding, train_graph, test_edges, seed=2
+        )
+        return {
+            "auc": scored.auc,
+            "accuracy": scored.accuracy,
+            "n_contexts": trainer.n_contexts,
+        }
+
+    def run():
+        report = ExperimentReport(
+            name="Batch RLS accuracy",
+            title=(
+                "link-prediction AUC vs defer_span "
+                f"(SBM, {train_graph.n_nodes} nodes, "
+                f"{test_edges.shape[0]} held-out edges, "
+                f"{CHUNK_WALKS}-walk chunks, dim 32)"
+            ),
+            columns=["defer_span", "AUC", "accuracy", "drop vs walk"],
+        )
+        cells = {str(span): measure(span) for span in DEFER_SPANS}
+        walk_auc = cells["walk"]["auc"]
+        for span in DEFER_SPANS:
+            cell = cells[str(span)]
+            cell["drop_vs_walk"] = 1.0 - cell["auc"] / walk_auc
+            report.add_row(
+                str(span),
+                f"{cell['auc']:.4f}",
+                f"{cell['accuracy']:.4f}",
+                f"{cell['drop_vs_walk'] * 100:+.2f}%",
+            )
+        report.data = cells
+        report.add_note(
+            "one model per span; identical walk stream "
+            f"({CHUNK_WALKS}-walk work items), negative-sampler seeds and "
+            "Table 2-style hypers throughout — only the deferral unit "
+            "varies; trained via exec_backend=\"blocked\" (span-aware)"
+        )
+        report.add_note(
+            f"gates: AUC > {MIN_AUC} everywhere; defer_span=\"chunk\" "
+            f"within {MAX_AUC_DROP:.0%} relative AUC of defer_span=\"walk\" "
+            "(the exact per-walk block-RLS degeneration)"
+        )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(report)
+    cells = report.data
+
+    for span in DEFER_SPANS:
+        assert cells[str(span)]["auc"] > MIN_AUC, (
+            f"defer_span={span!r} AUC {cells[str(span)]['auc']:.4f}"
+        )
+    drop = cells["chunk"]["drop_vs_walk"]
+    assert drop <= MAX_AUC_DROP, (
+        f"chunk-span AUC degraded {drop:.2%} vs walk-span "
+        f"({cells['chunk']['auc']:.4f} vs {cells['walk']['auc']:.4f})"
+    )

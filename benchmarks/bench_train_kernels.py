@@ -23,6 +23,10 @@ tiny matvec per context), ``"compiled"`` must hold ≥ 5× reference for
 warned reference fallback — held only to the parity band, and the report
 records ``numba_available`` so the committed JSON stays honest), and no
 model may regress below parity-with-noise under any backend.  The
+chunk-deferred ``batch_rls`` model gets a headline row of its own
+(``batch_rls@chunk``, span-aware backends only): at ``defer_span="chunk"``
+under ``"blocked"`` it must hold ≥ 2× the contexts/s of ``"proposed"``
+under ``"blocked"`` — the rank-k span solve amortized chunk-wide.  The
 ``BENCH_*.json`` twin is uploaded by CI, so the walks/s trajectory — now
 including OS-ELM throughput — is tracked PR over PR.
 """
@@ -40,7 +44,7 @@ from repro.graph import amazon_photo_like
 from repro.sampling.negative import NegativeSampler
 from repro.sampling.walks import Node2VecWalker
 
-MODELS = ("original", "proposed", "dataflow", "block")
+MODELS = ("original", "proposed", "dataflow", "block", "batch_rls")
 REPEATS = 2
 
 #: acceptance floors: the backend that exists for a model must deliver
@@ -48,6 +52,11 @@ MIN_SPEEDUP = {
     ("original", "fused"): 3.0,
     ("proposed", "blocked"): 3.0,
 }
+#: the chunk-deferred headline: batch_rls at defer_span="chunk" under
+#: "blocked" must deliver >= this many contexts/s per "proposed" under
+#: "blocked" — the whole point of owning cross-walk spans (hundreds of
+#: per-walk solves collapse into a handful of chunk-wide GEMMs)
+BATCH_RLS_MIN_CONTEXTS_SPEEDUP = 2.0
 if NUMBA_AVAILABLE:
     # the compiled backend's raison d'être: the reference per-window SGD
     # loop, bit-identical but JIT-compiled.  Gated only when numba is
@@ -65,10 +74,10 @@ def test_train_kernels(benchmark, emit_report, profile):
     walker = Node2VecWalker(graph, hyper.walk_params(), seed=1)
     walks = walker.simulate()
 
-    def measure(model_name, backend):
+    def measure(model_name, backend, **model_kwargs):
         best = None
         for _ in range(REPEATS):
-            model = make_model(model_name, graph.n_nodes, 32, seed=7)
+            model = make_model(model_name, graph.n_nodes, 32, seed=7, **model_kwargs)
             trainer = WalkTrainer(
                 model, window=hyper.w, ns=hyper.ns, exec_backend=backend
             )
@@ -116,6 +125,31 @@ def test_train_kernels(benchmark, emit_report, profile):
                 ),
             )
             rows[model_name] = {**per_backend, "speedup": speedups}
+        # the chunk-deferred headline row: batch_rls at defer_span="chunk"
+        # runs only under the span-aware backends (reference/compiled feed
+        # one walk at a time and reject it), so it sits outside the matrix
+        span_backends = ("fused", "blocked")
+        per_backend = {
+            b: measure("batch_rls", b, defer_span="chunk") for b in span_backends
+        }
+        ref = rows["batch_rls"]["reference"]  # the walk-span degeneration
+        speedups = {
+            b: per_backend[b]["walks_per_s"] / ref["walks_per_s"]
+            for b in span_backends
+        }
+        report.add_row(
+            "batch_rls@chunk",
+            *(
+                round(per_backend[b]["walks_per_s"], 1) if b in span_backends else "-"
+                for b in EXEC_BACKENDS
+            ),
+            *(
+                f"{speedups[b]:.2f}x" if b in span_backends else "-"
+                for b in EXEC_BACKENDS
+                if b != "reference"
+            ),
+        )
+        rows["batch_rls@chunk"] = {**per_backend, "speedup": speedups}
         report.data = rows
         report.add_note(
             "walks/s inside WalkTrainer.train_corpus (train stage only; "
@@ -133,7 +167,10 @@ def test_train_kernels(benchmark, emit_report, profile):
             "gates: fused >= 3x reference for 'original', blocked >= 3x "
             "reference for 'proposed', compiled >= 5x reference for "
             "'original' when numba is installed, no model below 0.8x "
-            "anywhere"
+            "anywhere; batch_rls@chunk under blocked >= 2x the contexts/s "
+            "of 'proposed' under blocked (the chunk-deferred rank-k span "
+            "headline; its x-ref column is vs the model's own walk-span "
+            "reference run)"
         )
         report.add_note(
             "numba_available="
@@ -155,6 +192,20 @@ def test_train_kernels(benchmark, emit_report, profile):
             f"{backend} {model_name} only "
             f"{rows[model_name]['speedup'][backend]:.2f}x over reference"
         )
+    # the batch_rls headline: chunk-wide spans must beat the per-walk
+    # rank-k solve by a clear margin, measured in contexts/s against the
+    # strongest prior OS-ELM configuration ('proposed' under 'blocked')
+    chunk_cps = rows["batch_rls@chunk"]["blocked"]["contexts_per_s"]
+    proposed_cps = rows["proposed"]["blocked"]["contexts_per_s"]
+    assert chunk_cps >= BATCH_RLS_MIN_CONTEXTS_SPEEDUP * proposed_cps, (
+        f"batch_rls@chunk/blocked {chunk_cps:.0f} contexts/s is only "
+        f"{chunk_cps / proposed_cps:.2f}x proposed/blocked ({proposed_cps:.0f})"
+    )
+    # the chunk row trained the same corpus as everyone else
+    for backend in ("fused", "blocked"):
+        res = rows["batch_rls@chunk"][backend]
+        assert res["n_walks"] == len(walks), backend
+        assert res["n_contexts"] == rows["batch_rls"]["reference"]["n_contexts"]
     # no model regresses under any backend (parity band for the
     # already-vectorized deferred models)
     for model_name in MODELS:

@@ -26,7 +26,12 @@ Knobs demonstrated below:
   paper's proposed OS-ELM model) vs ``"compiled"`` (numba-JIT'd reference
   kernels, **bit-identical to reference**; without numba — the ``perf``
   extra — it warns once and falls back to reference, and telemetry shows
-  ``compiled[fallback=reference]``);
+  ``compiled[fallback=reference]``).  The ``"batch_rls"`` model rides the
+  span-aware backends one step further: its ``defer_span`` knob
+  (``"walk"`` | int | ``"chunk"``) lets one rank-k span legally cross
+  walk boundaries — at ``defer_span="chunk"`` every staged work item
+  becomes a single shared-negative rank-k solve, this family's raw-speed
+  ceiling (``"reference"``/``"compiled"`` reject cross-walk spans);
 * ``result.telemetry`` — per-stage timing, IPC bytes, training walks/s and
   contexts/s, realized overlap.
 
@@ -95,21 +100,24 @@ def main() -> None:
     # code.  Without numba (`pip install .[perf]`) "compiled" emits one
     # RuntimeWarning and trains through the bit-identical reference
     # fallback — telemetry records it as compiled[fallback=reference].
+    # batch_rls pushes the blocked lever chunk-wide: defer_span="chunk"
+    # folds each staged work item into one shared-negative rank-k solve.
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
-        for model, backend in (
-            ("original", "reference"), ("original", "fused"),
-            ("original", "compiled"),
-            ("proposed", "reference"), ("proposed", "blocked"),
+        for model, backend, kwargs in (
+            ("original", "reference", {}), ("original", "fused", {}),
+            ("original", "compiled", {}),
+            ("proposed", "reference", {}), ("proposed", "blocked", {}),
+            ("batch_rls", "blocked", {"defer_span": "chunk"}),
         ):
             res = train_parallel(
                 graph, dim=32, hyper=hyper, model=model, n_workers=4,
                 chunk_size=128, negative_source="degree",
-                exec_backend=backend, seed=7,
+                exec_backend=backend, seed=7, **kwargs,
             )
             t = res.telemetry
             print(
-                f"model={model:8s} exec_backend={t.exec_backend:28s}: "
+                f"model={model:9s} exec_backend={t.exec_backend:28s}: "
                 f"train {t.train_s:5.2f}s  "
                 f"{t.train_walks_per_s:7.0f} walks/s  "
                 f"{t.train_contexts_per_s:8.0f} contexts/s"

@@ -104,6 +104,11 @@ def train_embedding(
         ``"dataflow"`` — Algorithm 2 semantics (per-walk deferred updates,
         what the FPGA executes);
         ``"block"`` — exact per-walk block RLS (our stable deferred variant);
+        ``"batch_rls"`` — span-deferred rank-k RLS with one shared negative
+        batch per span; its ``defer_span`` model knob (``"walk"`` | int |
+        ``"chunk"``) may legally cross walk boundaries under the
+        span-aware ``"fused"``/``"blocked"`` backends — the chunk-wide
+        GEMM setting (and this family's raw-speed ceiling);
         ``"original"`` — the SGD skip-gram baseline.
     hyper:
         a :class:`repro.experiments.hyper.Node2VecParams`; defaults to the

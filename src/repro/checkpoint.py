@@ -26,6 +26,7 @@ import json
 import numpy as np
 
 from repro.embedding.base import EmbeddingModel
+from repro.embedding.batch_rls import BatchRLSSkipGram
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
 from repro.embedding.sequential import OSELMSkipGram
@@ -42,9 +43,11 @@ def _config_of(model: EmbeddingModel) -> dict:
             kind = "block"
         elif isinstance(model, DataflowOSELMSkipGram):
             kind = "dataflow"
+        elif isinstance(model, BatchRLSSkipGram):
+            kind = "batch_rls"
         else:
             kind = "proposed"
-        return {
+        config = {
             "kind": kind,
             "n_nodes": model.n_nodes,
             "dim": model.dim,
@@ -57,6 +60,11 @@ def _config_of(model: EmbeddingModel) -> dict:
             "n_walks_trained": model.n_walks_trained,
             "exec_backend": model.exec_backend,
         }
+        if kind == "batch_rls":
+            # the deferral unit is model state ("walk" | int | "chunk"):
+            # a restored model must keep the spans it was trained with
+            config["defer_span"] = model.defer_span
+        return config
     if isinstance(model, SkipGramSGD):
         return {
             "kind": "original",
@@ -98,12 +106,16 @@ def load_model(path: str) -> EmbeddingModel:
             raise ValueError(f"unsupported checkpoint version {meta.get('version')}")
         cfg = meta["config"]
         kind = cfg["kind"]
-        if kind in ("proposed", "dataflow", "block"):
+        if kind in ("proposed", "dataflow", "block", "batch_rls"):
             cls = {
                 "proposed": OSELMSkipGram,
                 "dataflow": DataflowOSELMSkipGram,
                 "block": BlockOSELMSkipGram,
+                "batch_rls": BatchRLSSkipGram,
             }[kind]
+            extra = {}
+            if kind == "batch_rls":
+                extra["defer_span"] = cfg.get("defer_span", "walk")
             model = cls(
                 cfg["n_nodes"],
                 cfg["dim"],
@@ -117,6 +129,7 @@ def load_model(path: str) -> EmbeddingModel:
                 # to the bit-identical reference backend
                 exec_backend=cfg.get("exec_backend", "reference"),
                 seed=0,
+                **extra,
             )
             model.B = data["B"].copy()
             model.P = data["P"].copy()

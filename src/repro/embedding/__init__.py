@@ -3,6 +3,7 @@ OS-ELM, and the paper's proposed OS-ELM skip-gram in both its sequential
 (Algorithm 1) and dataflow-optimized (Algorithm 2) forms."""
 
 from repro.embedding.base import EmbeddingModel
+from repro.embedding.batch_rls import BatchRLSSkipGram
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
 from repro.embedding.kernels import (
@@ -31,6 +32,7 @@ __all__ = [
     "OSELMSkipGram",
     "DataflowOSELMSkipGram",
     "BlockOSELMSkipGram",
+    "BatchRLSSkipGram",
     "WalkTrainer",
     "TrainingResult",
     "MODEL_REGISTRY",

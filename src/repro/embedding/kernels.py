@@ -109,6 +109,20 @@ Backends
     per context (the same per-walk treatment
     :class:`~repro.embedding.block.BlockOSELMSkipGram` documents).
 
+    A model may also *own* deferred semantics rather than borrow them from
+    the backend: :class:`~repro.embedding.batch_rls.BatchRLSSkipGram`
+    (``"batch_rls"``) defers its rank-k RLS update over a configurable
+    ``defer_span`` that may legally cross walk boundaries.  Backends
+    advertise whether they can feed such spans via
+    :attr:`ExecBackend.spans_walks` (fused/blocked stage whole context
+    blocks → True; reference/compiled feed one walk at a time → False), and
+    ``train_chunk`` rejects a cross-walk ``defer_span`` on a walk-feeding
+    backend up front with the registry-rendered
+    :func:`cross_walk_span_error`.  At ``defer_span="walk"``/``1`` every
+    backend accepts the model, and fused/blocked execute its ``train_walk``
+    verbatim — which is why ``FUSED_RTOL``/``BLOCKED_RTOL`` carry ``0.0``
+    for it; the cross-walk drift contract lives in ``BATCH_RLS_RTOL``.
+
 ``"compiled"``
     The reference per-walk loops as numba-JIT kernels
     (:mod:`repro.embedding.compiled`): same negative draw order (the
@@ -172,6 +186,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.embedding import compiled as _compiled
+from repro.embedding.batch_rls import BatchRLSSkipGram
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
 from repro.embedding.oselm import rank_k_update
@@ -188,6 +203,8 @@ if TYPE_CHECKING:  # annotation-only: EmbeddingModel lives upstream of us
     from repro.embedding.base import EmbeddingModel
 
 __all__ = [
+    "BATCH_RLS_EXACT_RTOL",
+    "BATCH_RLS_RTOL",
     "BLOCKED_EXACT_RTOL",
     "BLOCKED_RTOL",
     "EXEC_BACKENDS",
@@ -199,6 +216,7 @@ __all__ = [
     "ExecBackend",
     "FusedKernel",
     "ReferenceKernel",
+    "cross_walk_span_error",
     "default_negative_reuse",
     "make_backend",
     "resolve_backend",
@@ -214,6 +232,10 @@ FUSED_RTOL: dict[str, float] = {
     "proposed": 0.0,
     "dataflow": 0.0,
     "block": 0.0,
+    # batch_rls clips spans at walk boundaries under every walk-feeding
+    # comparison (defer_span="walk"/1 — the only settings "reference" can
+    # run), where fused executes the model's own train_walk verbatim
+    "batch_rls": 0.0,
 }
 
 #: Documented relative tolerance of ``"blocked"`` vs ``"reference"`` under
@@ -228,6 +250,7 @@ BLOCKED_RTOL: dict[str, float] = {
     "proposed": 1e-1,
     "dataflow": 0.0,
     "block": 0.0,
+    "batch_rls": 0.0,  # same dispatch as fused: the model owns its spans
 }
 
 #: Floating-point headroom for the cases ``"blocked"`` reproduces *exactly
@@ -236,11 +259,62 @@ BLOCKED_RTOL: dict[str, float] = {
 #: eps-level residue, far below any model tolerance.
 BLOCKED_EXACT_RTOL = 1e-9
 
+#: Documented drift of a cross-walk ``defer_span`` vs the ``"walk"``
+#: degeneration of :class:`~repro.embedding.batch_rls.BatchRLSSkipGram`,
+#: under *shared* per-context negatives (isolating the span-staleness
+#: arithmetic from the draw policy).  Hidden rows and sample errors go
+#: stale by O(µ²·k) per span — the ``"blocked"`` error analysis applied at
+#: span scale — bounded at this rtol on Table 2-scale workloads at the
+#: paper's µ = 0.01; the end-to-end accuracy cost is measured by
+#: ``benchmarks/bench_batch_rls_accuracy.py`` (Fig-5-style, ≤2% AUC at
+#: ``defer_span="chunk"``).
+BATCH_RLS_RTOL = 1e-1
+
+#: Floating-point headroom for the ``defer_span="walk"`` ≡
+#: :class:`~repro.embedding.block.BlockOSELMSkipGram` equivalence: the two
+#: paths solve the same per-walk block-RLS algebra through different
+#: factorizations (information vs Woodbury form, bincount-GEMM vs
+#: ``np.add.at`` scatter), leaving only reassociation residue.
+BATCH_RLS_EXACT_RTOL = 1e-8
+
+
+def cross_walk_span_error(defer_span: object, backend: object = None) -> str:
+    """The rejection message for a cross-walk ``defer_span`` meeting a
+    walk-feeding consumer, rendered from the registry docs (the same UX as
+    ``BlockedKernel``'s cross-walk ``block_contexts`` rejection).
+
+    ``backend`` may be a registry name, an :class:`ExecBackend` instance,
+    or ``None`` (a direct per-walk ``train_walk()`` caller).
+    """
+    capable = ", ".join(
+        f'"{n}"' for n, c in EXEC_REGISTRY.items() if c.spans_walks
+    )
+    if backend is None:
+        fed = "per-walk train_walk() feeding"
+    else:
+        name = backend if isinstance(backend, str) else backend.name
+        cls = EXEC_REGISTRY.get(name)
+        summary = cls.summary if cls is not None else getattr(backend, "summary", "")
+        fed = f'exec_backend="{name}" ({summary})'
+    return (
+        f"defer_span={defer_span!r} defers the rank-k RLS update across "
+        f"walk boundaries, but {fed} hands the model one walk at a time — "
+        "a cross-walk span can never form.  Train through a span-aware "
+        f"backend ({capable}), or use defer_span=\"walk\" (one span per "
+        "walk, accepted everywhere) / defer_span=1 (Algorithm 1 exactly)."
+    )
+
 
 def default_negative_reuse(model: EmbeddingModel) -> str:
     """The model-dependent default negative-reuse policy: the dataflow model
-    follows the FPGA's one-batch-per-walk policy [18], everything else the
-    CPU Algorithm 1 per-context policy."""
+    follows the FPGA's one-batch-per-walk policy [18]; ``batch_rls`` shares
+    one batch per deferred span (``"per_walk"`` — the span is its reuse
+    unit — except at ``defer_span=1``, where span sharing *is* the
+    per-context policy and the bit-identity with ``"proposed"`` goldens
+    extends to the negative stream); everything else the CPU Algorithm 1
+    per-context policy."""
+    if isinstance(model, BatchRLSSkipGram):
+        return "per_context" if model.defer_span == 1 else "per_walk"
     return "per_walk" if isinstance(model, DataflowOSELMSkipGram) else "per_context"
 
 
@@ -301,6 +375,14 @@ class ExecBackend:
     #: the pipeline refuses ``chunk_size="auto"`` (a timing-driven,
     #: worker-dependent schedule) for non-invariant backends.
     chunk_invariant: bool = True
+    #: whether this backend can execute model-owned deferral spans that
+    #: cross walk boundaries (:class:`~repro.embedding.batch_rls.BatchRLSSkipGram`
+    #: with a cross-walk ``defer_span``).  Walk-feeding backends
+    #: (reference/compiled) hand the model one walk at a time, so
+    #: :meth:`train_chunk` rejects such models up front with
+    #: :func:`cross_walk_span_error`; the fused/blocked backends stage a
+    #: whole block of contexts and legally run spans across it.
+    spans_walks: bool = False
 
     @property
     def telemetry_name(self) -> str:
@@ -317,6 +399,7 @@ class ExecBackend:
         contexts: list[WalkContexts],
         ns: int,
         negative_reuse: str,
+        model: EmbeddingModel | None = None,
     ) -> list[np.ndarray]:
         raise NotImplementedError
 
@@ -347,9 +430,13 @@ class ExecBackend:
         if negative_reuse is None:
             negative_reuse = default_negative_reuse(model)
         check_in_set("negative_reuse", negative_reuse, ("per_walk", "per_context"))
+        if getattr(model, "defer_crosses_walks", False) and not self.spans_walks:
+            raise ValueError(cross_walk_span_error(model.defer_span, self))
         total = ChunkStats()
         for contexts in _context_blocks(walks, window, self.block_walks):
-            negatives = self.draw_negatives(sampler, contexts, ns, negative_reuse)
+            negatives = self.draw_negatives(
+                sampler, contexts, ns, negative_reuse, model=model
+            )
             self.train_prepared(model, contexts, negatives)
             stats = chunk_stats(model, contexts, window, ns)
             total.n_walks += stats.n_walks
@@ -429,6 +516,7 @@ class ReferenceKernel(ExecBackend):
         contexts: list[WalkContexts],
         ns: int,
         negative_reuse: str,
+        model: EmbeddingModel | None = None,
     ) -> list[np.ndarray]:
         return [
             sampler.sample_for_walk(ctx.n, ns, reuse=negative_reuse)
@@ -461,13 +549,34 @@ class FusedKernel(ExecBackend):
     #: sequential trainer's epoch — stays O(block) memory
     block_walks = 1024
 
+    #: fused stages a whole block of contexts, so model-owned cross-walk
+    #: deferral spans are legal here (module docstring, "batch_rls")
+    spans_walks = True
+
     def draw_negatives(
         self,
         sampler: NegativeSampler,
         contexts: list[WalkContexts],
         ns: int,
         negative_reuse: str,
+        model: EmbeddingModel | None = None,
     ) -> list[np.ndarray]:
+        if negative_reuse == "per_walk" and getattr(
+            model, "defer_crosses_walks", False
+        ):
+            # one shared batch per *deferral span* (GraphACT-style
+            # amortization): the span is the batch_rls model's reuse unit,
+            # so "per_walk" reads as per-span for cross-walk spans —
+            # one draw_batch row per span, broadcast over its contexts
+            total = sum(ctx.n for ctx in contexts)
+            span = total if model.defer_span == "chunk" else int(model.defer_span)
+            batch = sampler.draw_batch((total + span - 1) // span, ns)
+            flat = batch[np.arange(total) // span]
+            out, lo = [], 0
+            for ctx in contexts:
+                out.append(flat[lo : lo + ctx.n])
+                lo += ctx.n
+            return out
         if negative_reuse == "per_walk":
             batch = sampler.draw_batch(len(contexts), ns)
             return [
@@ -489,7 +598,16 @@ class FusedKernel(ExecBackend):
     ) -> None:
         # subclass checks first: the deferred models are OSELMSkipGram
         # subclasses and are already walk-vectorized
-        if isinstance(model, (DataflowOSELMSkipGram, BlockOSELMSkipGram)):
+        if isinstance(model, BatchRLSSkipGram):
+            if model.defer_crosses_walks:
+                _train_batch_rls_spans(model, contexts, negatives)
+            else:
+                # "walk"/1 spans clip at walk boundaries, where the model's
+                # own train_walk IS the span — the same calls the reference
+                # backend makes, hence FUSED_RTOL["batch_rls"] = 0.0
+                for ctx, negs in zip(contexts, negatives, strict=True):
+                    model.train_walk(ctx, negs)
+        elif isinstance(model, (DataflowOSELMSkipGram, BlockOSELMSkipGram)):
             for ctx, negs in zip(contexts, negatives, strict=True):
                 model.train_walk(ctx, negs)
         elif isinstance(model, OSELMSkipGram):
@@ -594,6 +712,35 @@ def _train_sgd_fused(
         (float(J) * g_neg[:, :, None] * h[:, None, :]).reshape(-1, d),
     )
     np.add.at(w_in, centers, grad_h)
+
+
+def _train_batch_rls_spans(
+    model: BatchRLSSkipGram,
+    contexts: list[WalkContexts],
+    negatives: list[np.ndarray],
+) -> None:
+    """One staged block of a cross-walk-deferred ``batch_rls`` model.
+
+    The block's walks concatenate into one flat context stream and every
+    ``defer_span`` contexts advance the RLS state through one rank-k span
+    (:meth:`~repro.embedding.batch_rls.BatchRLSSkipGram.train_span`) —
+    ``"chunk"`` makes the whole staged block a single span, the
+    maximal-GEMM setting.  The per-span negative rows arrive pre-shared
+    from :meth:`FusedKernel.draw_negatives` (one draw per span).
+    """
+    if not contexts:  # every walk too short for a single context
+        return
+    centers = np.concatenate([ctx.centers for ctx in contexts])
+    positives = np.concatenate([ctx.positives for ctx in contexts], axis=0)
+    negs = np.concatenate(
+        [np.asarray(n, dtype=np.int64) for n in negatives], axis=0
+    )
+    total = centers.shape[0]
+    span = total if model.defer_span == "chunk" else int(model.defer_span)
+    for lo in range(0, total, span):
+        hi = min(lo + span, total)
+        model.train_span(centers[lo:hi], positives[lo:hi], negs[lo:hi])
+    model.n_walks_trained += len(contexts)
 
 
 class BlockedKernel(FusedKernel):
@@ -805,8 +952,11 @@ class CompiledKernel(ReferenceKernel):
             return
         # subclass checks first, mirroring FusedKernel: the deferred models
         # are OSELMSkipGram subclasses with their own walk-vectorized
-        # updates (already batched NumPy — train_walk as-is)
-        if isinstance(model, (DataflowOSELMSkipGram, BlockOSELMSkipGram)):
+        # updates (already batched NumPy — train_walk as-is).  batch_rls
+        # reaches here only at defer_span="walk"/1 (train_chunk rejects
+        # cross-walk spans for walk-feeding backends), where its train_walk
+        # is the reference arithmetic verbatim — bit-identity preserved.
+        if isinstance(model, (BatchRLSSkipGram, DataflowOSELMSkipGram, BlockOSELMSkipGram)):
             for ctx, negs in zip(contexts, negatives, strict=True):
                 model.train_walk(ctx, negs)
         elif isinstance(model, OSELMSkipGram):

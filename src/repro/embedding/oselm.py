@@ -51,15 +51,40 @@ __all__ = ["OSELM", "rank_k_update"]
 _SYM_PERIOD = 64
 
 
+def _work_buf(work: dict | None, key: str, shape: tuple) -> np.ndarray:
+    """A float64 scratch array from ``work`` (reallocated on shape change),
+    or a fresh allocation when no work dict is supplied."""
+    if work is None:
+        return np.empty(shape, dtype=np.float64)
+    buf = work.get(key)
+    if buf is None or buf.shape != shape:
+        buf = np.empty(shape, dtype=np.float64)
+        work[key] = buf
+    return buf
+
+
+def _work_eye(work: dict | None, d: int) -> np.ndarray:
+    """A cached d×d identity (read-only by convention: only ever passed as
+    the right-hand side of triangular solves)."""
+    if work is None:
+        return np.eye(d, dtype=np.float64)
+    eye = work.get("eye")
+    if eye is None or eye.shape[0] != d:
+        eye = np.eye(d, dtype=np.float64)
+        work["eye"] = eye
+    return eye
+
+
 def rank_k_update(P: np.ndarray, H: np.ndarray, *, lam: float = 1.0,
-                  gain: str = "batch") -> np.ndarray:
+                  gain: str = "batch", form: str = "woodbury",
+                  work: dict | None = None) -> np.ndarray:
     """One rank-k RLS covariance update, in place; returns the (d, k) gain.
 
-    Factorizes ``S = λ·I_k + H P Hᵀ`` (SPD for ``λ > 0``, ``P ⪰ 0``) by
-    Cholesky ``S = L Lᵀ`` and applies the Woodbury downdate in square-root
-    form — ``X = L⁻¹ H P``, ``P ← (P − Xᵀ X)/λ`` — which needs no explicit
-    inverse (two triangular solves replace ``inv(S)``) and keeps ``P``
-    symmetric by construction.
+    The default (``form="woodbury"``) factorizes ``S = λ·I_k + H P Hᵀ``
+    (SPD for ``λ > 0``, ``P ⪰ 0``) by Cholesky ``S = L Lᵀ`` and applies the
+    Woodbury downdate in square-root form — ``X = L⁻¹ H P``,
+    ``P ← (P − Xᵀ X)/λ`` — which needs no explicit inverse (two triangular
+    solves replace ``inv(S)``) and keeps ``P`` symmetric by construction.
 
     gain:
         ``"batch"`` — ``K = P Hᵀ S⁻¹`` (with the *pre-update* ``P``): the
@@ -76,22 +101,90 @@ def rank_k_update(P: np.ndarray, H: np.ndarray, *, lam: float = 1.0,
         kernel): the batch ``K`` would couple steps through ``S⁻¹``'s
         off-diagonal and break the sequential equivalence.
 
+    form:
+        ``"woodbury"`` (default) — the k×k factorization above: O(k³ + k·d²),
+        the right tool while blocks stay walk-sized (k ≲ d).
+
+        ``"information"`` — the dual d×d *information* (inverse-covariance)
+        form: ``P ← (λ·P⁻¹ + Hᵀ H)⁻¹`` via two d×d Choleskys, returning the
+        batch gain through the identity ``P_pre Hᵀ S⁻¹ = P_post Hᵀ`` (expand
+        ``P_post`` by Woodbury to see it).  O(k·d² + d³) with **no** k×k
+        matrix — the only tractable route for the chunk-scale spans of
+        :class:`~repro.embedding.batch_rls.BatchRLSSkipGram` (k ≫ d, where
+        ``S`` alone would be k² floats).  Requires ``gain="batch"``
+        (sequential gains live in the Woodbury factor's diagonal) and a
+        strictly positive-definite ``P``.
+
+        ``"auto"`` — ``"information"`` iff ``gain="batch"`` and k > d, else
+        ``"woodbury"``; the crossover where the d×d route wins.
+
+    work:
+        optional dict of named scratch buffers reused across calls
+        (span-sized: reallocated only when k or d changes).  The returned
+        gain may itself be a ``work`` buffer — it is valid until the next
+        call with the same dict.  ``None`` allocates fresh (bit-identical
+        results either way).
+
     With ``lam < 1`` (FOS-ELM forgetting) the ``1/λ`` rescaling is applied
     once per block — callers that need per-step forgetting must use k = 1.
     """
     check_in_set("gain", gain, ("batch", "sequential"))
-    k = H.shape[0]
-    G = P @ H.T                                     # (d, k)
-    S = H @ G
+    check_in_set("form", form, ("woodbury", "information", "auto"))
+    k, d = H.shape
+    if form == "auto":
+        form = "information" if (gain == "batch" and k > d) else "woodbury"
+    if form == "information":
+        if gain != "batch":
+            raise ValueError(
+                'form="information" computes only the batch gain '
+                "K = P_post Hᵀ; sequential gains need the Woodbury "
+                'factorization — use form="woodbury"'
+            )
+        return _rank_k_information(P, H, lam, work)
+    G = _work_buf(work, "G", (d, k))
+    np.matmul(P, H.T, out=G)                        # (d, k)
+    S = _work_buf(work, "S", (k, k))
+    np.matmul(H, G, out=S)
     S[np.diag_indices(k)] += lam
     L = np.linalg.cholesky(S)
     X = _solve_triangular(L, G.T, lower=True)       # (k, d) = L⁻¹ H P
-    P -= X.T @ X
+    XtX = _work_buf(work, "XtX", (d, d))
+    np.matmul(X.T, X, out=XtX)
+    P -= XtX
     if lam != 1.0:
         P /= lam
     if gain == "sequential":
         return X.T / np.diag(L)[None, :]
     return _solve_triangular(L, X, lower=True, trans="T").T  # (L⁻ᵀX)ᵀ = G S⁻¹
+
+
+def _rank_k_information(P: np.ndarray, H: np.ndarray, lam: float,
+                        work: dict | None) -> np.ndarray:
+    """The information-form rank-k step (see :func:`rank_k_update`).
+
+    ``A = λ·P⁻¹ + Hᵀ H`` assembles from one Cholesky of ``P`` (so ``P``
+    must be strictly PD — true by construction here: every update writes
+    ``P = Zᵀ Z + SPD correction``); ``P ← A⁻¹`` comes out of a second
+    Cholesky as ``Zᵀ Z`` (symmetric PD by construction, like the square-root
+    downdate); the gain is one (d, k) GEMM ``K = P_post Hᵀ``.
+    """
+    d = P.shape[0]
+    eye = _work_eye(work, d)
+    Lp = np.linalg.cholesky(P)
+    Y = _solve_triangular(Lp, eye, lower=True)      # Lp⁻¹ ⇒ P⁻¹ = Yᵀ Y
+    A = _work_buf(work, "A", (d, d))
+    np.matmul(Y.T, Y, out=A)
+    if lam != 1.0:
+        A *= lam
+    HtH = _work_buf(work, "HtH", (d, d))
+    np.matmul(H.T, H, out=HtH)
+    A += HtH
+    La = np.linalg.cholesky(A)
+    Z = _solve_triangular(La, eye, lower=True)      # La⁻¹ ⇒ A⁻¹ = Zᵀ Z
+    np.matmul(Z.T, Z, out=P)                        # P ← P_post, symmetric
+    K = _work_buf(work, "K", (d, H.shape[0]))
+    np.matmul(P, H.T, out=K)
+    return K
 
 _ACTIVATIONS = {
     "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60))),

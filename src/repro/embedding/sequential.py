@@ -172,7 +172,9 @@ class OSELMSkipGram(EmbeddingModel):
             return self.mu * self.B[center]
         return self._alpha[center]
 
-    def hidden_batch(self, centers: np.ndarray) -> np.ndarray:
+    def hidden_batch(
+        self, centers: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """H rows for a batch of center nodes, read against the *current*
         ``B`` — Algorithm 1 line 2 as one ``µ·B[centers]`` gather.
 
@@ -182,10 +184,17 @@ class OSELMSkipGram(EmbeddingModel):
         ``"blocked"`` execution kernel: under ``"beta"`` tying the rows go
         stale as ``B`` is updated behind them (the documented drift source),
         under ``"alpha"`` tying they are exact (α is fixed).
+
+        ``out`` (optional, float64, shape ``(len(centers), dim)``) receives
+        the gather in place — the span-entry buffer-reuse seam for callers
+        that gather once per deferred span
+        (:class:`~repro.embedding.batch_rls.BatchRLSSkipGram`): contents are
+        fully rewritten, so reuse is bit-identical to a fresh allocation.
         """
         if self.weight_tying == "beta":
-            return self.mu * self.B[centers]
-        return self._alpha[centers]
+            H = np.take(self.B, centers, axis=0, out=out)
+            return np.multiply(H, self.mu, out=H)
+        return np.take(self._alpha, centers, axis=0, out=out)
 
     def _gain(self, H: np.ndarray) -> np.ndarray:
         """Update P in place; return the gain k = P_i Hᵀ (lines 3–7).

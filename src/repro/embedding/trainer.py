@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.embedding.base import EmbeddingModel
+from repro.embedding.batch_rls import BatchRLSSkipGram
 from repro.embedding.block import BlockOSELMSkipGram
 from repro.embedding.dataflow import DataflowOSELMSkipGram
 from repro.embedding.kernels import EXEC_REGISTRY, default_negative_reuse, resolve_backend
@@ -32,6 +33,7 @@ MODEL_REGISTRY = {
     "proposed": OSELMSkipGram,
     "dataflow": DataflowOSELMSkipGram,
     "block": BlockOSELMSkipGram,
+    "batch_rls": BatchRLSSkipGram,
 }
 
 

@@ -51,7 +51,7 @@ def make_chunk(rng, n_nodes, n_walks=4, max_len=18):
 
 
 def reuse_for(name):
-    return "per_walk" if name == "dataflow" else "per_context"
+    return "per_walk" if name in ("dataflow", "batch_rls") else "per_context"
 
 
 def run_pair(name, walks, n_nodes, other, *, window=WINDOW, dim=8, seed=7, **kw):

@@ -14,6 +14,11 @@ def pick(make_model):
     return make_model(model="perceptron", n_nodes=4, dim=2)  # expect: registry-sync
 
 
+def span(make_model):
+    """Docstring drift: the misspelling model="batch_rsl" slips past eyes."""  # expect: registry-sync
+    return make_model(model="batch_rsl", n_nodes=4, dim=2)  # expect: registry-sync
+
+
 def jit(graph, train_parallel):
     return train_parallel(graph, exec_backend="compield")  # expect: registry-sync
 

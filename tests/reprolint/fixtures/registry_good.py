@@ -26,6 +26,11 @@ def pick(make_model):
     return make_model(model="proposed", n_nodes=4, dim=2)
 
 
+def span(make_model):
+    """Prefer model="batch_rls" for chunk-wide deferred spans."""
+    return make_model(model="batch_rls", n_nodes=4, dim=2, defer_span="chunk")
+
+
 def serve(train_dynamic, graph, store="local"):
     """Publish through store="shm" for cross-process readers."""
     return train_dynamic(graph, store=store) or train_dynamic(graph, store="shm")

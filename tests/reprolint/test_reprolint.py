@@ -103,7 +103,9 @@ class TestEngine:
         assert registries.backends is not None
         assert {"reference", "fused", "blocked", "compiled"} <= registries.backends
         assert registries.models is not None
-        assert {"original", "proposed", "dataflow", "block"} <= registries.models
+        assert {
+            "original", "proposed", "dataflow", "block", "batch_rls"
+        } <= registries.models
         assert registries.transports == frozenset({"shm", "pickle"})
         assert registries.stores == frozenset({"local", "shm"})
         assert registries.vocabulary("store") == registries.stores

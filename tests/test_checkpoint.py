@@ -157,3 +157,77 @@ class TestExecBackendConfig:
         ta2.train_corpus(more, sa)
         tb2.train_corpus(more, sb)
         assert np.array_equal(a.embedding, b.embedding)
+
+
+class TestBatchRLSCheckpoint:
+    """batch_rls persistence: the deferral unit is model state — a restored
+    model must keep the spans (and span-aware backend) it trained with."""
+
+    @pytest.mark.parametrize("defer_span", ("walk", 1, 16, "chunk"))
+    def test_defer_span_round_trips(self, tmp_path, defer_span):
+        m = make_model("batch_rls", 20, 8, seed=3, defer_span=defer_span)
+        path = str(tmp_path / "span.npz")
+        save_model(m, path)
+        m2 = load_model(path)
+        assert type(m2) is type(m)
+        assert m2.defer_span == defer_span
+        assert m2.exec_backend == m.exec_backend
+
+    def test_legacy_batch_rls_defaults_to_walk_span(self, tmp_path):
+        """A batch_rls checkpoint missing the defer_span field (hand-edited
+        or future-proofing) loads at the universally-accepted default."""
+        import json
+
+        m = make_model("batch_rls", 20, 8, seed=3, defer_span=16)
+        path = str(tmp_path / "nospan.npz")
+        save_model(m, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "__meta__"}
+            meta = json.loads(bytes(data["__meta__"].tobytes()).decode())
+        del meta["config"]["defer_span"]
+        meta["config"]["exec_backend"] = "reference"  # must stay loadable
+        np.savez(
+            path,
+            __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        assert load_model(path).defer_span == "walk"
+
+    @pytest.mark.parametrize(
+        "backend,defer_span",
+        [
+            ("reference", "walk"),
+            ("fused", "walk"),
+            ("fused", 16),
+            ("blocked", 16),
+            ("blocked", "chunk"),
+        ],
+    )
+    def test_save_load_continue_training(self, tmp_path, backend, defer_span):
+        """save → load → continue across every accepting backend × span:
+        the restored trajectory must match the uninterrupted one
+        bit-for-bit, spans included (the chunk schedule pins the spans)."""
+        rng = np.random.default_rng(4)
+        warmup = [rng.integers(0, 20, size=10) for _ in range(4)]
+        more = [rng.integers(0, 20, size=10) for _ in range(4)]
+
+        a = make_model(
+            "batch_rls", 20, 8, seed=3, defer_span=defer_span,
+            exec_backend=backend,
+        )
+        ta = WalkTrainer(a, window=4, ns=3)
+        assert ta.exec_backend == backend
+        ta.train_corpus(warmup, NegativeSampler(np.ones(20), seed=1))
+
+        path = str(tmp_path / "mid.npz")
+        save_model(a, path)
+        b = load_model(path)
+        assert b.defer_span == defer_span
+        assert b.exec_backend == backend
+
+        sa = NegativeSampler(np.ones(20), seed=2)
+        sb = NegativeSampler(np.ones(20), seed=2)
+        WalkTrainer(a, window=4, ns=3).train_corpus(more, sa)
+        WalkTrainer(b, window=4, ns=3).train_corpus(more, sb)
+        assert np.array_equal(a.embedding, b.embedding)
+        assert np.array_equal(a.P, b.P)

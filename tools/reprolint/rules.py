@@ -211,7 +211,7 @@ _KNOBS = (
     "negative_source", "exec_backend", "model", "transport", "chunk_size", "store",
 )
 _STRING_KNOB_RE = re.compile(
-    r"\b(negative_source|exec_backend|transport|store)\s*=\s*\"([A-Za-z_0-9]+)\""
+    r"\b(negative_source|exec_backend|model|transport|store)\s*=\s*\"([A-Za-z_0-9]+)\""
 )
 
 
