@@ -266,6 +266,7 @@ def train_dynamic(
     chunk_size: int | None = None,
     prefetch: int | None = None,
     exec_backend: str | None = None,
+    snapshot_rebase_every: int | None = None,
     config: PipelineConfig | None = None,
     store: str | EmbeddingStore | None = None,
     publish_every: int = 1,
@@ -295,6 +296,12 @@ def train_dynamic(
     kernel:
 
 {backends}
+
+    ``snapshot_rebase_every`` tunes the replay's delta transport: with a
+    worker pool only every K-th snapshot ships in full, the rest as
+    O(delta) new-edge payloads workers patch into their cached CSR (see
+    :func:`repro.parallel.train_parallel`; ``1`` disables, embeddings are
+    bit-identical either way).
 
     ``config`` accepts the same frozen :class:`repro.config.PipelineConfig`
     as :func:`train_embedding`, with the same kwarg-wins precedence.
@@ -335,6 +342,7 @@ def train_dynamic(
         negative_source=negative_source,
         negative_power=negative_power,
         exec_backend=exec_backend,
+        snapshot_rebase_every=snapshot_rebase_every,
         config=config,
         store=store,
         publish_every=publish_every,

@@ -1,8 +1,9 @@
 """Consolidated pipeline configuration for the public training APIs.
 
-The pipelined entry points grew seven orthogonal execution knobs
+The pipelined entry points grew eight orthogonal execution knobs
 (workers, transport, chunking, prefetch, kernel backend, negative
-sampling); :class:`PipelineConfig` bundles them into one frozen, reusable
+sampling, snapshot re-basing); :class:`PipelineConfig` bundles them into
+one frozen, reusable
 value accepted as ``config=`` by :func:`repro.api.train_embedding`,
 :func:`repro.api.train_dynamic` and
 :func:`repro.parallel.train_parallel`.
@@ -50,12 +51,21 @@ class PipelineConfig:
     exec_backend: str | None = None
     negative_source: Any | None = None
     negative_power: float | None = None
+    snapshot_rebase_every: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("n_workers", "prefetch"):
             value = getattr(self, name)
             if value is not None and (not isinstance(value, int) or value < 0):
                 raise ValueError(f"{name} must be a non-negative int, got {value!r}")
+        if self.snapshot_rebase_every is not None and (
+            not isinstance(self.snapshot_rebase_every, int)
+            or self.snapshot_rebase_every < 1
+        ):
+            raise ValueError(
+                "snapshot_rebase_every must be a positive int, got "
+                f"{self.snapshot_rebase_every!r}"
+            )
         if self.negative_power is not None:
             object.__setattr__(self, "negative_power", float(self.negative_power))
 

@@ -125,6 +125,7 @@ def run_seq_scenario(
     negative_source=None,
     negative_power: float | None = None,
     exec_backend: str | None = None,
+    snapshot_rebase_every: int | None = None,
     config=None,
     store=None,
     publish_every: int = 1,
@@ -172,7 +173,14 @@ def run_seq_scenario(
         follows the model's own preference.  ``"blocked"`` is the fast
         path for the OS-ELM ``"proposed"`` model this scenario defaults
         to — the rank-k RLS block solves batch each event's walk updates.
-
+    snapshot_rebase_every:
+        delta-transport re-base period, forwarded to
+        :func:`~repro.parallel.train_parallel`.  The replay's tasks carry
+        per-event deltas, so with a worker pool only every K-th snapshot
+        ships in full — the rest are O(delta) edge payloads workers patch
+        into their cached CSR (``1`` disables; embeddings are
+        bit-identical either way, and ``ipc_delta_bytes`` /
+        ``delta_applies`` / ``rebase_count`` land in the telemetry).
     config:
         a frozen :class:`repro.config.PipelineConfig` bundling the
         pipeline knobs; individual kwargs override its fields (the
@@ -250,6 +258,7 @@ def run_seq_scenario(
         negative_source=negative_source,
         negative_power=negative_power,
         exec_backend=exec_backend,
+        snapshot_rebase_every=snapshot_rebase_every,
         config=config,
         store=store,
         publish_every=publish_every,

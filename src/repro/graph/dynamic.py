@@ -2,18 +2,23 @@
 
 The paper's target deployment is an IoT edge device observing a *growing*
 graph (new social links, new co-purchases).  ``DynamicGraph`` models this as
-a mutable edge set with cheap incremental insertion plus on-demand CSR
-snapshots, so the walk engine always works on a consistent immutable view.
+incrementally-maintained CSR state plus a pending-insertion buffer, so the
+walk engine always works on a consistent immutable view.
 
 :meth:`DynamicGraph.walk_tasks` bridges into the streaming engine: it turns
 an :class:`EdgeEvent` stream into the lazy
 :class:`~repro.parallel.tasks.WalkTask` stream that
 :func:`repro.parallel.train_parallel` consumes, so scenario replay shares
-the bounded-prefetch walk→train pipeline with static training.
+the bounded-prefetch walk→train pipeline with static training.  Each task
+additionally carries the event's *delta* (the canonical batch of genuinely
+new edges), which is what lets the pipeline's snapshot transport ship
+O(delta) bytes per event instead of a full snapshot.
 
-Rebuilding CSR on every snapshot is O(n + m); the "seq" scenario batches
-insertions (``edges_per_event``) so snapshot cost is amortized the way the
-paper's host CPU batches DMA transfers.
+Snapshots are maintained incrementally: :meth:`snapshot` merges the pending
+batch into the previous CSR via :meth:`~repro.graph.csr.CSRGraph.insert_edges`
+(per-node insertion counts + one concatenate/scatter pass), so per-event
+cost is O(delta + touched adjacency) on top of a flat vectorized copy —
+no O(edges log edges) re-sort, no Python-level edge-set iteration.
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ class EdgeEvent:
 
 
 class DynamicGraph:
-    """A growing undirected graph with O(1) amortized edge insertion.
+    """A growing undirected graph with O(delta) insertion and snapshots.
 
     Parameters
     ----------
@@ -59,6 +64,13 @@ class DynamicGraph:
         :func:`repro.graph.components.forest_split`).
     node_labels:
         class labels carried onto every snapshot.
+
+    State is the current immutable CSR snapshot plus a buffer of pending
+    canonical insertions; :meth:`snapshot` merges the buffer with one
+    vectorized :meth:`~repro.graph.csr.CSRGraph.insert_edges` pass.
+    Membership queries cover both the merged CSR (binary search) and the
+    pending buffer (sorted compound keys), so the pre-CSR edge-set
+    semantics are preserved exactly.
     """
 
     def __init__(
@@ -71,66 +83,161 @@ class DynamicGraph:
         if initial is not None and initial.n_nodes != n_nodes:
             raise ValueError("initial graph node count mismatch")
         self.n_nodes = int(n_nodes)
-        self._edges: set[tuple[int, int]] = set()
         self.node_labels = node_labels
-        if initial is not None:
-            for u, v in initial.edge_array():
-                self._edges.add(self._key(int(u), int(v)))
-            if node_labels is None:
-                self.node_labels = initial.node_labels
-        self._snapshot: CSRGraph | None = None
-        self._dirty = True
+        if initial is not None and node_labels is None:
+            self.node_labels = initial.node_labels
 
-    @staticmethod
-    def _key(u: int, v: int) -> tuple[int, int]:
-        return (u, v) if u <= v else (v, u)
+        if initial is None:
+            self._csr = CSRGraph(
+                np.zeros(self.n_nodes + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                node_labels=self.node_labels,
+                validate=False,
+            )
+        elif initial.directed or initial.node_labels is not self.node_labels:
+            # re-home onto this graph's labels (zero-copy for the arrays);
+            # a directed initial is symmetrized once, here
+            self._csr = (
+                CSRGraph.from_edges(
+                    self.n_nodes, initial.edge_array(), node_labels=self.node_labels
+                )
+                if initial.directed
+                else CSRGraph(
+                    initial.indptr,
+                    initial.indices,
+                    initial.weights,
+                    node_labels=self.node_labels,
+                    validate=False,
+                )
+            )
+        else:
+            self._csr = initial
+        self._n_edges = self._csr.n_edges
+        #: canonical (u <= v, lexsorted, deduped) new-edge batches not yet
+        #: merged into the CSR, and their sorted compound keys for O(log)
+        #: membership.  Keys are u * n_nodes + v — int64-safe for any node
+        #: universe below ~3e9 (far beyond this engine's target scale).
+        self._pending: list[np.ndarray] = []
+        self._pending_keys = np.empty(0, dtype=np.int64)
+
+    def _keys(self, edges: np.ndarray) -> np.ndarray:
+        return edges[:, 0] * np.int64(self.n_nodes) + edges[:, 1]
 
     # ------------------------------------------------------------------ #
 
     @property
     def n_edges(self) -> int:
-        return len(self._edges)
+        return int(self._n_edges)
 
     def has_edge(self, u: int, v: int) -> bool:
-        return self._key(int(u), int(v)) in self._edges
+        u, v = (int(u), int(v)) if u <= v else (int(v), int(u))
+        if self._csr.has_edge(u, v):
+            return True
+        key = np.int64(u) * np.int64(self.n_nodes) + np.int64(v)
+        i = np.searchsorted(self._pending_keys, key)
+        return bool(i < self._pending_keys.shape[0] and self._pending_keys[i] == key)
 
     def add_edge(self, u: int, v: int) -> bool:
         """Insert one edge; returns False if it already existed."""
-        u, v = int(u), int(v)
-        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
-            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n_nodes}")
-        key = self._key(u, v)
-        if key in self._edges:
-            return False
-        self._edges.add(key)
-        self._dirty = True
-        return True
+        return self.add_edges(np.array([[u, v]], dtype=np.int64)) == 1
 
-    def add_edges(self, edges: Iterable[tuple[int, int]]) -> int:
-        """Insert a batch; returns the number of genuinely new edges."""
-        added = 0
-        for u, v in np.asarray(list(edges), dtype=np.int64).reshape(-1, 2):
-            added += self.add_edge(int(u), int(v))
-        return added
+    def add_edges(self, edges: Iterable[tuple[int, int]] | np.ndarray) -> int:
+        """Insert a batch; returns the number of genuinely new edges.
+
+        One vectorized pass: range check, canonicalize to ``u <= v``,
+        in-batch dedup via sorted compound keys, then drop edges already in
+        the merged CSR (per-touched-row binary search) or in the pending
+        buffer.  No per-edge Python loop.
+        """
+        return self._insert(edges).shape[0]
+
+    def _insert(self, edges: Iterable[tuple[int, int]] | np.ndarray) -> np.ndarray:
+        """Vectorized insertion; returns the canonical (d, 2) array of
+        genuinely new edges (``u <= v``, lexsorted) this call added."""
+        edges = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges), dtype=np.int64
+        ).reshape(-1, 2)
+        if edges.shape[0] == 0:
+            return edges
+        if edges.min() < 0 or edges.max() >= self.n_nodes:
+            raise ValueError(
+                f"edge batch out of range for n={self.n_nodes}: "
+                f"ids span [{edges.min()}, {edges.max()}]"
+            )
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        canon = np.stack([lo, hi], axis=1)
+        canon = canon[np.lexsort((canon[:, 1], canon[:, 0]))]
+        keys = self._keys(canon)
+        if keys.shape[0] > 1:
+            keep = np.ones(keys.shape[0], dtype=bool)
+            keep[1:] = keys[1:] != keys[:-1]
+            canon, keys = canon[keep], keys[keep]
+
+        # drop edges already merged into the CSR (touched rows only)
+        present = np.zeros(canon.shape[0], dtype=bool)
+        nodes, starts = np.unique(canon[:, 0], return_index=True)
+        bounds = np.append(starts, canon.shape[0])
+        for i, node in enumerate(nodes):
+            s = slice(int(bounds[i]), int(bounds[i + 1]))
+            present[s] = self._csr.has_edges(int(node), canon[s, 1])
+        # ... and edges already waiting in the pending buffer
+        if self._pending_keys.shape[0]:
+            idx = np.searchsorted(self._pending_keys, keys)
+            ok = idx < self._pending_keys.shape[0]
+            pending_dup = np.zeros(canon.shape[0], dtype=bool)
+            pending_dup[ok] = self._pending_keys[idx[ok]] == keys[ok]
+            present |= pending_dup
+
+        new = canon[~present]
+        if new.shape[0]:
+            self._pending.append(new)
+            self._pending_keys = np.union1d(self._pending_keys, keys[~present])
+            self._n_edges += new.shape[0]
+        return new
 
     def snapshot(self) -> CSRGraph:
-        """Immutable CSR view of the current edge set (cached until dirty)."""
-        if self._dirty or self._snapshot is None:
-            edges = (
-                np.asarray(sorted(self._edges), dtype=np.int64)
-                if self._edges
-                else np.empty((0, 2), dtype=np.int64)
-            )
-            self._snapshot = CSRGraph.from_edges(
-                self.n_nodes, edges, node_labels=self.node_labels
-            )
-            self._dirty = False
-        return self._snapshot
+        """Immutable CSR view of the current edge set.
+
+        Pending insertions merge incrementally
+        (:meth:`~repro.graph.csr.CSRGraph.insert_edges`: per-node insertion
+        counts + one concatenate/scatter pass); with nothing pending the
+        cached snapshot object is returned as-is."""
+        if self._pending:
+            self._csr = self._csr.insert_edges(self._drain_pending())
+        return self._csr
+
+    def _drain_pending(self) -> np.ndarray:
+        delta = (
+            self._pending[0]
+            if len(self._pending) == 1
+            else np.concatenate(self._pending)
+        )
+        self._pending = []
+        self._pending_keys = np.empty(0, dtype=np.int64)
+        return delta
 
     def apply(self, event: "EdgeEvent") -> CSRGraph:
         """Insert one event's edge batch and return the updated snapshot."""
         self.add_edges(event.edges)
         return self.snapshot()
+
+    def apply_delta(self, event: "EdgeEvent") -> tuple[CSRGraph, np.ndarray]:
+        """Insert one event's batch; return ``(snapshot, delta)`` where
+        ``delta`` is the canonical (d, 2) batch of genuinely new edges such
+        that ``snapshot == previous_snapshot.insert_edges(delta)`` — the
+        O(delta) payload the snapshot transport ships instead of the graph.
+
+        ``delta`` covers *everything* merged by this snapshot (any edges
+        added since the previous snapshot ride along), so the identity
+        holds even when :meth:`add_edges` calls interleave with events.
+        """
+        self.add_edges(event.edges)
+        if not self._pending:
+            return self._csr, np.empty((0, 2), dtype=np.int64)
+        delta = self._drain_pending()
+        self._csr = self._csr.insert_edges(delta)
+        return self._csr, delta
 
     def walk_tasks(self, events, *, walks_per_endpoint: int = 1):
         """Turn an :class:`EdgeEvent` stream into the streaming engine's
@@ -139,7 +246,10 @@ class DynamicGraph:
         of the inserted batch (the paper starts a random walk "from both
         the ends of an added edge"; ``walks_per_endpoint`` tiles the starts
         like node2vec's r), tagged with the event step and carrying the
-        post-insertion snapshot.
+        post-insertion snapshot *and* its delta — the per-event new-edge
+        batch the pipeline's snapshot transport ships instead of the full
+        graph (O(delta) bytes per event; see
+        :class:`repro.parallel.snapshots.SnapshotStore`).
 
         The stream is lazy: snapshots materialize only as the pipeline's
         prefetch window pulls tasks, so at most a window's worth of
@@ -150,9 +260,9 @@ class DynamicGraph:
         if walks_per_endpoint < 1:
             raise ValueError("walks_per_endpoint must be >= 1")
         for event in events:
-            snap = self.apply(event)
+            snap, delta = self.apply_delta(event)
             starts = np.tile(event.touched_nodes, int(walks_per_endpoint))
-            yield WalkTask(starts=starts, epoch=event.step, graph=snap)
+            yield WalkTask(starts=starts, epoch=event.step, graph=snap, delta=delta)
 
     def __repr__(self) -> str:
         return f"DynamicGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

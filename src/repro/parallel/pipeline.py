@@ -53,6 +53,13 @@ tiny reference into the publish-once
 pickled once per snapshot, deserialized once per worker) instead of
 re-pickling the snapshot per job.  ``PipelineTelemetry.ipc_snapshot_bytes``
 / ``ipc_snapshot_bytes_saved`` count the shipped and avoided payload bytes.
+Tasks that carry a ``delta`` (the dynamic replay's per-event new-edge
+batch) additionally enable the store's **delta transport**: the chain base
+publishes in full once, subsequent snapshots ship only O(delta) pickled
+edge arrays that workers patch into their cached CSR, and every
+``snapshot_rebase_every``-th snapshot re-bases with a fresh full publish
+(``ipc_delta_bytes`` / ``delta_applies`` / ``rebase_count`` in the
+telemetry; ``snapshot_rebase_every=1`` disables deltas).
 
 Execution backends (``exec_backend``)
 -------------------------------------
@@ -130,7 +137,11 @@ from repro.parallel.chunking import (
     EpochStats,
 )
 from repro.parallel.shm_ring import ShmWalkRing
-from repro.parallel.snapshots import SnapshotStore, resolve_snapshot_ref
+from repro.parallel.snapshots import (
+    DEFAULT_REBASE_EVERY,
+    SnapshotStore,
+    resolve_snapshot_ref,
+)
 from repro.parallel.tasks import WalkTask
 from repro.sampling.negative import walk_frequencies
 from repro.sampling.sources import NEGATIVE_SOURCES, NegativeSource, resolve_source
@@ -240,6 +251,9 @@ class _FlowStats:
         self.ipc_walk_bytes = 0
         self.snapshot_bytes = 0
         self.snapshot_bytes_saved = 0
+        self.delta_bytes = 0
+        self.delta_applies = 0
+        self.rebase_count = 0
 
     def on_submit(self, n: int) -> None:
         self.submitted_walks += n
@@ -286,6 +300,16 @@ class PipelineTelemetry:
     of that — the dynamic path's IPC win, sitting next to
     ``ipc_walk_bytes`` so both channels read in the same unit.
 
+    Delta transport: when tasks carry deltas, ``ipc_delta_bytes`` counts
+    the O(delta) edge-payload bytes shipped in place of full snapshots,
+    ``delta_applies`` the snapshots that shipped as deltas (each is one
+    vectorized CSR patch per worker that runs its jobs), and
+    ``rebase_count`` the full re-publishes that closed a delta chain (the
+    ``snapshot_rebase_every`` knob).  On a high-rate replay
+    ``ipc_snapshot_bytes`` then scales with the number of *re-bases* while
+    ``ipc_delta_bytes`` scales with the number of *edges* — O(delta) per
+    event.
+
     Execution: ``exec_backend`` is the chunk-kernel the trainer ran
     (:data:`repro.embedding.kernels.EXEC_REGISTRY` name);
     ``train_walks`` / ``train_contexts`` the walks and sliding-window
@@ -322,6 +346,9 @@ class PipelineTelemetry:
     snapshot_stall_s: float = 0.0
     ipc_snapshot_bytes: int = 0
     ipc_snapshot_bytes_saved: int = 0
+    ipc_delta_bytes: int = 0
+    delta_applies: int = 0
+    rebase_count: int = 0
     exec_backend: str = ""
     train_walks: int = 0
     train_contexts: int = 0
@@ -385,6 +412,12 @@ class ParallelWalkGenerator:
         zero-copy; ``"pickle"`` — chunks ride the pool's result pipe.
         Ignored on the inline path (no IPC).  ``effective_transport``
         records what the last pass actually used after fallback.
+    snapshot_rebase_every:
+        delta-chain length limit for the snapshot transport: when tasks
+        carry deltas, one snapshot in ``snapshot_rebase_every`` publishes
+        in full and the rest ship as O(delta) edge payloads.  ``1``
+        disables deltas (every snapshot full); ignored for delta-free
+        streams and on the inline path.
     """
 
     def __init__(
@@ -397,9 +430,11 @@ class ParallelWalkGenerator:
         seed: int = 0,
         prefetch: int | None = None,
         transport: str = "shm",
+        snapshot_rebase_every: int = DEFAULT_REBASE_EVERY,
     ):
         check_positive("chunk_size", chunk_size, integer=True)
         check_in_set("transport", transport, TRANSPORTS)
+        check_positive("snapshot_rebase_every", snapshot_rebase_every, integer=True)
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
         if prefetch is None:
@@ -412,6 +447,7 @@ class ParallelWalkGenerator:
         self.seed = int(seed)
         self.prefetch = int(prefetch)
         self.transport = transport
+        self.snapshot_rebase_every = int(snapshot_rebase_every)
         #: transport the most recent pass actually used
         #: ("inline" | "shm" | "pickle"; None before the first pass)
         self.effective_transport: str | None = None
@@ -431,13 +467,15 @@ class ParallelWalkGenerator:
         return np.random.SeedSequence([self.seed, _STARTS_NS])
 
     def _job_stream(self, tasks: Iterable[WalkTask]) -> Iterator[tuple]:
-        """``(chunk_starts, global_walk_offset, epoch, graph, sid)`` work
-        items, in deterministic order.  The global offset runs across every
-        task, so walk seeds never depend on task or chunk boundaries;
+        """``(chunk_starts, global_walk_offset, epoch, graph, sid, delta)``
+        work items, in deterministic order.  The global offset runs across
+        every task, so walk seeds never depend on task or chunk boundaries;
         chunks never span tasks (each chunk walks exactly one snapshot).
         ``sid`` is the task's snapshot id (``None`` for base-graph tasks) —
         monotonically increasing in submission order, which is what the
-        publish-once snapshot transport's retire/evict protocol rests on."""
+        publish-once snapshot transport's retire/evict protocol rests on.
+        ``delta`` is the task's optional new-edge batch, handed to the
+        store so it can ship O(delta) bytes instead of the snapshot."""
         lo = 0
         sid = 0
         for task in tasks:
@@ -459,6 +497,7 @@ class ParallelWalkGenerator:
                     task.epoch,
                     task.graph,
                     task_sid,
+                    task.delta,
                 )
             lo += starts.shape[0]
 
@@ -512,7 +551,7 @@ class ParallelWalkGenerator:
 
         if self.n_workers <= 1:
             self.effective_transport = "inline"
-            for chunk_starts, lo, epoch, task_graph, _sid in job_iter:
+            for chunk_starts, lo, epoch, task_graph, _sid, _delta in job_iter:
                 stats.on_submit(len(chunk_starts))
                 walks, gen_s = _run_chunk(
                     task_graph if task_graph is not None else self.graph,
@@ -541,7 +580,7 @@ class ParallelWalkGenerator:
         self.effective_transport = transport
 
         ctx = mp.get_context("fork" if os.name == "posix" else "spawn")
-        store = SnapshotStore()
+        store = SnapshotStore(rebase_every=self.snapshot_rebase_every)
         try:
             with ctx.Pool(
                 self.n_workers,
@@ -560,13 +599,16 @@ class ParallelWalkGenerator:
                     job = next(job_iter, None)
                     if job is None:
                         return
-                    chunk_starts, lo, epoch, task_graph, sid = job
+                    chunk_starts, lo, epoch, task_graph, sid, delta = job
                     stats.on_submit(len(chunk_starts))
                     # publish-once snapshot transport: the job carries a
                     # tiny reference, not the pickled graph, after the
-                    # snapshot's first chunk
+                    # snapshot's first chunk — and only an O(delta) edge
+                    # payload when the task's delta can extend a live chain
                     graph_ref = (
-                        store.ref_for(sid, task_graph) if sid is not None else None
+                        store.ref_for(sid, task_graph, delta)
+                        if sid is not None
+                        else None
                     )
                     if ring is not None:
                         slot = free_slots.popleft()
@@ -616,6 +658,9 @@ class ParallelWalkGenerator:
         finally:
             stats.snapshot_bytes = store.bytes_shipped
             stats.snapshot_bytes_saved = store.bytes_saved
+            stats.delta_bytes = store.delta_bytes_shipped
+            stats.delta_applies = store.delta_refs
+            stats.rebase_count = store.rebase_count
             store.close()
             if ring is not None:
                 ring.close()
@@ -681,6 +726,7 @@ def train_parallel(
     negative_source: str | NegativeSource | None = None,
     negative_power: float | None = None,
     exec_backend: str | None = None,
+    snapshot_rebase_every: int | None = None,
     config: PipelineConfig | None = None,
     store: Any | None = None,
     publish_every: int = 1,
@@ -744,6 +790,16 @@ def train_parallel(
     ``None`` follows the model's own :attr:`~repro.embedding.base.EmbeddingModel.exec_backend`
     preference (``"reference"`` unless a checkpoint says otherwise).
 
+    ``snapshot_rebase_every`` tunes the dynamic path's delta transport:
+    when the task stream carries per-event deltas (as
+    :meth:`~repro.graph.dynamic.DynamicGraph.walk_tasks` streams do), one
+    snapshot in ``snapshot_rebase_every`` publishes in full and the rest
+    ship as O(delta) edge payloads that workers patch into their cached
+    CSR — bit-identical embeddings, O(delta) IPC per event.  ``1``
+    disables deltas; ``None`` (default) uses
+    :data:`repro.parallel.snapshots.DEFAULT_REBASE_EVERY`.  No effect on
+    delta-free streams, the static corpus, or the inline path.
+
     ``config`` accepts a frozen :class:`repro.config.PipelineConfig`
     bundling the execution knobs above; an explicitly passed kwarg
     overrides the corresponding config field (a *conflicting* duplicate
@@ -777,6 +833,7 @@ def train_parallel(
         exec_backend=exec_backend,
         negative_source=negative_source,
         negative_power=negative_power,
+        snapshot_rebase_every=snapshot_rebase_every,
     )
     n_workers = knobs["n_workers"] if knobs["n_workers"] is not None else 0
     chunk_size = (
@@ -791,6 +848,11 @@ def train_parallel(
         knobs["negative_power"] if knobs["negative_power"] is not None else 0.75
     )
     exec_backend = knobs["exec_backend"]
+    rebase_every = (
+        knobs["snapshot_rebase_every"]
+        if knobs["snapshot_rebase_every"] is not None
+        else DEFAULT_REBASE_EVERY
+    )
 
     check_positive("epochs", epochs, integer=True)
     check_in_set("transport", transport, TRANSPORTS)
@@ -856,6 +918,7 @@ def train_parallel(
             seed=epoch_seeds[epoch],
             prefetch=prefetch,
             transport=transport,
+            snapshot_rebase_every=rebase_every,
         )
 
     def _task_stream():
@@ -940,6 +1003,9 @@ def train_parallel(
         tele.ipc_walk_bytes += gen.last_stats.ipc_walk_bytes
         tele.ipc_snapshot_bytes += gen.last_stats.snapshot_bytes
         tele.ipc_snapshot_bytes_saved += gen.last_stats.snapshot_bytes_saved
+        tele.ipc_delta_bytes += gen.last_stats.delta_bytes
+        tele.delta_applies += gen.last_stats.delta_applies
+        tele.rebase_count += gen.last_stats.rebase_count
         tele.transport = gen.effective_transport
 
     def _train_chunk(walks: list, epoch: int | None = None) -> None:

@@ -86,6 +86,95 @@ class TestDynamicGraph:
         assert dg.snapshot() == g
 
 
+class TestIncrementalState:
+    """The post-PR-10 engine: CSR state maintained incrementally, vectorized
+    batch insertion, per-event deltas for the snapshot transport."""
+
+    def test_vectorized_add_edges_dedups_and_canonicalizes(self):
+        dg = DynamicGraph(6)
+        arr = np.array([[1, 0], [0, 1], [2, 3], [3, 2], [4, 5]])
+        assert dg.add_edges(arr) == 3  # both orientations collapse
+        assert dg.add_edges(arr) == 0  # second pass: all known
+        assert dg.has_edge(5, 4)
+
+    def test_add_edges_checks_range_vectorized(self):
+        dg = DynamicGraph(3)
+        with pytest.raises(ValueError, match="out of range"):
+            dg.add_edges(np.array([[0, 1], [1, 7]]))
+        assert dg.n_edges == 0  # batch rejected atomically
+
+    def test_pending_edges_visible_before_snapshot(self):
+        dg = DynamicGraph(4)
+        dg.add_edge(0, 1)
+        assert dg.has_edge(0, 1)  # no snapshot() call in between
+        assert not dg.has_edge(1, 2)
+        assert dg.n_edges == 1
+
+    def test_snapshot_is_incremental_merge(self):
+        """Each snapshot must equal a from-scratch rebuild, bit for bit."""
+        g = ring_of_cliques(3, 5, seed=1)
+        fs = forest_split(g, seed=1)
+        dg = DynamicGraph(g.n_nodes, initial=fs.initial)
+        edges_so_far = [tuple(e) for e in fs.initial.edge_array()]
+        for u, v in fs.removed_edges[:6]:
+            dg.add_edge(int(u), int(v))
+            edges_so_far.append((int(u), int(v)))
+            want = CSRGraph.from_edges(g.n_nodes, edges_so_far)
+            snap = dg.snapshot()
+            assert np.array_equal(snap.indptr, want.indptr)
+            assert np.array_equal(snap.indices, want.indices)
+            assert np.array_equal(snap.weights, want.weights)
+
+    def test_apply_delta_identity(self):
+        """apply_delta's contract: snapshot == previous.insert_edges(delta),
+        bitwise — what the delta transport ships."""
+        g = ring_of_cliques(3, 5, seed=0)
+        fs = forest_split(g, seed=0)
+        dg = DynamicGraph(g.n_nodes, initial=fs.initial)
+        prev = dg.snapshot()
+        for k, edges in enumerate(fs.removed_edges[:5]):
+            snap, delta = dg.apply_delta(EdgeEvent(k, edges.reshape(1, 2)))
+            patched = prev.insert_edges(delta)
+            assert np.array_equal(patched.indptr, snap.indptr)
+            assert np.array_equal(patched.indices, snap.indices)
+            assert np.array_equal(patched.weights, snap.weights)
+            prev = snap
+
+    def test_apply_delta_covers_interleaved_adds(self):
+        dg = DynamicGraph(6)
+        prev = dg.snapshot()
+        dg.add_edge(4, 5)  # out-of-band insertion between events
+        snap, delta = dg.apply_delta(EdgeEvent(0, np.array([[0, 1]])))
+        assert delta.shape[0] == 2  # the ride-along edge is in the delta
+        assert prev.insert_edges(delta) == snap
+
+    def test_apply_delta_no_new_edges(self):
+        dg = DynamicGraph(4)
+        dg.add_edge(0, 1)
+        snap = dg.snapshot()
+        snap2, delta = dg.apply_delta(EdgeEvent(0, np.array([[1, 0]])))
+        assert snap2 is snap  # duplicate event: same cached snapshot object
+        assert delta.shape == (0, 2)
+
+    def test_walk_tasks_carry_deltas(self):
+        g = ring_of_cliques(3, 4, seed=0)
+        fs = forest_split(g, seed=0)
+        dg = DynamicGraph(g.n_nodes, initial=fs.initial)
+        base = dg.snapshot()
+        events = edge_stream(fs.removed_edges, edges_per_event=2, max_events=3)
+        prev = base
+        for task in dg.walk_tasks(events):
+            assert task.delta is not None
+            assert prev.insert_edges(task.delta) == task.graph
+            prev = task.graph
+
+    def test_directed_initial_symmetrized_once(self):
+        init = CSRGraph.from_edges(3, [(0, 1)], directed=True)
+        dg = DynamicGraph(3, initial=init)
+        assert dg.has_edge(1, 0)
+        assert not dg.snapshot().directed
+
+
 class TestEdgeEvent:
     def test_touched_nodes(self):
         ev = EdgeEvent(0, np.array([[0, 1], [1, 2]]))

@@ -21,3 +21,19 @@ class HalfSegment:
 
     def free(self):
         self.shm.close()
+
+
+class LeakyChainPublisher:
+    """Delta-chain publisher that re-bases without ever retiring: every
+    chain base's segment accumulates in /dev/shm for the whole replay."""
+
+    def __init__(self):
+        self._bases = []
+
+    def rebase(self, size):
+        self._bases.append(
+            shared_memory.SharedMemory(create=True, size=size)  # expect: shm-lifecycle
+        )
+
+    def publish_delta(self, sid, payload):
+        return ("delta", sid, payload)

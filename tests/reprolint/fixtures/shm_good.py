@@ -47,3 +47,25 @@ class StoreSegment:
     def free(self):
         self.shm.close()
         self.shm.unlink()
+
+
+class DeltaChainPublisher:
+    """The delta-transport publisher pattern (SnapshotStore): the chain
+    *base* owns a segment; deltas ship as plain payloads, and retire/close
+    walk every tracked segment through close+unlink."""
+
+    def __init__(self):
+        self._segments = {}
+
+    def publish_base(self, sid, size):
+        self._segments[sid] = shared_memory.SharedMemory(create=True, size=size)
+
+    def publish_delta(self, sid, payload):
+        # O(delta) payload rides the job reference — no segment to own
+        return ("delta", sid, payload)
+
+    def retire(self, sid):
+        shm = self._segments.pop(sid, None)
+        if shm is not None:
+            shm.close()
+            shm.unlink()

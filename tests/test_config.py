@@ -32,6 +32,7 @@ class TestDataclass:
             for name in (
                 "n_workers", "transport", "chunk_size", "prefetch",
                 "exec_backend", "negative_source", "negative_power",
+                "snapshot_rebase_every",
             )
         )
 
@@ -40,6 +41,9 @@ class TestDataclass:
             PipelineConfig(n_workers=-1)
         with pytest.raises(ValueError, match="prefetch"):
             PipelineConfig(prefetch=-2)
+        with pytest.raises(ValueError, match="snapshot_rebase_every"):
+            PipelineConfig(snapshot_rebase_every=0)
+        assert PipelineConfig(snapshot_rebase_every=1).snapshot_rebase_every == 1
         assert isinstance(PipelineConfig(negative_power=1).negative_power, float)
 
     def test_hashable_and_reusable(self):
